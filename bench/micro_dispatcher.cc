@@ -1,0 +1,153 @@
+// Ablation: the dispatcher bottleneck of Section 4.8 and the Science-DMZ
+// datapath (Section 4.7.1). Quantifies why SCIERA migrated to a
+// dispatcherless end-host stack, why Hercules reached for XDP, and what
+// RSS buys LightningFilter.
+#include <benchmark/benchmark.h>
+
+#include "endhost/hercules.h"
+#include "endhost/lightning_filter.h"
+#include "topology/sciera_net.h"
+
+namespace {
+
+using namespace sciera;
+using namespace sciera::endhost;
+
+controlplane::ScionNetwork& net() {
+  static controlplane::ScionNetwork network{topology::build_sciera()};
+  return network;
+}
+
+dataplane::ScionPacket local_packet(const dataplane::Address& dst,
+                                    std::uint16_t port) {
+  dataplane::ScionPacket pkt;
+  pkt.path_type = dataplane::PathType::kEmpty;
+  pkt.dst = dst;
+  pkt.src = {dst.ia, dst.host + 1};
+  dataplane::UdpDatagram dg;
+  dg.dst_port = port;
+  dg.data = bytes_of("x");
+  pkt.payload = dg.serialize();
+  return pkt;
+}
+
+// Packets-per-burst delivered through the host stack, dispatcher vs
+// dispatcherless, at a burst size that saturates the single dispatcher.
+void BM_HostStackBurst(benchmark::State& state) {
+  const bool dispatcher = state.range(0) == 1;
+  const auto burst = static_cast<int>(state.range(1));
+  namespace a = topology::ases;
+  HostStack::Config cfg;
+  cfg.mode = dispatcher ? HostMode::kDispatcher : HostMode::kDispatcherless;
+  cfg.dispatcher_pps = 250'000;
+  std::uint64_t delivered_total = 0;
+  std::uint64_t dropped_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    HostStack stack{net(), {a::uva(), 0x0B000001}, cfg};
+    int received = 0;
+    (void)stack.bind(6000, [&](auto&&...) { ++received; });
+    const auto pkt = local_packet({a::uva(), 0x0B000001}, 6000);
+    state.ResumeTiming();
+    for (int i = 0; i < burst; ++i) (void)net().send_from_host(pkt);
+    net().sim().run_for(kSecond);
+    delivered_total += stack.stats().delivered;
+    dropped_total += stack.stats().dropped_overload;
+  }
+  state.counters["delivered/burst"] =
+      static_cast<double>(delivered_total) / state.iterations();
+  state.counters["dropped/burst"] =
+      static_cast<double>(dropped_total) / state.iterations();
+  state.SetLabel(dispatcher ? "dispatcher" : "dispatcherless");
+}
+BENCHMARK(BM_HostStackBurst)
+    ->Args({1, 2000})
+    ->Args({0, 2000})
+    ->Unit(benchmark::kMillisecond);
+
+// Hercules receive-throughput model across datapath generations.
+void BM_HerculesHostLimit(benchmark::State& state) {
+  HerculesConfig cfg;
+  switch (state.range(0)) {
+    case 0:
+      cfg.receiver_mode = HostMode::kDispatcher;
+      cfg.use_xdp = false;
+      break;
+    case 1:
+      cfg.receiver_mode = HostMode::kDispatcherless;
+      cfg.use_xdp = false;
+      break;
+    default:
+      cfg.use_xdp = true;
+      break;
+  }
+  const Hercules hercules{net().topology(), cfg};
+  double gbps = 0;
+  for (auto _ : state) {
+    gbps = hercules.host_limit_bps() / 1e9;
+    benchmark::DoNotOptimize(gbps);
+  }
+  state.counters["host_limit_gbps"] = gbps;
+  state.SetLabel(state.range(0) == 0   ? "dispatcher"
+                 : state.range(0) == 1 ? "dispatcherless"
+                                       : "xdp");
+}
+BENCHMARK(BM_HerculesHostLimit)->Arg(0)->Arg(1)->Arg(2);
+
+// Multipath transfer planning over the KREONET ring (progressive filling).
+void BM_HerculesPlan(benchmark::State& state) {
+  namespace a = topology::ases;
+  const auto paths = net().paths(a::kisti_dj(), a::kisti_ams());
+  const std::size_t use =
+      std::min(paths.size(), static_cast<std::size_t>(state.range(0)));
+  std::vector<controlplane::Path> chosen(paths.begin(),
+                                         paths.begin() + static_cast<long>(use));
+  HerculesConfig cfg;
+  cfg.use_xdp = true;
+  const Hercules hercules{net().topology(), cfg};
+  double gbps = 0;
+  for (auto _ : state) {
+    const auto report = hercules.plan(chosen, 100'000'000'000ULL);
+    gbps = report.aggregate_bps / 1e9;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["aggregate_gbps"] = gbps;
+}
+BENCHMARK(BM_HerculesPlan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// LightningFilter per-packet check (one CMAC + rules).
+void BM_LightningFilterCheck(benchmark::State& state) {
+  LightningFilter filter{bytes_of("dmz-secret")};
+  namespace a = topology::ases;
+  dataplane::ScionPacket pkt;
+  pkt.src = {a::kisti_dj(), 1};
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 0x42);
+  const Bytes tag = filter.make_authenticator(pkt.src.ia, payload);
+  pkt.payload = payload;
+  pkt.payload.insert(pkt.payload.end(), tag.begin(), tag.end());
+  SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.check(pkt, now));
+    now += kMicrosecond;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LightningFilterCheck)->Arg(200)->Arg(1500);
+
+void BM_LightningFilterLineRate(benchmark::State& state) {
+  const LightningFilter filter{bytes_of("s")};
+  const bool rss = state.range(0) == 1;
+  double gbps = 0;
+  for (auto _ : state) {
+    gbps = filter.throughput_bps(1500, rss) / 1e9;
+    benchmark::DoNotOptimize(gbps);
+  }
+  state.counters["gbps"] = gbps;
+  state.SetLabel(rss ? "rss-8-cores" : "single-queue");
+}
+BENCHMARK(BM_LightningFilterLineRate)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

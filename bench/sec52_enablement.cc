@@ -1,0 +1,91 @@
+// Section 5.2: application enablement effort — the bat / Caddy / Java
+// netcat case studies (diff sizes from Appendices E-G), plus a live
+// demonstration that the drop-in PAN socket carries an application-level
+// request/response across SCIERA with a handful of lines.
+#include "bench_common.h"
+#include "endhost/pan.h"
+
+using namespace sciera;
+using namespace sciera::endhost;
+
+int main() {
+  bench::print_header(
+      "Section 5.2 — application enablement effort",
+      "bat SCIONabled with <20 lines; JPAN DatagramSocket is a drop-in "
+      "replacement; Caddy needs only a plugin module");
+
+  struct CaseStudy {
+    const char* application;
+    const char* mechanism;
+    int lines_added;  // from the appendix diffs
+    int files_touched;
+  };
+  const CaseStudy cases[] = {
+      {"bat (Go web client)", "shttp.NewTransport + PAN policy flags", 19, 1},
+      {"Caddy reverse proxy", "scion network plugin module", 120, 3},
+      {"Java netcat", "ScionDatagramSocket drop-in", 6, 2},
+  };
+  std::printf("%-24s %-42s %8s %6s\n", "application", "integration", "LoC",
+              "files");
+  for (const auto& cs : cases) {
+    std::printf("%-24s %-42s %8d %6d\n", cs.application, cs.mechanism,
+                cs.lines_added, cs.files_touched);
+  }
+  std::printf("\n");
+
+  // Live demonstration: a request/reply application on the drop-in socket.
+  // The entire SCION-specific part is: create context, open socket — the
+  // send/receive code is shaped exactly like a UDP app.
+  bench::World world;
+  namespace a = topology::ases;
+  Daemon daemon_client{world.net, a::ovgu()};
+  Daemon daemon_server{world.net, a::sidn()};
+
+  HostEnvironment client_env;
+  client_env.net = &world.net;
+  client_env.address = {a::ovgu(), 0x0A000001};
+  client_env.daemon = &daemon_client;
+  HostEnvironment server_env;
+  server_env.net = &world.net;
+  server_env.address = {a::sidn(), 0x0A000002};
+  server_env.daemon = &daemon_server;
+
+  auto client_ctx = PanContext::create(client_env, Rng{1});
+  auto server_ctx = PanContext::create(server_env, Rng{2});
+  if (!client_ctx.ok() || !server_ctx.ok()) return 1;
+
+  int requests_served = 0;
+  PanSocket* server_ptr = nullptr;
+  auto server_sock = PanSocket::open(
+      **server_ctx, 80,
+      [&](const dataplane::Address& src, std::uint16_t src_port,
+          const Bytes& data, SimTime) {
+        ++requests_served;
+        Bytes response = bytes_of("HTTP/1.1 200 OK\r\n\r\nSCION-served: ");
+        response.insert(response.end(), data.begin(), data.end());
+        (void)server_ptr->send_to(src, src_port, response);
+      });
+  server_ptr = server_sock->get();
+
+  std::string reply;
+  auto client_sock = PanSocket::open(
+      **client_ctx, 0,
+      [&](const dataplane::Address&, std::uint16_t, const Bytes& data,
+          SimTime) { reply.assign(data.begin(), data.end()); });
+
+  (void)(*client_sock)
+      ->send_to({a::sidn(), 0x0A000002}, 80, bytes_of("GET /index.html"));
+  world.net.sim().run_for(2 * kSecond);
+
+  std::printf("live demo: OVGU client -> SIDN server over SCIERA\n");
+  std::printf("  requests served: %d\n  reply: %s\n\n", requests_served,
+              reply.c_str());
+
+  bench::print_check(cases[0].lines_added < 20,
+                     "bat integration stays under 20 lines");
+  bench::print_check(requests_served == 1 && !reply.empty(),
+                     "drop-in socket round-trips an application request");
+  bench::print_check(reply.find("SCION-served") != std::string::npos,
+                     "payload integrity end to end");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Low-latency gaming (Section 4.7): a Seoul player on a Frankfurt game
+// server. The PAN socket pins the lowest-latency path; when the submarine
+// cable it uses gets cut mid-session, SCION fails over to the next path
+// instantly — no BGP reconvergence, no dropped session.
+//
+//   $ ./gaming_failover
+#include <cstdio>
+
+#include "endhost/pan.h"
+#include "topology/sciera_net.h"
+
+using namespace sciera;
+using namespace sciera::endhost;
+
+int main() {
+  std::printf("== competitive gaming over SCIERA: Seoul -> Frankfurt ==\n\n");
+  controlplane::ScionNetwork net{topology::build_sciera()};
+  namespace a = topology::ases;
+
+  Daemon player_daemon{net, a::korea_univ()};
+  Daemon server_daemon{net, a::geant()};
+
+  HostEnvironment player_env;
+  player_env.net = &net;
+  player_env.address = {a::korea_univ(), 0x0A0000AA};
+  player_env.daemon = &player_daemon;
+  HostEnvironment server_env;
+  server_env.net = &net;
+  server_env.address = {a::geant(), 0x0A0000BB};
+  server_env.daemon = &server_daemon;
+
+  auto player_ctx = PanContext::create(player_env, Rng{11});
+  auto server_ctx = PanContext::create(server_env, Rng{12});
+
+  // Game server: echoes every input as a state update.
+  PanSocket* server_ptr = nullptr;
+  auto server = PanSocket::open(
+      **server_ctx, 27015,
+      [&](const dataplane::Address& src, std::uint16_t port,
+          const Bytes& data, SimTime) {
+        (void)server_ptr->send_to(src, port, data);
+      });
+  server_ptr = server->get();
+
+  // Player socket with a latency-first policy.
+  std::map<std::uint16_t, SimTime> sent;
+  std::vector<double> rtts;
+  int lost_in_flight = 0;
+  auto player = PanSocket::open(
+      **player_ctx, 0,
+      [&](const dataplane::Address&, std::uint16_t, const Bytes& data,
+          SimTime now) {
+        const auto seq = static_cast<std::uint16_t>(data.at(0) | (data.at(1) << 8));
+        rtts.push_back(to_ms(now - sent.at(seq)));
+      });
+  (*player)->set_policy(lowest_latency_policy());
+
+  const auto options = (*player_ctx)->paths(a::geant(), lowest_latency_policy());
+  std::printf("path options: %zu; playing on: %s\n\n", options.size(),
+              options.front().to_string().c_str());
+
+  // 30 ticks, one every 100 ms; cut the cable after tick 10.
+  const auto* first_link =
+      net.topology().find_link(options.front().links.front());
+  const std::string cut_label =
+      net.topology().find_link(options.front().links[1])->label;
+  (void)first_link;
+  std::uint16_t seq = 0;
+  for (int tick = 0; tick < 30; ++tick) {
+    if (tick == 10) {
+      std::printf("!! submarine cable cut: link '%s' goes dark\n",
+                  cut_label.c_str());
+      net.set_link_up(cut_label, false);
+    }
+    Bytes input = {static_cast<std::uint8_t>(seq),
+                   static_cast<std::uint8_t>(seq >> 8)};
+    input.insert(input.end(), {'m', 'o', 'v', 'e'});
+    sent[seq] = net.sim().now();
+    const auto status = (*player)->send_to({a::geant(), 0x0A0000BB}, 27015,
+                                           input);
+    if (!status.ok()) ++lost_in_flight;
+    ++seq;
+    net.sim().run_for(100 * kMillisecond);
+  }
+  net.sim().run_for(2 * kSecond);
+  net.set_link_up(cut_label, true);
+
+  std::printf("\ntick RTTs (ms):");
+  for (std::size_t i = 0; i < rtts.size(); ++i) {
+    if (i % 10 == 0) std::printf("\n  ");
+    std::printf("%6.1f", rtts[i]);
+  }
+  std::printf("\n\nreceived %zu/30 state updates, %d sends failed\n",
+              rtts.size(), lost_in_flight);
+
+  // A couple of in-flight packets die with the link; every tick after the
+  // daemon-free failover succeeds on the alternative path.
+  if (rtts.size() >= 25) {
+    std::printf("=> seamless failover: the session survived the cable cut\n");
+  } else {
+    std::printf("=> failover incomplete, session degraded\n");
+  }
+  return 0;
+}

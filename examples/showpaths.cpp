@@ -1,0 +1,66 @@
+// `scion showpaths` clone (Section 5.4 collects path statistics with it):
+// lists every available path between two SCIERA ASes with hop interfaces,
+// static RTT, carbon score, and data-plane usability.
+//
+//   $ ./showpaths                    # defaults: 71-225 -> 71-2:0:5c
+//   $ ./showpaths 71-2:0:3b 71-2:0:3d
+#include <cstdio>
+#include <cstring>
+
+#include "controlplane/control_plane.h"
+#include "endhost/policy.h"
+#include "topology/sciera_net.h"
+
+using namespace sciera;
+
+int main(int argc, char** argv) {
+  auto src = topology::ases::uva();
+  auto dst = topology::ases::ufms();
+  if (argc >= 3) {
+    const auto parsed_src = IsdAs::parse(argv[1]);
+    const auto parsed_dst = IsdAs::parse(argv[2]);
+    if (!parsed_src || !parsed_dst) {
+      std::fprintf(stderr, "usage: %s <src isd-as> <dst isd-as>\n", argv[0]);
+      return 2;
+    }
+    src = *parsed_src;
+    dst = *parsed_dst;
+  }
+
+  controlplane::ScionNetwork net{topology::build_sciera()};
+  const auto* src_info = net.topology().find_as(src);
+  const auto* dst_info = net.topology().find_as(dst);
+  if (src_info == nullptr || dst_info == nullptr) {
+    std::fprintf(stderr, "unknown AS (see DESIGN.md for the SCIERA set)\n");
+    return 2;
+  }
+
+  const auto paths = net.paths(src, dst);
+  const endhost::CarbonMap carbon = endhost::CarbonMap::sciera_defaults();
+  std::printf("Available paths %s (%s) -> %s (%s): %zu\n\n",
+              src.to_string().c_str(), src_info->name.c_str(),
+              dst.to_string().c_str(), dst_info->name.c_str(), paths.size());
+
+  const std::size_t show = std::min<std::size_t>(paths.size(), 20);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& path = paths[i];
+    std::printf("[%2zu] hops: ", i);
+    for (std::size_t h = 0; h < path.as_sequence.size(); ++h) {
+      if (h > 0) {
+        std::printf(" %u>%u ", path.interfaces[2 * (h - 1)].iface,
+                    path.interfaces[2 * (h - 1) + 1].iface);
+      }
+      std::printf("%s", path.as_sequence[h].to_string().c_str());
+    }
+    std::printf("\n     rtt: %6.1f ms  carbon: %4.0f  segments: %zu  "
+                "status: %s\n",
+                to_ms(path.static_rtt),
+                endhost::path_carbon_score(path, carbon),
+                path.dataplane_path.num_segments(),
+                net.path_usable(path) ? "alive" : "down");
+  }
+  if (paths.size() > show) {
+    std::printf("... %zu more (capped display)\n", paths.size() - show);
+  }
+  return paths.empty() ? 1 : 0;
+}

@@ -1,0 +1,117 @@
+#include "analysis/charts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace sciera::analysis {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+}  // namespace
+
+Series cdf_series(std::string name, const std::vector<double>& sorted_samples,
+                  std::size_t max_points) {
+  Series series;
+  series.name = std::move(name);
+  const std::size_t n = sorted_samples.size();
+  if (n == 0) return series;
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    series.points.emplace_back(sorted_samples[i],
+                               static_cast<double>(i + 1) /
+                                   static_cast<double>(n));
+  }
+  series.points.emplace_back(sorted_samples.back(), 1.0);
+  return series;
+}
+
+std::string render_chart(const std::vector<Series>& series,
+                         std::string x_label, std::string y_label, int width,
+                         int height) {
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+  }
+  if (min_x > max_x) return "(no data)\n";
+  if (max_x == min_x) max_x = min_x + 1;
+  if (max_y == min_y) max_y = min_y + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    for (const auto& [x, y] : series[si].points) {
+      const int col = static_cast<int>((x - min_x) / (max_x - min_x) *
+                                       (width - 1));
+      const int row = static_cast<int>((y - min_y) / (max_y - min_y) *
+                                       (height - 1));
+      grid[static_cast<std::size_t>(height - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += strformat("  %s\n", y_label.c_str());
+  for (int r = 0; r < height; ++r) {
+    const double y_val =
+        max_y - (max_y - min_y) * static_cast<double>(r) / (height - 1);
+    out += strformat("%8.2f |%s\n", y_val, grid[static_cast<std::size_t>(r)].c_str());
+  }
+  out += "         +" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += strformat("          %-10.2f%*s%.2f   (%s)\n", min_x, width - 18, "",
+                   max_x, x_label.c_str());
+  out += "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += strformat("  [%c] %s", kGlyphs[si % sizeof kGlyphs],
+                     series[si].name.c_str());
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_matrix(const std::vector<IsdAs>& ases,
+                          const std::vector<std::vector<int>>& values,
+                          std::string title) {
+  std::string out = title + "\n";
+  out += strformat("%12s", "src\\dst");
+  for (const auto& ia : ases) out += strformat(" %9s", ia.to_string().c_str());
+  out += "\n";
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    out += strformat("%12s", ases[i].to_string().c_str());
+    for (std::size_t j = 0; j < ases.size(); ++j) {
+      if (values[i][j] < 0) {
+        out += strformat(" %9s", "-");
+      } else {
+        out += strformat(" %9d", values[i][j]);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_boxes(const std::vector<BoxGroup>& groups,
+                         std::string unit) {
+  std::string out;
+  out += strformat("%-18s %-10s %8s %8s %8s %8s %8s  (%s)\n", "group", "series",
+                   "min", "p25", "median", "p75", "max", unit.c_str());
+  for (const auto& group : groups) {
+    for (const auto& [name, cdf] : group.boxes) {
+      out += strformat("%-18s %-10s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+                       group.group.c_str(), name.c_str(), cdf.min(),
+                       cdf.percentile(0.25), cdf.median(), cdf.percentile(0.75),
+                       cdf.max());
+    }
+  }
+  return out;
+}
+
+}  // namespace sciera::analysis

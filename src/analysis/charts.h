@@ -1,0 +1,45 @@
+// Terminal renderers for the reproduction harness: CDF line charts,
+// heatmap matrices (Figures 8/9), time series (Figure 7), and box
+// summaries (Figure 4). Benches print these so the figures can be eyeballed
+// straight from the console, alongside the exact numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+
+namespace sciera::analysis {
+
+struct Series {
+  std::string name;
+  // (x, y) points, x ascending.
+  std::vector<std::pair<double, double>> points;
+};
+
+// ASCII line chart with multiple series (distinct glyphs per series).
+[[nodiscard]] std::string render_chart(const std::vector<Series>& series,
+                                       std::string x_label,
+                                       std::string y_label, int width = 72,
+                                       int height = 20);
+
+// CDF helper: samples (sorted) -> a Series with y in [0, 1].
+[[nodiscard]] Series cdf_series(std::string name,
+                                const std::vector<double>& sorted_samples,
+                                std::size_t max_points = 200);
+
+// Matrix heatmap (Figures 8/9 style): rows labelled by ISD-AS.
+[[nodiscard]] std::string render_matrix(
+    const std::vector<IsdAs>& ases,
+    const std::vector<std::vector<int>>& values, std::string title);
+
+// Box-style summary for grouped distributions (Figure 4): per group, the
+// min/p25/median/p75/max of each labelled distribution.
+struct BoxGroup {
+  std::string group;
+  std::vector<std::pair<std::string, Cdf>> boxes;
+};
+[[nodiscard]] std::string render_boxes(const std::vector<BoxGroup>& groups,
+                                       std::string unit);
+
+}  // namespace sciera::analysis

@@ -1,0 +1,148 @@
+#include "analysis/resilience.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace sciera::analysis {
+namespace {
+
+// Union-find over AS indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// Dijkstra shortest path (by delay) returning the link sequence.
+std::vector<topology::LinkId> shortest_path(const topology::Topology& topo,
+                                            std::size_t src_idx,
+                                            std::size_t dst_idx) {
+  const auto& ases = topo.ases();
+  const std::size_t n = ases.size();
+  std::vector<Duration> dist(n, INT64_MAX);
+  std::vector<std::pair<std::size_t, topology::LinkId>> prev(
+      n, {SIZE_MAX, 0});
+  std::unordered_map<IsdAs, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[ases[i].ia] = i;
+
+  using Item = std::pair<Duration, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[src_idx] = 0;
+  queue.push({0, src_idx});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == dst_idx) break;
+    for (topology::LinkId id : topo.links_of(ases[u].ia)) {
+      const auto* link = topo.find_link(id);
+      const std::size_t v = index[link->other(ases[u].ia)];
+      const Duration nd = d + link->delay;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = {u, id};
+        queue.push({nd, v});
+      }
+    }
+  }
+  std::vector<topology::LinkId> links;
+  std::size_t cur = dst_idx;
+  while (cur != src_idx && prev[cur].first != SIZE_MAX) {
+    links.push_back(prev[cur].second);
+    cur = prev[cur].first;
+  }
+  if (cur != src_idx) links.clear();  // unreachable
+  return links;
+}
+
+}  // namespace
+
+std::vector<ResiliencePoint> link_failure_resilience(
+    const topology::Topology& topo, const ResilienceOptions& options) {
+  const std::size_t n_links = topo.links().size();
+  const std::size_t n_ases = topo.ases().size();
+  const std::size_t n_pairs = n_ases * (n_ases - 1) / 2;
+
+  // Precompute each pair's pinned shortest path.
+  std::vector<std::vector<topology::LinkId>> pinned;
+  pinned.reserve(n_pairs);
+  for (std::size_t i = 0; i < n_ases; ++i) {
+    for (std::size_t j = i + 1; j < n_ases; ++j) {
+      pinned.push_back(shortest_path(topo, i, j));
+    }
+  }
+
+  std::unordered_map<IsdAs, std::size_t> index;
+  for (std::size_t i = 0; i < n_ases; ++i) index[topo.ases()[i].ia] = i;
+
+  // Accumulate connectivity per removal step across runs.
+  std::vector<double> multi_acc(n_links + 1, 0.0);
+  std::vector<double> single_acc(n_links + 1, 0.0);
+
+  Rng rng{options.seed, "resilience"};
+  for (int run = 0; run < options.runs; ++run) {
+    // Random removal order.
+    std::vector<std::size_t> order(n_links);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n_links; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    std::vector<bool> up(n_links, true);
+    for (std::size_t step = 0; step <= n_links; ++step) {
+      if (step > 0) up[order[step - 1]] = false;
+
+      // Multipath: graph connectivity over surviving links (the control
+      // plane re-beacons and finds any remaining route).
+      UnionFind uf{n_ases};
+      for (const auto& link : topo.links()) {
+        if (up[link.id]) uf.unite(index[link.a], index[link.b]);
+      }
+      std::size_t multi_ok = 0;
+      std::size_t pinned_idx = 0;
+      std::size_t single_ok = 0;
+      for (std::size_t i = 0; i < n_ases; ++i) {
+        for (std::size_t j = i + 1; j < n_ases; ++j, ++pinned_idx) {
+          if (uf.find(i) == uf.find(j)) ++multi_ok;
+          const auto& path = pinned[pinned_idx];
+          if (!path.empty() &&
+              std::all_of(path.begin(), path.end(),
+                          [&](topology::LinkId id) { return up[id]; })) {
+            ++single_ok;
+          }
+        }
+      }
+      multi_acc[step] += static_cast<double>(multi_ok);
+      single_acc[step] += static_cast<double>(single_ok);
+    }
+  }
+
+  std::vector<ResiliencePoint> points;
+  for (std::size_t step = 0; step <= n_links; ++step) {
+    ResiliencePoint point;
+    point.fraction_links_removed =
+        static_cast<double>(step) / static_cast<double>(n_links);
+    point.multipath_connectivity =
+        multi_acc[step] / (static_cast<double>(options.runs) *
+                           static_cast<double>(n_pairs));
+    point.singlepath_connectivity =
+        single_acc[step] / (static_cast<double>(options.runs) *
+                            static_cast<double>(n_pairs));
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace sciera::analysis

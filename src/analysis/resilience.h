@@ -1,0 +1,30 @@
+// Figure 10c: the link-failure resilience simulation. "In 100 simulation
+// runs, we randomly remove between 0% and 100% of the links (one link per
+// step) and calculate how many AS pairs still have connectivity",
+// comparing SCION's multipath (any surviving route; the control plane
+// rediscovers paths) with a single-path alternative pinned to the
+// precomputed shortest path.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace sciera::analysis {
+
+struct ResiliencePoint {
+  double fraction_links_removed = 0;
+  double multipath_connectivity = 0;   // fraction of AS pairs connected
+  double singlepath_connectivity = 0;
+};
+
+struct ResilienceOptions {
+  int runs = 100;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] std::vector<ResiliencePoint> link_failure_resilience(
+    const topology::Topology& topo, const ResilienceOptions& options = {});
+
+}  // namespace sciera::analysis

@@ -1,0 +1,94 @@
+// Statistics over campaign data: CDFs, percentiles, and the per-figure
+// aggregations of Section 5 (RTT distributions, per-pair RTT ratios,
+// ratio-over-time series, active-path matrices, latency inflation,
+// pairwise disjointness).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measure/campaign.h"
+
+namespace sciera::analysis {
+
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  // p in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  // Fraction of samples <= x.
+  [[nodiscard]] double fraction_below(double x) const;
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;  // sorted
+};
+
+// --- Figure 5: RTT distributions -------------------------------------------
+
+struct RttDistributions {
+  Cdf scion_ms;
+  Cdf ip_ms;
+};
+[[nodiscard]] RttDistributions rtt_distributions(
+    const measure::CampaignResult& result);
+
+// --- Figure 6: per-pair mean RTT ratio ---------------------------------------
+
+struct PairRatio {
+  IsdAs src;
+  IsdAs dst;
+  double mean_scion_ms = 0;
+  double mean_ip_ms = 0;
+  double ratio = 0;
+};
+[[nodiscard]] std::vector<PairRatio> pair_ratios(
+    const measure::CampaignResult& result);
+
+// --- Figure 7: ratio over time -------------------------------------------------
+
+struct RatioPoint {
+  double day = 0;
+  double ratio = 0;  // mean over pairs of scion/ip for the bucket
+};
+[[nodiscard]] std::vector<RatioPoint> ratio_timeline(
+    const measure::CampaignResult& result, Duration bucket = 12 * kHour);
+
+// --- Figures 8/9: active-path matrices ------------------------------------------
+
+struct PathMatrix {
+  std::vector<IsdAs> ases;  // row/column order
+  // [src][dst]; -1 where src == dst.
+  std::vector<std::vector<int>> max_paths;
+  std::vector<std::vector<int>> median_deviation;
+};
+[[nodiscard]] PathMatrix path_matrices(const measure::CampaignResult& result,
+                                       const std::vector<IsdAs>& ases);
+
+// --- Figure 10a: latency inflation -------------------------------------------------
+
+// d2/d1 per AS pair: second-lowest over lowest static path RTT.
+[[nodiscard]] std::vector<double> latency_inflation(
+    const measure::CampaignResult& result);
+
+// --- Figure 10b: pairwise path disjointness -------------------------------------------
+
+// Disjointness over all path combinations of every pair (bounded per pair
+// to keep the quadratic tractable). When `restrict_to` is non-empty, only
+// pairs whose endpoints are both in the set are considered (the paper
+// computes Section 5.5's metrics over the Figure 8 measurement matrix).
+[[nodiscard]] std::vector<double> pairwise_disjointness(
+    const measure::CampaignResult& result, std::size_t max_paths_per_pair = 40,
+    const std::vector<IsdAs>& restrict_to = {});
+
+}  // namespace sciera::analysis

@@ -1,0 +1,27 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace sciera {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DBG"; break;
+    case LogLevel::kInfo: tag = "INF"; break;
+    case LogLevel::kWarn: tag = "WRN"; break;
+    case LogLevel::kError: tag = "ERR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", tag,
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace sciera

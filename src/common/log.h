@@ -1,0 +1,59 @@
+// Minimal leveled logger. Components log through a shared sink; tests and
+// benches keep the default level at kWarn so output stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sciera {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+// Stream-style log statement that only formats when the level is enabled.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component),
+        enabled_(Logger::instance().enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) Logger::instance().write(level_, component_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+inline LogLine log_debug(std::string_view c) { return {LogLevel::kDebug, c}; }
+inline LogLine log_info(std::string_view c) { return {LogLevel::kInfo, c}; }
+inline LogLine log_warn(std::string_view c) { return {LogLevel::kWarn, c}; }
+inline LogLine log_error(std::string_view c) { return {LogLevel::kError, c}; }
+
+}  // namespace sciera

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation (xoshiro256**, seeded via
+// splitmix64). Every stochastic component takes an explicit Rng so whole
+// simulation campaigns replay bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sciera {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5C1E2A5EED);
+  // Derives a seed from a label, for independent per-component streams.
+  Rng(std::uint64_t seed, std::string_view stream_label);
+
+  std::uint64_t next_u64();
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  // Uniform double in [0, 1).
+  double next_double();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  // Exponential with the given mean.
+  double exponential(double mean);
+  // Log-normal parameterized by the median and a multiplicative sigma,
+  // convenient for latency jitter ("median x, occasionally several x").
+  double lognormal_median(double median, double sigma);
+  // Bernoulli trial.
+  bool chance(double probability);
+
+  // Derives a child RNG whose stream is independent of this one.
+  Rng fork(std::string_view stream_label);
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace sciera

@@ -1,0 +1,21 @@
+// Small string helpers used by the topology parser and chart renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sciera {
+
+// Splits on a delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+// Splits on runs of whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view text);
+[[nodiscard]] std::string_view trim(std::string_view text);
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+// printf-style formatting into a std::string.
+[[nodiscard]] std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sciera

@@ -1,0 +1,103 @@
+#include "controlplane/beacon.h"
+
+#include "crypto/sha256.h"
+
+namespace sciera::controlplane {
+namespace {
+
+void write_hop(Writer& w, const dataplane::HopField& hop) {
+  w.u8(hop.peering ? 1 : 0);
+  w.u8(hop.exp_time);
+  w.u16(hop.cons_ingress);
+  w.u16(hop.cons_egress);
+  w.raw(BytesView{hop.mac.data(), hop.mac.size()});
+}
+
+}  // namespace
+
+Bytes AsEntry::signing_payload(BytesView chain_hash) const {
+  Writer w;
+  w.str("sciera-pcb-entry-v1");
+  w.raw(chain_hash);
+  w.u64(ia.packed());
+  write_hop(w, hop);
+  w.u16(beta);
+  w.u32(static_cast<std::uint32_t>(peers.size()));
+  for (const auto& peer : peers) {
+    w.u64(peer.peer_ia.packed());
+    w.u16(peer.local_iface);
+    w.u16(peer.remote_iface);
+    write_hop(w, peer.hop);
+  }
+  return std::move(w).take();
+}
+
+Bytes AsEntry::chain_digest(BytesView prev_chain_hash) const {
+  Writer w;
+  w.raw(signing_payload(prev_chain_hash));
+  w.raw(BytesView{signature.data(), signature.size()});
+  const auto digest = crypto::Sha256::hash(w.bytes());
+  return Bytes{digest.begin(), digest.end()};
+}
+
+bool Pcb::contains(IsdAs ia) const {
+  for (const auto& entry : entries) {
+    if (entry.ia == ia) return true;
+  }
+  return false;
+}
+
+Bytes Pcb::header_payload() const {
+  Writer w;
+  w.str("sciera-pcb-v1");
+  w.u32(timestamp);
+  w.u16(initial_beta);
+  return std::move(w).take();
+}
+
+std::string Pcb::fingerprint() const {
+  std::string out;
+  for (const auto& entry : entries) {
+    out += entry.ia.to_string();
+    out += '[';
+    out += std::to_string(entry.hop.cons_ingress);
+    out += ',';
+    out += std::to_string(entry.hop.cons_egress);
+    out += ']';
+  }
+  return out;
+}
+
+Status verify_pcb(const Pcb& pcb, const KeyLookup& keys) {
+  if (pcb.entries.empty()) {
+    return Error{Errc::kVerificationFailed, "PCB has no entries"};
+  }
+  Bytes chain = pcb.header_payload();
+  for (std::size_t i = 0; i < pcb.entries.size(); ++i) {
+    const AsEntry& entry = pcb.entries[i];
+    const auto* key = keys(entry.ia);
+    if (key == nullptr) {
+      return Error{Errc::kNotFound,
+                   "no verified key for " + entry.ia.to_string()};
+    }
+    const Bytes payload = entry.signing_payload(chain);
+    if (!crypto::Ed25519::verify(*key, payload, entry.signature)) {
+      return Error{Errc::kVerificationFailed,
+                   "bad PCB entry signature from " + entry.ia.to_string()};
+    }
+    chain = entry.chain_digest(chain);
+  }
+  return {};
+}
+
+void sign_entry(Pcb& pcb, std::size_t index,
+                const crypto::Ed25519::Seed& seed) {
+  Bytes chain = pcb.header_payload();
+  for (std::size_t i = 0; i < index; ++i) {
+    chain = pcb.entries[i].chain_digest(chain);
+  }
+  pcb.entries[index].signature =
+      crypto::Ed25519::sign(seed, pcb.entries[index].signing_payload(chain));
+}
+
+}  // namespace sciera::controlplane

@@ -1,0 +1,260 @@
+#include "controlplane/beaconing.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace sciera::controlplane {
+namespace {
+
+using topology::LinkId;
+using topology::LinkInfo;
+using topology::LinkType;
+
+// Initial beta for a segment, derived from origin and timestamp (the
+// origin core AS picks it; it only needs to be unpredictable per segment).
+std::uint16_t initial_beta(IsdAs origin, std::uint32_t timestamp,
+                           std::uint64_t salt) {
+  Writer w;
+  w.u64(origin.packed());
+  w.u32(timestamp);
+  w.u64(salt);
+  const auto digest = crypto::Sha256::hash(w.bytes());
+  return static_cast<std::uint16_t>((digest[0] << 8) | digest[1]);
+}
+
+}  // namespace
+
+Beaconing::Beaconing(
+    const topology::Topology& topo, const std::map<Isd, cppki::IsdPki*>& pkis,
+    const std::unordered_map<IsdAs, dataplane::FwdKey>& fwd_keys)
+    : topo_(topo), pkis_(pkis), fwd_keys_(fwd_keys) {}
+
+Pcb Beaconing::build_pcb(const std::vector<LinkId>& links, IsdAs origin,
+                         const BeaconingOptions& options,
+                         bool add_peer_entries) const {
+  Pcb pcb;
+  pcb.timestamp = options.timestamp;
+  // Salt with the first link id so parallel links yield distinct chains.
+  pcb.initial_beta = initial_beta(origin, options.timestamp,
+                                  links.empty() ? 0 : links.front() + 1);
+
+  // Resolve the AS sequence from the link walk.
+  std::vector<IsdAs> ases{origin};
+  for (LinkId id : links) {
+    const LinkInfo* link = topo_.find_link(id);
+    ases.push_back(link->other(ases.back()));
+  }
+
+  std::uint16_t beta = pcb.initial_beta;
+  for (std::size_t i = 0; i < ases.size(); ++i) {
+    AsEntry entry;
+    entry.ia = ases[i];
+    entry.beta = beta;
+    entry.hop.exp_time = options.hop_expiry;
+    entry.hop.cons_ingress =
+        i == 0 ? 0 : topo_.find_link(links[i - 1])->iface_of(ases[i]);
+    entry.hop.cons_egress =
+        i + 1 < ases.size() ? topo_.find_link(links[i])->iface_of(ases[i]) : 0;
+    const auto key_it = fwd_keys_.find(entry.ia);
+    entry.hop.mac = dataplane::compute_hop_mac(key_it->second, beta,
+                                               pcb.timestamp, entry.hop);
+    const std::uint16_t beta_after =
+        dataplane::chain_beta(beta, entry.hop.mac);
+
+    if (add_peer_entries) {
+      for (LinkId lid : topo_.links_of(entry.ia)) {
+        const LinkInfo* plink = topo_.find_link(lid);
+        if (plink->type != LinkType::kPeering) continue;
+        PeerEntry peer;
+        peer.peer_ia = plink->other(entry.ia);
+        peer.local_iface = plink->iface_of(entry.ia);
+        peer.remote_iface = plink->iface_of_other(entry.ia);
+        peer.hop.peering = true;
+        peer.hop.exp_time = options.hop_expiry;
+        peer.hop.cons_ingress = peer.local_iface;
+        peer.hop.cons_egress = entry.hop.cons_egress;
+        // Peer hop MACs are computed over the post-main-hop accumulator so
+        // entering the segment sideways keeps downstream MACs verifiable.
+        peer.hop.mac = dataplane::compute_hop_mac(key_it->second, beta_after,
+                                                  pcb.timestamp, peer.hop);
+        entry.peers.push_back(peer);
+      }
+    }
+
+    pcb.entries.push_back(std::move(entry));
+    const std::size_t index = pcb.entries.size() - 1;
+    const auto pki_it = pkis_.find(pcb.entries[index].ia.isd());
+    const auto* creds = pki_it->second->credentials(pcb.entries[index].ia);
+    sign_entry(pcb, index, creds->signing_key.seed);
+
+    beta = beta_after;
+  }
+  return pcb;
+}
+
+void Beaconing::core_beaconing(SegmentStore& store,
+                               const BeaconingOptions& options) const {
+  // Deterministic exhaustive exploration of simple core-link walks from
+  // each origin, with k-best retention per (origin, terminus).
+  struct Candidate {
+    std::vector<LinkId> links;
+    Duration delay = 0;
+  };
+
+  for (const auto& origin_info : topo_.ases()) {
+    if (!origin_info.core) continue;
+    const IsdAs origin = origin_info.ia;
+    std::map<IsdAs, std::vector<Candidate>> per_terminus;
+
+    std::vector<LinkId> walk;
+    std::vector<IsdAs> visited{origin};
+    Duration delay_acc = 0;
+
+    // Iterative DFS over core links.
+    struct Frame {
+      IsdAs at;
+      std::vector<LinkId> options;
+      std::size_t next = 0;
+    };
+    auto core_links_at = [&](IsdAs at) {
+      std::vector<LinkId> out;
+      for (LinkId id : topo_.links_of(at)) {
+        const LinkInfo* link = topo_.find_link(id);
+        if (link->type != LinkType::kCore) continue;
+        const IsdAs other = link->other(at);
+        if (std::find(visited.begin(), visited.end(), other) != visited.end())
+          continue;
+        out.push_back(id);
+      }
+      return out;
+    };
+
+    std::vector<Frame> stack;
+    stack.push_back(Frame{origin, core_links_at(origin)});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.options.size() ||
+          visited.size() > options.max_core_path_length) {
+        if (!walk.empty()) {
+          delay_acc -= topo_.find_link(walk.back())->delay;
+          walk.pop_back();
+          visited.pop_back();
+        }
+        stack.pop_back();
+        continue;
+      }
+      const LinkId id = frame.options[frame.next++];
+      const LinkInfo* link = topo_.find_link(id);
+      const IsdAs next = link->other(frame.at);
+      if (std::find(visited.begin(), visited.end(), next) != visited.end()) {
+        continue;
+      }
+      walk.push_back(id);
+      visited.push_back(next);
+      delay_acc += link->delay;
+      per_terminus[next].push_back(Candidate{walk, delay_acc});
+      stack.push_back(Frame{next, core_links_at(next)});
+    }
+
+    for (auto& [terminus, candidates] : per_terminus) {
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& x, const Candidate& y) {
+                  if (x.links.size() != y.links.size())
+                    return x.links.size() < y.links.size();
+                  if (x.delay != y.delay) return x.delay < y.delay;
+                  return x.links < y.links;
+                });
+      if (candidates.size() > options.max_core_segments_per_pair) {
+        candidates.resize(options.max_core_segments_per_pair);
+      }
+      for (const auto& cand : candidates) {
+        PathSegment segment;
+        segment.type = SegType::kCore;
+        segment.pcb = build_pcb(cand.links, origin, options,
+                                /*add_peer_entries=*/false);
+        store.add(std::move(segment));
+      }
+    }
+  }
+}
+
+void Beaconing::down_beaconing(SegmentStore& store,
+                               const BeaconingOptions& options) const {
+  for (const auto& origin_info : topo_.ases()) {
+    if (!origin_info.core) continue;
+    const IsdAs origin = origin_info.ia;
+
+    // DFS down parent-child links inside the origin's ISD; every prefix of
+    // the walk is a segment for the AS it reaches.
+    std::vector<LinkId> walk;
+    std::vector<IsdAs> visited{origin};
+
+    auto child_links_at = [&](IsdAs at) {
+      std::vector<LinkId> out;
+      for (LinkId id : topo_.links_of(at)) {
+        const LinkInfo* link = topo_.find_link(id);
+        if (link->type != LinkType::kParentChild || link->a != at) continue;
+        if (link->b.isd() != origin.isd()) continue;
+        if (std::find(visited.begin(), visited.end(), link->b) !=
+            visited.end()) {
+          continue;
+        }
+        out.push_back(id);
+      }
+      return out;
+    };
+
+    struct Frame {
+      IsdAs at;
+      std::vector<LinkId> options;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{origin, child_links_at(origin)});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next >= frame.options.size() ||
+          visited.size() > options.max_down_depth) {
+        if (!walk.empty()) {
+          walk.pop_back();
+          visited.pop_back();
+        }
+        stack.pop_back();
+        continue;
+      }
+      const LinkId id = frame.options[frame.next++];
+      const LinkInfo* link = topo_.find_link(id);
+      const IsdAs child = link->b;
+      if (std::find(visited.begin(), visited.end(), child) != visited.end()) {
+        continue;
+      }
+      walk.push_back(id);
+      visited.push_back(child);
+
+      const Pcb pcb = build_pcb(walk, origin, options,
+                                /*add_peer_entries=*/true);
+      // The terminating AS registers the PCB both as its up-segment (at
+      // the local path server) and as a down-segment (at the origin core).
+      PathSegment up;
+      up.type = SegType::kUp;
+      up.pcb = pcb;
+      store.add(std::move(up));
+      PathSegment down;
+      down.type = SegType::kDown;
+      down.pcb = pcb;
+      store.add(std::move(down));
+
+      stack.push_back(Frame{child, child_links_at(child)});
+    }
+  }
+}
+
+SegmentStore Beaconing::run(const BeaconingOptions& options) const {
+  SegmentStore store;
+  core_beaconing(store, options);
+  down_beaconing(store, options);
+  return store;
+}
+
+}  // namespace sciera::controlplane

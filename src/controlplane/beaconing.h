@@ -1,0 +1,60 @@
+// The beaconing process (Section 2): core ASes originate PCBs over core
+// links (inter-ISD included) to build core segments, and originate
+// intra-ISD PCBs down parent-child links to build up-/down-segments.
+// Every entry is signed with the AS's control-plane key and carries a
+// hop field MAC'd with the AS's forwarding key; peering links are
+// announced as peer entries on down-beacons.
+//
+// Faithfulness note (see DESIGN.md): propagation runs as deterministic
+// rounds over the topology graph rather than as timed PCB packets — the
+// paper does not evaluate beacon timing, and this keeps 20-day campaign
+// replays fast while exercising identical segment-construction code.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "controlplane/segment.h"
+#include "cppki/ca.h"
+#include "topology/topology.h"
+
+namespace sciera::controlplane {
+
+struct BeaconingOptions {
+  std::uint32_t timestamp = 1'700'000'000;
+  // k-best selection: core segments kept per (origin, terminus) pair.
+  std::size_t max_core_segments_per_pair = 24;
+  std::size_t max_core_path_length = 6;  // in ASes
+  std::size_t max_down_depth = 5;
+  std::uint8_t hop_expiry = 255;  // ~24h
+};
+
+class Beaconing {
+ public:
+  Beaconing(const topology::Topology& topo,
+            const std::map<Isd, cppki::IsdPki*>& pkis,
+            const std::unordered_map<IsdAs, dataplane::FwdKey>& fwd_keys);
+
+  // Runs a full beaconing sweep and returns the resulting segments.
+  [[nodiscard]] SegmentStore run(const BeaconingOptions& options = {}) const;
+
+ private:
+  struct LinkStep {
+    topology::LinkId link;
+    IsdAs next;
+  };
+
+  [[nodiscard]] Pcb build_pcb(const std::vector<topology::LinkId>& links,
+                              IsdAs origin, const BeaconingOptions& options,
+                              bool add_peer_entries) const;
+  void core_beaconing(SegmentStore& store,
+                      const BeaconingOptions& options) const;
+  void down_beaconing(SegmentStore& store,
+                      const BeaconingOptions& options) const;
+
+  const topology::Topology& topo_;
+  const std::map<Isd, cppki::IsdPki*>& pkis_;
+  const std::unordered_map<IsdAs, dataplane::FwdKey>& fwd_keys_;
+};
+
+}  // namespace sciera::controlplane

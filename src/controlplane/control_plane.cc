@@ -1,0 +1,164 @@
+#include "controlplane/control_plane.h"
+
+#include "common/log.h"
+
+namespace sciera::controlplane {
+
+ScionNetwork::ScionNetwork(topology::Topology topo, Options options)
+    : topo_(std::move(topo)), options_(options), rng_(options.seed, "network") {
+  // --- PKI: one IsdPki per ISD, enrolling every member AS.
+  for (Isd isd : topo_.isds()) {
+    auto cores = topo_.core_ases(isd);
+    pkis_.emplace(isd, std::make_unique<cppki::IsdPki>(
+                           isd, cores, sim_.now(), options_.trc_validity,
+                           options_.seed ^ isd));
+  }
+  for (const auto& as_info : topo_.ases()) {
+    const auto status = pkis_.at(as_info.ia.isd())->enroll(as_info.ia, 0);
+    if (!status.ok()) {
+      log_error("scion-net") << "enroll failed: " << status.error().to_string();
+    }
+  }
+
+  // --- Forwarding keys: derived from per-AS master secrets.
+  for (const auto& as_info : topo_.ases()) {
+    Rng key_rng = rng_.fork("fwdkey-" + as_info.ia.to_string());
+    Bytes secret(32);
+    for (auto& b : secret) b = static_cast<std::uint8_t>(key_rng.next_u64());
+    fwd_keys_.emplace(as_info.ia, dataplane::derive_fwd_key(secret));
+  }
+
+  build_data_plane();
+  run_beaconing();
+}
+
+void ScionNetwork::build_data_plane() {
+  for (const auto& as_info : topo_.ases()) {
+    routers_.emplace(as_info.ia,
+                     std::make_unique<dataplane::BorderRouter>(
+                         sim_, as_info.ia, fwd_keys_.at(as_info.ia)));
+  }
+  for (const auto& link_info : topo_.links()) {
+    simnet::LinkConfig cfg;
+    cfg.propagation_delay = link_info.delay;
+    cfg.bandwidth_bps = link_info.bandwidth_bps;
+    cfg.jitter_sigma = options_.link_jitter_sigma;
+    cfg.loss_probability = options_.link_loss_probability;
+    cfg.encap_overhead_bytes = topology::encap_overhead(link_info.encap);
+    auto link = std::make_unique<simnet::Link>(
+        sim_, cfg, rng_.fork("link-" + link_info.label));
+    link->attach(0, routers_.at(link_info.a).get(), link_info.a_iface);
+    link->attach(1, routers_.at(link_info.b).get(), link_info.b_iface);
+    routers_.at(link_info.a)->attach_iface(link_info.a_iface, link.get(), 0);
+    routers_.at(link_info.b)->attach_iface(link_info.b_iface, link.get(), 1);
+    links_.push_back(std::move(link));
+  }
+  for (const auto& as_info : topo_.ases()) {
+    const IsdAs ia = as_info.ia;
+    routers_.at(ia)->set_local_delivery(
+        [this, ia](const dataplane::ScionPacket& packet, SimTime arrival) {
+          dispatch_local(ia, packet, arrival);
+        });
+  }
+}
+
+void ScionNetwork::run_beaconing() {
+  segments_ = beacon_with(options_.beaconing);
+  for (auto& [ia, service] : services_) service->flush_cache();
+}
+
+SegmentStore ScionNetwork::beacon_with(const BeaconingOptions& options) const {
+  std::map<Isd, cppki::IsdPki*> pki_view;
+  for (const auto& [isd, pki] : pkis_) pki_view.emplace(isd, pki.get());
+  Beaconing beaconing{topo_, pki_view, fwd_keys_};
+  return beaconing.run(options);
+}
+
+cppki::IsdPki* ScionNetwork::pki(Isd isd) {
+  const auto it = pkis_.find(isd);
+  return it == pkis_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Path> ScionNetwork::paths(IsdAs src, IsdAs dst,
+                                      const CombinatorOptions& options) const {
+  Combinator combinator{topo_, segments_};
+  return combinator.combine(src, dst, options);
+}
+
+ControlService* ScionNetwork::control_service(IsdAs ia) {
+  auto it = services_.find(ia);
+  if (it == services_.end()) {
+    if (topo_.find_as(ia) == nullptr) return nullptr;
+    const auto* trc = &pkis_.at(ia.isd())->trc();
+    auto service = std::make_unique<ControlService>(sim_, ia, topo_,
+                                                    segments_, trc);
+    it = services_.emplace(ia, std::move(service)).first;
+  }
+  return it->second.get();
+}
+
+dataplane::BorderRouter* ScionNetwork::router(IsdAs ia) {
+  const auto it = routers_.find(ia);
+  return it == routers_.end() ? nullptr : it->second.get();
+}
+
+simnet::Link* ScionNetwork::link(topology::LinkId id) {
+  return id < links_.size() ? links_[id].get() : nullptr;
+}
+
+simnet::Link* ScionNetwork::link(std::string_view label) {
+  const auto* info = topo_.find_link_by_label(label);
+  return info == nullptr ? nullptr : links_[info->id].get();
+}
+
+void ScionNetwork::set_link_up(std::string_view label, bool up) {
+  if (auto* l = link(label)) l->set_up(up);
+}
+
+bool ScionNetwork::path_usable(const Path& path) const {
+  for (topology::LinkId id : path.links) {
+    if (id >= links_.size() || !links_[id]->is_up()) return false;
+  }
+  return true;
+}
+
+Status ScionNetwork::register_host(const dataplane::Address& addr,
+                                   HostHandler handler) {
+  if (topo_.find_as(addr.ia) == nullptr) {
+    return Error{Errc::kNotFound, "unknown AS " + addr.ia.to_string()};
+  }
+  hosts_[{addr.ia.packed(), addr.host}] = std::move(handler);
+  return {};
+}
+
+void ScionNetwork::unregister_host(const dataplane::Address& addr) {
+  hosts_.erase({addr.ia.packed(), addr.host});
+}
+
+Status ScionNetwork::send_from_host(const dataplane::ScionPacket& packet) {
+  auto* br = router(packet.src.ia);
+  if (br == nullptr) {
+    return Error{Errc::kNotFound, "no router for " + packet.src.ia.to_string()};
+  }
+  return br->inject(packet);
+}
+
+void ScionNetwork::dispatch_local(IsdAs ia,
+                                  const dataplane::ScionPacket& packet,
+                                  SimTime arrival) {
+  const auto it = hosts_.find({packet.dst.ia.packed(), packet.dst.host});
+  if (it == hosts_.end()) {
+    log_debug("scion-net") << "no host " << packet.dst.to_string() << " in "
+                           << ia.to_string();
+    return;
+  }
+  it->second(packet, arrival);
+}
+
+std::size_t ScionNetwork::renew_certificates() {
+  std::size_t renewed = 0;
+  for (auto& [isd, pki] : pkis_) renewed += pki->renew_expiring(sim_.now());
+  return renewed;
+}
+
+}  // namespace sciera::controlplane

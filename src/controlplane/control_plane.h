@@ -1,0 +1,93 @@
+// ScionNetwork: the facade wiring everything together into a running
+// network — per-ISD PKIs with automated certificate renewal, per-AS
+// forwarding keys, border routers attached to simulated links, beaconing,
+// path servers, and host attachment. This is the object experiments and
+// examples instantiate.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "controlplane/beaconing.h"
+#include "controlplane/path_server.h"
+#include "dataplane/router.h"
+#include "topology/topology.h"
+
+namespace sciera::controlplane {
+
+class ScionNetwork {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x5C1E2A;
+    BeaconingOptions beaconing{};
+    // Multiplicative log-normal jitter applied per link traversal.
+    double link_jitter_sigma = 0.015;
+    double link_loss_probability = 0.0;
+    Duration trc_validity = 365 * kDay;
+  };
+
+  ScionNetwork(topology::Topology topo, Options options);
+  explicit ScionNetwork(topology::Topology topo)
+      : ScionNetwork(std::move(topo), Options{}) {}
+
+  [[nodiscard]] simnet::Simulator& sim() { return sim_; }
+  [[nodiscard]] const topology::Topology& topology() const { return topo_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // --- Control plane -------------------------------------------------------
+  [[nodiscard]] cppki::IsdPki* pki(Isd isd);
+  [[nodiscard]] const SegmentStore& segments() const { return segments_; }
+  // Re-runs beaconing (e.g. after topology/link changes) and flushes the
+  // path-server caches.
+  void run_beaconing();
+  // Runs a beaconing sweep with custom options WITHOUT installing the
+  // result — for ablations of selection policy / k-best / depth caps.
+  [[nodiscard]] SegmentStore beacon_with(const BeaconingOptions& options) const;
+  [[nodiscard]] std::vector<Path> paths(
+      IsdAs src, IsdAs dst, const CombinatorOptions& options = {}) const;
+  [[nodiscard]] ControlService* control_service(IsdAs ia);
+
+  // --- Data plane -----------------------------------------------------------
+  [[nodiscard]] dataplane::BorderRouter* router(IsdAs ia);
+  [[nodiscard]] simnet::Link* link(topology::LinkId id);
+  [[nodiscard]] simnet::Link* link(std::string_view label);
+  void set_link_up(std::string_view label, bool up);
+  [[nodiscard]] const dataplane::FwdKey& fwd_key(IsdAs ia) const {
+    return fwd_keys_.at(ia);
+  }
+
+  // A path is usable on the data plane iff all its links are up.
+  [[nodiscard]] bool path_usable(const Path& path) const;
+
+  // --- Hosts ----------------------------------------------------------------
+  using HostHandler =
+      std::function<void(const dataplane::ScionPacket&, SimTime)>;
+  // Registers a host address within its AS; local deliveries for that
+  // address are handed to the handler (the end-host stack demuxes further).
+  Status register_host(const dataplane::Address& addr, HostHandler handler);
+  void unregister_host(const dataplane::Address& addr);
+  // Hands a packet from a host to its AS border router.
+  Status send_from_host(const dataplane::ScionPacket& packet);
+
+  // Runs the PKI renewal sweep (the orchestrator cron job).
+  std::size_t renew_certificates();
+
+ private:
+  void build_data_plane();
+  void dispatch_local(IsdAs ia, const dataplane::ScionPacket& packet,
+                      SimTime arrival);
+
+  topology::Topology topo_;
+  Options options_;
+  simnet::Simulator sim_;
+  Rng rng_;
+  std::map<Isd, std::unique_ptr<cppki::IsdPki>> pkis_;
+  std::unordered_map<IsdAs, dataplane::FwdKey> fwd_keys_;
+  std::unordered_map<IsdAs, std::unique_ptr<dataplane::BorderRouter>> routers_;
+  std::vector<std::unique_ptr<simnet::Link>> links_;
+  SegmentStore segments_;
+  std::unordered_map<IsdAs, std::unique_ptr<ControlService>> services_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, HostHandler> hosts_;
+};
+
+}  // namespace sciera::controlplane

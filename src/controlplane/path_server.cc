@@ -1,0 +1,63 @@
+#include "controlplane/path_server.h"
+
+namespace sciera::controlplane {
+
+ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
+                               const topology::Topology& topo,
+                               const SegmentStore& store,
+                               const cppki::Trc* local_trc, Config config)
+    : sim_(sim),
+      ia_(ia),
+      topo_(topo),
+      combinator_(topo, store),
+      trc_(local_trc),
+      config_(config) {}
+
+Duration ControlService::cold_lookup_latency(IsdAs dst) const {
+  // Local path server asks a core path server in its ISD, which may ask a
+  // core path server in the destination ISD. Approximate each round trip
+  // with the fastest core distance from this AS / between the ISDs.
+  Duration budget = config_.processing;
+  // Reaching the local core: one representative intra-ISD round trip.
+  Duration to_core = 20 * kMillisecond;
+  for (topology::LinkId id : topo_.links_of(ia_)) {
+    const auto* link = topo_.find_link(id);
+    to_core = std::min(to_core, 2 * link->delay);
+  }
+  budget += to_core;
+  if (dst.isd() != ia_.isd()) {
+    // Cross-ISD recursion: add a representative inter-core round trip.
+    budget += 2 * 30 * kMillisecond;
+  }
+  return budget;
+}
+
+void ControlService::lookup_paths(
+    IsdAs dst, std::function<void(const std::vector<Path>&)> callback) {
+  const auto it = cache_.find(dst);
+  const bool cached =
+      it != cache_.end() &&
+      sim_.now() - it->second.fetched_at < config_.cache_ttl;
+  Duration latency = config_.intra_as_rtt + config_.processing;
+  if (!cached) latency += cold_lookup_latency(dst);
+  sim_.after(latency, [this, dst, callback = std::move(callback)] {
+    callback(lookup_paths_now(dst));
+  });
+}
+
+const std::vector<Path>& ControlService::lookup_paths_now(IsdAs dst) {
+  auto it = cache_.find(dst);
+  if (it != cache_.end() &&
+      sim_.now() - it->second.fetched_at < config_.cache_ttl) {
+    ++cache_hits_;
+    return it->second.paths;
+  }
+  ++cache_misses_;
+  CacheEntry entry;
+  entry.paths = combinator_.combine(ia_, dst);
+  entry.fetched_at = sim_.now();
+  auto [pos, _] = cache_.insert_or_assign(dst, std::move(entry));
+  return pos->second.paths;
+}
+
+}  // namespace sciera::controlplane

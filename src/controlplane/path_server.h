@@ -1,0 +1,69 @@
+// Path lookup service (the "control service" of an AS). Hosts ask their
+// local path server for segments toward a destination; the local server
+// recursively consults core path servers (Section 2). The recursion is
+// modelled as a latency budget derived from the actual core distances, and
+// results are cached — matching the daemon behaviour the paper describes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "controlplane/combinator.h"
+#include "cppki/trc.h"
+#include "simnet/simulator.h"
+
+namespace sciera::controlplane {
+
+class ControlService {
+ public:
+  struct Config {
+    Duration intra_as_rtt = 600 * kMicrosecond;  // host <-> control service
+    Duration processing = 200 * kMicrosecond;
+    Duration cache_ttl = 10 * kMinute;
+  };
+
+  ControlService(simnet::Simulator& sim, IsdAs ia,
+                 const topology::Topology& topo, const SegmentStore& store,
+                 const cppki::Trc* local_trc, Config config);
+  ControlService(simnet::Simulator& sim, IsdAs ia,
+                 const topology::Topology& topo, const SegmentStore& store,
+                 const cppki::Trc* local_trc)
+      : ControlService(sim, ia, topo, store, local_trc, Config{}) {}
+
+  [[nodiscard]] IsdAs isd_as() const { return ia_; }
+  [[nodiscard]] const cppki::Trc* local_trc() const { return trc_; }
+
+  // Asynchronous lookup with realistic latency: cached answers cost one
+  // intra-AS round trip; cold lookups add core path-server round trips.
+  void lookup_paths(IsdAs dst,
+                    std::function<void(const std::vector<Path>&)> callback);
+
+  // Synchronous variant used by infrastructure tooling.
+  [[nodiscard]] const std::vector<Path>& lookup_paths_now(IsdAs dst);
+
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+
+  void flush_cache() { cache_.clear(); }
+
+ private:
+  struct CacheEntry {
+    std::vector<Path> paths;
+    SimTime fetched_at = 0;
+  };
+
+  [[nodiscard]] Duration cold_lookup_latency(IsdAs dst) const;
+
+  simnet::Simulator& sim_;
+  IsdAs ia_;
+  const topology::Topology& topo_;
+  Combinator combinator_;
+  const cppki::Trc* trc_;
+  Config config_;
+  std::unordered_map<IsdAs, CacheEntry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace sciera::controlplane

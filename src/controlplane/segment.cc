@@ -1,0 +1,73 @@
+#include "controlplane/segment.h"
+
+namespace sciera::controlplane {
+
+const char* seg_type_name(SegType type) {
+  switch (type) {
+    case SegType::kUp: return "up";
+    case SegType::kCore: return "core";
+    case SegType::kDown: return "down";
+  }
+  return "?";
+}
+
+void SegmentStore::add(PathSegment segment) {
+  // Drop exact duplicates (same type and interface chain).
+  const std::string fp = segment.fingerprint();
+  for (const auto& existing : segments_) {
+    if (existing.fingerprint() == fp) return;
+  }
+  segments_.push_back(std::move(segment));
+}
+
+std::vector<const PathSegment*> SegmentStore::ups_of(IsdAs leaf) const {
+  std::vector<const PathSegment*> out;
+  for (const auto& segment : segments_) {
+    if (segment.type == SegType::kUp && segment.terminus() == leaf) {
+      out.push_back(&segment);
+    }
+  }
+  return out;
+}
+
+std::vector<const PathSegment*> SegmentStore::downs_to(IsdAs leaf) const {
+  std::vector<const PathSegment*> out;
+  for (const auto& segment : segments_) {
+    if (segment.type == SegType::kDown && segment.terminus() == leaf) {
+      out.push_back(&segment);
+    }
+  }
+  return out;
+}
+
+std::vector<const PathSegment*> SegmentStore::cores_from_to(IsdAs from,
+                                                            IsdAs to) const {
+  std::vector<const PathSegment*> out;
+  for (const auto& segment : segments_) {
+    if (segment.type == SegType::kCore && segment.origin() == to &&
+        segment.terminus() == from) {
+      out.push_back(&segment);
+    }
+  }
+  return out;
+}
+
+std::vector<const PathSegment*> SegmentStore::cores_of(IsdAs origin) const {
+  std::vector<const PathSegment*> out;
+  for (const auto& segment : segments_) {
+    if (segment.type == SegType::kCore && segment.origin() == origin) {
+      out.push_back(&segment);
+    }
+  }
+  return out;
+}
+
+std::size_t SegmentStore::count(SegType type) const {
+  std::size_t n = 0;
+  for (const auto& segment : segments_) {
+    if (segment.type == type) ++n;
+  }
+  return n;
+}
+
+}  // namespace sciera::controlplane

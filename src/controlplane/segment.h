@@ -1,0 +1,56 @@
+// Path segments: PCBs that have been registered at path servers. A PCB
+// terminating at AS X becomes an up-segment for X (registered locally)
+// and/or a down-segment for X (registered at the origin's core path
+// server); PCBs between core ASes become core segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controlplane/beacon.h"
+
+namespace sciera::controlplane {
+
+enum class SegType : std::uint8_t { kUp = 0, kCore = 1, kDown = 2 };
+
+[[nodiscard]] const char* seg_type_name(SegType type);
+
+struct PathSegment {
+  SegType type = SegType::kUp;
+  Pcb pcb;
+
+  [[nodiscard]] IsdAs origin() const { return pcb.origin(); }
+  [[nodiscard]] IsdAs terminus() const { return pcb.terminus(); }
+  [[nodiscard]] std::string fingerprint() const {
+    return std::string{seg_type_name(type)} + ":" + pcb.fingerprint();
+  }
+};
+
+// Segment database used both by path servers and the combinator.
+class SegmentStore {
+ public:
+  void add(PathSegment segment);
+
+  // Up-segments for an AS: segments whose terminus is `leaf`.
+  [[nodiscard]] std::vector<const PathSegment*> ups_of(IsdAs leaf) const;
+  // Down-segments toward an AS.
+  [[nodiscard]] std::vector<const PathSegment*> downs_to(IsdAs leaf) const;
+  // Core segments usable to travel from core `from` to core `to`: the
+  // construction origin is `to` and the terminus is `from` (core segments
+  // are traversed against construction direction).
+  [[nodiscard]] std::vector<const PathSegment*> cores_from_to(IsdAs from,
+                                                              IsdAs to) const;
+  // All core segments originated by `origin`.
+  [[nodiscard]] std::vector<const PathSegment*> cores_of(IsdAs origin) const;
+
+  [[nodiscard]] std::size_t size() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<PathSegment>& all() const {
+    return segments_;
+  }
+  [[nodiscard]] std::size_t count(SegType type) const;
+
+ private:
+  std::vector<PathSegment> segments_;
+};
+
+}  // namespace sciera::controlplane

@@ -1,0 +1,52 @@
+#include "cppki/certificate.h"
+
+#include "common/strings.h"
+
+namespace sciera::cppki {
+
+Bytes Certificate::signing_payload() const {
+  Writer w;
+  w.str("sciera-cert-v1");
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(subject.packed());
+  w.u64(issuer.packed());
+  w.u64(serial);
+  w.raw(BytesView{subject_key.data(), subject_key.size()});
+  w.u64(static_cast<std::uint64_t>(valid_from));
+  w.u64(static_cast<std::uint64_t>(valid_until));
+  return std::move(w).take();
+}
+
+Status Certificate::verify(const crypto::Ed25519::PublicKey& issuer_key,
+                           SimTime now) const {
+  if (subject.is_zero() || issuer.is_zero()) {
+    return Error{Errc::kVerificationFailed, "certificate missing subject/issuer"};
+  }
+  if (valid_until <= valid_from) {
+    return Error{Errc::kVerificationFailed, "certificate validity is empty"};
+  }
+  if (!covers(now)) {
+    return Error{Errc::kExpired,
+                 "certificate for " + subject.to_string() + " not valid now"};
+  }
+  if (!crypto::Ed25519::verify(issuer_key, signing_payload(), signature)) {
+    return Error{Errc::kVerificationFailed,
+                 "bad signature on certificate for " + subject.to_string()};
+  }
+  return {};
+}
+
+std::string Certificate::to_string() const {
+  return strformat("%s cert subject=%s issuer=%s serial=%llu [%s, %s)",
+                   type == CertType::kCa ? "CA" : "AS",
+                   subject.to_string().c_str(), issuer.to_string().c_str(),
+                   static_cast<unsigned long long>(serial),
+                   format_time(valid_from).c_str(),
+                   format_time(valid_until).c_str());
+}
+
+void sign_certificate(Certificate& cert, const crypto::Ed25519::Seed& issuer_seed) {
+  cert.signature = crypto::Ed25519::sign(issuer_seed, cert.signing_payload());
+}
+
+}  // namespace sciera::cppki

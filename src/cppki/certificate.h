@@ -1,0 +1,49 @@
+// SCION control-plane PKI certificates. Two levels below the TRC:
+//   CA certificates   — long-lived, signed by an ISD root key in the TRC;
+//   AS certificates   — intentionally short-lived ("typically just a few
+//                       days", Section 4.5), signed by a CA, forcing fully
+//                       automated issuance and renewal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/isd_as.h"
+#include "common/result.h"
+#include "common/time.h"
+#include "crypto/ed25519.h"
+
+namespace sciera::cppki {
+
+enum class CertType : std::uint8_t { kCa = 0, kAs = 1 };
+
+struct Certificate {
+  CertType type = CertType::kAs;
+  IsdAs subject;
+  IsdAs issuer;
+  std::uint64_t serial = 0;
+  crypto::Ed25519::PublicKey subject_key{};
+  SimTime valid_from = 0;
+  SimTime valid_until = 0;
+  crypto::Ed25519::Signature signature{};
+
+  // Canonical byte encoding of everything covered by the signature.
+  [[nodiscard]] Bytes signing_payload() const;
+
+  [[nodiscard]] bool covers(SimTime now) const {
+    return now >= valid_from && now < valid_until;
+  }
+
+  // Signature check against the purported issuer key; also enforces the
+  // mandatory-field rules ("strict formats and mandatory fields", §4.5).
+  [[nodiscard]] Status verify(const crypto::Ed25519::PublicKey& issuer_key,
+                              SimTime now) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Signs a certificate in place with the issuer seed.
+void sign_certificate(Certificate& cert, const crypto::Ed25519::Seed& issuer_seed);
+
+}  // namespace sciera::cppki

@@ -1,0 +1,147 @@
+#include "cppki/trc.h"
+
+namespace sciera::cppki {
+
+Bytes Trc::signing_payload() const {
+  Writer w;
+  w.str("sciera-trc-v1");
+  w.u16(isd);
+  w.u32(version.base);
+  w.u32(version.serial);
+  w.u64(static_cast<std::uint64_t>(valid_from));
+  w.u64(static_cast<std::uint64_t>(valid_until));
+  w.u32(voting_quorum);
+  w.u32(static_cast<std::uint32_t>(roots.size()));
+  for (const auto& root : roots) {
+    w.u64(root.as.packed());
+    w.raw(BytesView{root.voting_key.data(), root.voting_key.size()});
+    w.raw(BytesView{root.root_ca_key.data(), root.root_ca_key.size()});
+  }
+  return std::move(w).take();
+}
+
+const TrcRootEntry* Trc::root_for(IsdAs as) const {
+  for (const auto& root : roots) {
+    if (root.as == as) return &root;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Counts votes that verify under the given TRC's voting keys; each core AS
+// may vote at most once.
+std::uint32_t count_valid_votes(const Trc& voted_on, const Trc& key_source) {
+  const Bytes payload = voted_on.signing_payload();
+  std::uint32_t valid = 0;
+  std::vector<IsdAs> seen;
+  for (const auto& vote : voted_on.votes) {
+    if (std::find(seen.begin(), seen.end(), vote.voter) != seen.end()) continue;
+    const auto* root = key_source.root_for(vote.voter);
+    if (root == nullptr) continue;
+    if (crypto::Ed25519::verify(root->voting_key, payload, vote.signature)) {
+      seen.push_back(vote.voter);
+      ++valid;
+    }
+  }
+  return valid;
+}
+
+Status check_shape(const Trc& trc) {
+  if (trc.roots.empty()) {
+    return Error{Errc::kVerificationFailed, "TRC has no core ASes"};
+  }
+  if (trc.valid_until <= trc.valid_from) {
+    return Error{Errc::kVerificationFailed, "TRC validity is empty"};
+  }
+  if (trc.voting_quorum == 0 || trc.voting_quorum > trc.roots.size()) {
+    return Error{Errc::kVerificationFailed, "TRC quorum out of range"};
+  }
+  for (const auto& root : trc.roots) {
+    if (root.as.isd() != trc.isd) {
+      return Error{Errc::kVerificationFailed,
+                   "core AS " + root.as.to_string() + " outside ISD"};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Status Trc::verify_base() const {
+  if (auto status = check_shape(*this); !status.ok()) return status;
+  if (version.serial != 1) {
+    return Error{Errc::kVerificationFailed, "base TRC must have serial 1"};
+  }
+  if (count_valid_votes(*this, *this) < voting_quorum) {
+    return Error{Errc::kVerificationFailed,
+                 "base TRC lacks a quorum of self-signatures"};
+  }
+  return {};
+}
+
+Status Trc::verify_update(const Trc& previous) const {
+  if (auto status = check_shape(*this); !status.ok()) return status;
+  if (isd != previous.isd) {
+    return Error{Errc::kVerificationFailed, "TRC update crosses ISDs"};
+  }
+  if (version.base != previous.version.base) {
+    return Error{Errc::kVerificationFailed,
+                 "TRC update changes base number (requires re-anchoring)"};
+  }
+  if (version.serial != previous.version.serial + 1) {
+    return Error{Errc::kVerificationFailed,
+                 "TRC update serial must increment by exactly 1"};
+  }
+  if (count_valid_votes(*this, previous) < previous.voting_quorum) {
+    return Error{Errc::kVerificationFailed,
+                 "TRC update lacks quorum of previous voting keys"};
+  }
+  return {};
+}
+
+TrustStore::IsdChain* TrustStore::find(Isd isd) {
+  for (auto& chain : chains_) {
+    if (chain.isd == isd) return &chain;
+  }
+  return nullptr;
+}
+
+Status TrustStore::anchor(Trc trc) {
+  if (auto status = trc.verify_base(); !status.ok()) return status;
+  if (find(trc.isd) != nullptr) {
+    return Error{Errc::kInvalidArgument,
+                 "ISD " + std::to_string(trc.isd) + " already anchored"};
+  }
+  chains_.push_back(IsdChain{trc.isd, {std::move(trc)}});
+  return {};
+}
+
+Status TrustStore::update(Trc trc) {
+  auto* chain = find(trc.isd);
+  if (chain == nullptr) {
+    return Error{Errc::kNotFound,
+                 "no anchored TRC for ISD " + std::to_string(trc.isd)};
+  }
+  if (auto status = trc.verify_update(chain->trcs.back()); !status.ok()) {
+    return status;
+  }
+  chain->trcs.push_back(std::move(trc));
+  return {};
+}
+
+const Trc* TrustStore::latest(Isd isd) const {
+  for (const auto& chain : chains_) {
+    if (chain.isd == isd) return &chain.trcs.back();
+  }
+  return nullptr;
+}
+
+const std::vector<Trc>* TrustStore::chain(Isd isd) const {
+  for (const auto& chain : chains_) {
+    if (chain.isd == isd) return &chain.trcs;
+  }
+  return nullptr;
+}
+
+}  // namespace sciera::cppki

@@ -1,0 +1,115 @@
+#include "crypto/aes128.h"
+
+namespace sciera::crypto {
+namespace {
+
+// GF(2^8) multiplication with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1B;
+    b >>= 1;
+  }
+  return p;
+}
+
+struct SBox {
+  std::array<std::uint8_t, 256> fwd{};
+  SBox() {
+    // Multiplicative inverse table via brute force (256x256 is trivial),
+    // then the AES affine transform.
+    std::array<std::uint8_t, 256> inv{};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (gmul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
+          inv[static_cast<std::size_t>(a)] = static_cast<std::uint8_t>(b);
+          break;
+        }
+      }
+    }
+    for (int x = 0; x < 256; ++x) {
+      const std::uint8_t i = inv[static_cast<std::size_t>(x)];
+      std::uint8_t s = 0;
+      for (int bit = 0; bit < 8; ++bit) {
+        const int v = ((i >> bit) & 1) ^ ((i >> ((bit + 4) % 8)) & 1) ^
+                      ((i >> ((bit + 5) % 8)) & 1) ^ ((i >> ((bit + 6) % 8)) & 1) ^
+                      ((i >> ((bit + 7) % 8)) & 1) ^ ((0x63 >> bit) & 1);
+        s = static_cast<std::uint8_t>(s | (v << bit));
+      }
+      fwd[static_cast<std::size_t>(x)] = s;
+    }
+  }
+};
+
+const SBox& sbox() {
+  static const SBox box;
+  return box;
+}
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1B : 0x00));
+}
+
+}  // namespace
+
+Aes128::Aes128(const Key& key) {
+  const auto& s = sbox().fwd;
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  std::uint8_t rcon = 0x01;
+  for (int round = 1; round <= 10; ++round) {
+    const std::uint8_t* prev = round_keys_.data() + (round - 1) * 16;
+    std::uint8_t* out = round_keys_.data() + round * 16;
+    // RotWord + SubWord + Rcon on the last word of the previous round key.
+    std::uint8_t t[4] = {s[prev[13]], s[prev[14]], s[prev[15]], s[prev[12]]};
+    t[0] ^= rcon;
+    rcon = xtime(rcon);
+    for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(prev[i] ^ t[i]);
+    for (int i = 4; i < 16; ++i) {
+      out[i] = static_cast<std::uint8_t>(prev[i] ^ out[i - 4]);
+    }
+  }
+}
+
+void Aes128::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  const auto& s = sbox().fwd;
+  std::uint8_t state[16];
+  for (int i = 0; i < 16; ++i) state[i] = in[i] ^ round_keys_[static_cast<std::size_t>(i)];
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes
+    for (auto& b : state) b = s[b];
+    // ShiftRows (column-major state layout: state[r + 4c])
+    std::uint8_t tmp[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        tmp[r + 4 * c] = state[r + 4 * ((c + r) % 4)];
+      }
+    }
+    std::memcpy(state, tmp, 16);
+    // MixColumns (skipped in the final round)
+    if (round != 10) {
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = state + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+        col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+        col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+        col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+      }
+    }
+    // AddRoundKey
+    const std::uint8_t* rk = round_keys_.data() + round * 16;
+    for (int i = 0; i < 16; ++i) state[i] ^= rk[i];
+  }
+  std::memcpy(out, state, 16);
+}
+
+Aes128::Block Aes128::encrypt(const Block& in) const {
+  Block out;
+  encrypt_block(in.data(), out.data());
+  return out;
+}
+
+}  // namespace sciera::crypto

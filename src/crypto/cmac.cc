@@ -1,0 +1,67 @@
+#include "crypto/cmac.h"
+
+#include "crypto/hmac.h"
+
+namespace sciera::crypto {
+namespace {
+
+// Doubling in GF(2^128) with the CMAC polynomial (Rb = 0x87).
+Aes128::Block dbl(const Aes128::Block& in) {
+  Aes128::Block out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::uint8_t b = in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((b << 1) | carry);
+    carry = b >> 7;
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+
+}  // namespace
+
+AesCmac::AesCmac(const Aes128::Key& key) : cipher_(key) {
+  Aes128::Block zero{};
+  const Aes128::Block l = cipher_.encrypt(zero);
+  k1_ = dbl(l);
+  k2_ = dbl(k1_);
+}
+
+AesCmac::Mac AesCmac::compute(BytesView message) const {
+  const std::size_t n_blocks =
+      message.empty() ? 1 : (message.size() + 15) / 16;
+  const bool complete = !message.empty() && message.size() % 16 == 0;
+
+  Aes128::Block x{};
+  for (std::size_t i = 0; i + 1 < n_blocks; ++i) {
+    for (int b = 0; b < 16; ++b) {
+      x[static_cast<std::size_t>(b)] ^= message[i * 16 + static_cast<std::size_t>(b)];
+    }
+    x = cipher_.encrypt(x);
+  }
+
+  Aes128::Block last{};
+  const std::size_t tail_offset = (n_blocks - 1) * 16;
+  const std::size_t tail_len = message.size() - std::min(message.size(), tail_offset);
+  if (complete) {
+    for (int b = 0; b < 16; ++b) {
+      last[static_cast<std::size_t>(b)] =
+          message[tail_offset + static_cast<std::size_t>(b)] ^ k1_[static_cast<std::size_t>(b)];
+    }
+  } else {
+    for (std::size_t b = 0; b < tail_len; ++b) last[b] = message[tail_offset + b];
+    last[tail_len] = 0x80;
+    for (int b = 0; b < 16; ++b) last[static_cast<std::size_t>(b)] ^= k2_[static_cast<std::size_t>(b)];
+  }
+  for (int b = 0; b < 16; ++b) last[static_cast<std::size_t>(b)] ^= x[static_cast<std::size_t>(b)];
+  return cipher_.encrypt(last);
+}
+
+bool AesCmac::verify(BytesView message, BytesView mac) const {
+  const Mac computed = compute(message);
+  return constant_time_equal(BytesView{computed.data(), mac.size() <= 16 ? mac.size() : 16},
+                             mac);
+}
+
+}  // namespace sciera::crypto

@@ -1,0 +1,28 @@
+// AES-CMAC (RFC 4493 / NIST SP 800-38B). SCION hop-field MACs use
+// AES-CMAC keyed with the AS forwarding key; this is the data-plane
+// hot path exercised on every packet at every border router.
+#pragma once
+
+#include <array>
+
+#include "common/buffer.h"
+#include "crypto/aes128.h"
+
+namespace sciera::crypto {
+
+class AesCmac {
+ public:
+  using Mac = std::array<std::uint8_t, 16>;
+
+  explicit AesCmac(const Aes128::Key& key);
+
+  [[nodiscard]] Mac compute(BytesView message) const;
+  [[nodiscard]] bool verify(BytesView message, BytesView mac) const;
+
+ private:
+  Aes128 cipher_;
+  Aes128::Block k1_{};
+  Aes128::Block k2_{};
+};
+
+}  // namespace sciera::crypto

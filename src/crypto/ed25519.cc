@@ -1,0 +1,587 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/sha512.h"
+
+namespace sciera::crypto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field arithmetic over GF(p), p = 2^255 - 19, with 5 x 51-bit limbs.
+// ---------------------------------------------------------------------------
+
+struct Fe {
+  std::uint64_t v[5] = {0, 0, 0, 0, 0};
+};
+
+constexpr std::uint64_t kMask51 = (std::uint64_t{1} << 51) - 1;
+
+Fe fe_zero() { return {}; }
+Fe fe_one() {
+  Fe r;
+  r.v[0] = 1;
+  return r;
+}
+
+Fe fe_add(const Fe& a, const Fe& b);
+
+void fe_carry(Fe& f);
+
+// a - b + 4p, so limbs never go negative for any weakly-reduced inputs.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // 2p in 51-bit limbs: {2^52-38, 2^52-2, 2^52-2, 2^52-2, 2^52-2}.
+  constexpr std::uint64_t kTwoP0 = 0xFFFFFFFFFFFDAULL;
+  constexpr std::uint64_t kTwoPi = 0xFFFFFFFFFFFFEULL;
+  Fe r;
+  r.v[0] = a.v[0] + kTwoP0 * 2 - b.v[0];
+  r.v[1] = a.v[1] + kTwoPi * 2 - b.v[1];
+  r.v[2] = a.v[2] + kTwoPi * 2 - b.v[2];
+  r.v[3] = a.v[3] + kTwoPi * 2 - b.v[3];
+  r.v[4] = a.v[4] + kTwoPi * 2 - b.v[4];
+  fe_carry(r);
+  return r;
+}
+
+// Weak reduction: brings limbs back under ~2^52.
+void fe_carry(Fe& f) {
+  std::uint64_t c;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 4; ++i) {
+      c = f.v[i] >> 51;
+      f.v[i] &= kMask51;
+      f.v[i + 1] += c;
+    }
+    c = f.v[4] >> 51;
+    f.v[4] &= kMask51;
+    f.v[0] += c * 19;
+  }
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  fe_carry(r);
+  return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                      b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  std::uint64_t carry;
+  r.v[0] = (std::uint64_t)t0 & kMask51;
+  carry = (std::uint64_t)(t0 >> 51);
+  t1 += carry;
+  r.v[1] = (std::uint64_t)t1 & kMask51;
+  carry = (std::uint64_t)(t1 >> 51);
+  t2 += carry;
+  r.v[2] = (std::uint64_t)t2 & kMask51;
+  carry = (std::uint64_t)(t2 >> 51);
+  t3 += carry;
+  r.v[3] = (std::uint64_t)t3 & kMask51;
+  carry = (std::uint64_t)(t3 >> 51);
+  t4 += carry;
+  r.v[4] = (std::uint64_t)t4 & kMask51;
+  carry = (std::uint64_t)(t4 >> 51);
+  r.v[0] += carry * 19;
+  fe_carry(r);
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+// Full reduction into [0, p) and serialization, little-endian 32 bytes.
+void fe_tobytes(std::uint8_t out[32], const Fe& in) {
+  Fe f = in;
+  fe_carry(f);
+  // Now limbs < 2^51 + small; subtract p if needed, twice to be safe.
+  for (int pass = 0; pass < 2; ++pass) {
+    // q = whether f >= p.
+    std::uint64_t q = (f.v[0] + 19) >> 51;
+    q = (f.v[1] + q) >> 51;
+    q = (f.v[2] + q) >> 51;
+    q = (f.v[3] + q) >> 51;
+    q = (f.v[4] + q) >> 51;
+    f.v[0] += 19 * q;
+    std::uint64_t carry = f.v[0] >> 51;
+    f.v[0] &= kMask51;
+    f.v[1] += carry;
+    carry = f.v[1] >> 51;
+    f.v[1] &= kMask51;
+    f.v[2] += carry;
+    carry = f.v[2] >> 51;
+    f.v[2] &= kMask51;
+    f.v[3] += carry;
+    carry = f.v[3] >> 51;
+    f.v[3] &= kMask51;
+    f.v[4] += carry;
+    f.v[4] &= kMask51;
+  }
+  std::uint64_t limbs[4];
+  limbs[0] = f.v[0] | (f.v[1] << 51);
+  limbs[1] = (f.v[1] >> 13) | (f.v[2] << 38);
+  limbs[2] = (f.v[2] >> 26) | (f.v[3] << 25);
+  limbs[3] = (f.v[3] >> 39) | (f.v[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[i * 8 + b] = static_cast<std::uint8_t>(limbs[i] >> (8 * b));
+    }
+  }
+}
+
+Fe fe_frombytes(const std::uint8_t in[32]) {
+  std::uint64_t limbs[4];
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int b = 7; b >= 0; --b) v = (v << 8) | in[i * 8 + b];
+    limbs[i] = v;
+  }
+  Fe r;
+  r.v[0] = limbs[0] & kMask51;
+  r.v[1] = ((limbs[0] >> 51) | (limbs[1] << 13)) & kMask51;
+  r.v[2] = ((limbs[1] >> 38) | (limbs[2] << 26)) & kMask51;
+  r.v[3] = ((limbs[2] >> 25) | (limbs[3] << 39)) & kMask51;
+  r.v[4] = (limbs[3] >> 12) & kMask51;  // drops the sign bit (bit 255)
+  return r;
+}
+
+bool fe_is_zero(const Fe& f) {
+  std::uint8_t bytes[32];
+  fe_tobytes(bytes, f);
+  std::uint8_t acc = 0;
+  for (auto b : bytes) acc |= b;
+  return acc == 0;
+}
+
+bool fe_is_negative(const Fe& f) {
+  std::uint8_t bytes[32];
+  fe_tobytes(bytes, f);
+  return bytes[0] & 1;
+}
+
+Fe fe_neg(const Fe& a) { return fe_sub(fe_zero(), a); }
+
+bool fe_equal(const Fe& a, const Fe& b) { return fe_is_zero(fe_sub(a, b)); }
+
+// a^e where e is a 256-bit little-endian exponent.
+Fe fe_pow(const Fe& a, const std::uint8_t e[32]) {
+  Fe result = fe_one();
+  bool any = false;
+  for (int bit = 255; bit >= 0; --bit) {
+    if (any) result = fe_sq(result);
+    if ((e[bit / 8] >> (bit % 8)) & 1) {
+      result = any ? fe_mul(result, a) : a;
+      any = true;
+    }
+  }
+  return any ? result : fe_one();
+}
+
+// Byte-array little-endian subtraction of a small constant; used to build
+// the exponents p-2, (p-5)/8 from p's representation.
+void bytes_sub_small(std::uint8_t x[32], std::uint32_t value) {
+  std::int64_t borrow = value;
+  for (int i = 0; i < 32 && borrow != 0; ++i) {
+    std::int64_t cur = static_cast<std::int64_t>(x[i]) - (borrow & 0xFF);
+    borrow >>= 8;
+    if (cur < 0) {
+      cur += 256;
+      borrow += 1;
+    }
+    x[i] = static_cast<std::uint8_t>(cur);
+  }
+}
+
+struct FieldConstants {
+  std::uint8_t p_minus_2[32];        // exponent for inversion
+  std::uint8_t p_minus_5_div_8[32];  // exponent for sqrt candidate
+  Fe d;                              // curve constant
+  Fe d2;                             // 2d
+  Fe sqrt_m1;                        // sqrt(-1)
+
+  FieldConstants() {
+    // p = 2^255 - 19, little-endian bytes: ED FF .. FF 7F.
+    std::uint8_t p[32];
+    std::memset(p, 0xFF, 32);
+    p[0] = 0xED;
+    p[31] = 0x7F;
+
+    std::memcpy(p_minus_2, p, 32);
+    bytes_sub_small(p_minus_2, 2);
+
+    // (p-5)/8 = 2^252 - 3: compute (p-5) then shift right 3 bits.
+    std::uint8_t t[32];
+    std::memcpy(t, p, 32);
+    bytes_sub_small(t, 5);
+    for (int i = 0; i < 32; ++i) {
+      std::uint8_t next = (i + 1 < 32) ? t[i + 1] : 0;
+      p_minus_5_div_8[i] =
+          static_cast<std::uint8_t>((t[i] >> 3) | (next << 5));
+    }
+
+    // d = -121665 / 121666 mod p.
+    Fe num;
+    num.v[0] = 121665;
+    num = fe_neg(num);
+    Fe den;
+    den.v[0] = 121666;
+    const Fe den_inv = fe_pow(den, p_minus_2);
+    d = fe_mul(num, den_inv);
+    fe_carry(d);
+    d2 = fe_add(d, d);
+    fe_carry(d2);
+
+    // sqrt(-1) = 2^((p-1)/4) mod p. (p-1)/4 = (p-5)/8 * 2 + 1... compute
+    // directly: exponent = (p-1)/4 = 2^253 - 5.
+    std::uint8_t e[32];
+    std::memcpy(e, p, 32);
+    bytes_sub_small(e, 1);
+    // shift right 2 bits
+    std::uint8_t e4[32];
+    for (int i = 0; i < 32; ++i) {
+      std::uint8_t next = (i + 1 < 32) ? e[i + 1] : 0;
+      e4[i] = static_cast<std::uint8_t>((e[i] >> 2) | (next << 6));
+    }
+    Fe two;
+    two.v[0] = 2;
+    sqrt_m1 = fe_pow(two, e4);
+  }
+};
+
+const FieldConstants& fc() {
+  static const FieldConstants c;
+  return c;
+}
+
+Fe fe_invert(const Fe& a) { return fe_pow(a, fc().p_minus_2); }
+
+// ---------------------------------------------------------------------------
+// Group: twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2, extended
+// coordinates (X:Y:Z:T) with x = X/Z, y = Y/Z, T = XY/Z.
+// ---------------------------------------------------------------------------
+
+struct GePoint {
+  Fe x, y, z, t;
+};
+
+GePoint ge_identity() {
+  GePoint p;
+  p.x = fe_zero();
+  p.y = fe_one();
+  p.z = fe_one();
+  p.t = fe_zero();
+  return p;
+}
+
+// Unified addition ("add-2008-hwcd-3"): also valid when a == b.
+GePoint ge_add(const GePoint& p, const GePoint& q) {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const Fe c = fe_mul(fe_mul(p.t, fc().d2), q.t);
+  const Fe dd = fe_mul(fe_add(p.z, p.z), q.z);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(dd, c);
+  const Fe g = fe_add(dd, c);
+  const Fe h = fe_add(b, a);
+  GePoint r;
+  r.x = fe_mul(e, f);
+  r.y = fe_mul(g, h);
+  r.t = fe_mul(e, h);
+  r.z = fe_mul(f, g);
+  return r;
+}
+
+GePoint ge_neg(const GePoint& p) {
+  GePoint r = p;
+  r.x = fe_neg(p.x);
+  r.t = fe_neg(p.t);
+  return r;
+}
+
+// Variable-time scalar multiplication, scalar as 32 little-endian bytes.
+GePoint ge_scalar_mult(const GePoint& p, const std::uint8_t scalar[32]) {
+  GePoint acc = ge_identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    acc = ge_add(acc, acc);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) acc = ge_add(acc, p);
+  }
+  return acc;
+}
+
+void ge_compress(std::uint8_t out[32], const GePoint& p) {
+  const Fe zinv = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zinv);
+  const Fe y = fe_mul(p.y, zinv);
+  fe_tobytes(out, y);
+  if (fe_is_negative(x)) out[31] |= 0x80;
+}
+
+bool ge_decompress(GePoint& out, const std::uint8_t in[32]) {
+  const bool sign = (in[31] & 0x80) != 0;
+  const Fe y = fe_frombytes(in);
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());
+  const Fe v = fe_add(fe_mul(fc().d, y2), fe_one());
+  // candidate x = u v^3 (u v^7)^((p-5)/8)
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  const Fe pow = fe_pow(fe_mul(u, v7), fc().p_minus_5_div_8);
+  Fe x = fe_mul(fe_mul(u, v3), pow);
+  const Fe vxx = fe_mul(v, fe_sq(x));
+  if (!fe_equal(vxx, u)) {
+    if (fe_equal(vxx, fe_neg(u))) {
+      x = fe_mul(x, fc().sqrt_m1);
+    } else {
+      return false;
+    }
+  }
+  if (fe_is_zero(x) && sign) return false;  // -0 is invalid
+  if (fe_is_negative(x) != sign) x = fe_neg(x);
+  out.x = x;
+  out.y = y;
+  out.z = fe_one();
+  out.t = fe_mul(x, y);
+  return true;
+}
+
+const GePoint& ge_base() {
+  static const GePoint base = [] {
+    // Canonical encoding of the base point: y = 4/5, sign(x) = 0.
+    std::uint8_t enc[32];
+    std::memset(enc, 0x66, 32);
+    enc[0] = 0x58;
+    GePoint b;
+    const bool ok = ge_decompress(b, enc);
+    (void)ok;
+    return b;
+  }();
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
+// Simple 32-bit-limb big integers; signing is off the hot path.
+// ---------------------------------------------------------------------------
+
+struct U512 {
+  std::uint32_t w[16] = {0};  // little-endian
+
+  static U512 from_bytes(const std::uint8_t* bytes, std::size_t len) {
+    U512 r;
+    for (std::size_t i = 0; i < len && i < 64; ++i) {
+      r.w[i / 4] |= static_cast<std::uint32_t>(bytes[i]) << (8 * (i % 4));
+    }
+    return r;
+  }
+
+  [[nodiscard]] int compare(const U512& o) const {
+    for (int i = 15; i >= 0; --i) {
+      if (w[i] != o.w[i]) return w[i] < o.w[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  void sub(const U512& o) {
+    std::int64_t borrow = 0;
+    for (int i = 0; i < 16; ++i) {
+      std::int64_t cur = static_cast<std::int64_t>(w[i]) - o.w[i] - borrow;
+      borrow = cur < 0 ? 1 : 0;
+      if (cur < 0) cur += (std::int64_t{1} << 32);
+      w[i] = static_cast<std::uint32_t>(cur);
+    }
+  }
+
+  void add(const U512& o) {
+    std::uint64_t carry = 0;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(w[i]) + o.w[i] + carry;
+      w[i] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+  }
+
+  [[nodiscard]] bool bit(int i) const {
+    return (w[i / 32] >> (i % 32)) & 1;
+  }
+
+  void shl1() {
+    std::uint32_t carry = 0;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint32_t next = w[i] >> 31;
+      w[i] = (w[i] << 1) | carry;
+      carry = next;
+    }
+  }
+};
+
+U512 mul_256(const U512& a, const U512& b) {
+  // Schoolbook on the low 8 limbs of each (256x256 -> 512).
+  std::uint64_t acc[17] = {0};
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 8; ++j) {
+      const std::uint64_t cur =
+          acc[i + j] + static_cast<std::uint64_t>(a.w[i]) * b.w[j] + carry;
+      acc[i + j] = cur & 0xFFFFFFFF;
+      carry = cur >> 32;
+    }
+    acc[i + 8] += carry;
+  }
+  U512 r;
+  for (int i = 0; i < 16; ++i) r.w[i] = static_cast<std::uint32_t>(acc[i]);
+  return r;
+}
+
+const U512& order_l() {
+  static const U512 l = [] {
+    // L = 2^252 + 0x14DEF9DEA2F79CD65812631A5CF5D3ED
+    const std::uint8_t low[16] = {0xED, 0xD3, 0xF5, 0x5C, 0x1A, 0x63, 0x12,
+                                  0x58, 0xD6, 0x9C, 0xF7, 0xA2, 0xDE, 0xF9,
+                                  0xDE, 0x14};
+    U512 v = U512::from_bytes(low, 16);
+    v.w[7] |= std::uint32_t{1} << 28;  // + 2^252
+    return v;
+  }();
+  return l;
+}
+
+// x mod L via binary long division (x up to 512 bits).
+U512 mod_l(const U512& x) {
+  const U512& l = order_l();
+  U512 r;
+  for (int bit = 511; bit >= 0; --bit) {
+    r.shl1();
+    if (x.bit(bit)) r.w[0] |= 1;
+    if (r.compare(l) >= 0) r.sub(l);
+  }
+  return r;
+}
+
+void sc_to_bytes(std::uint8_t out[32], const U512& s) {
+  for (int i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(s.w[i / 4] >> (8 * (i % 4)));
+  }
+}
+
+// Reduces a 64-byte little-endian value mod L into 32 bytes.
+void sc_reduce(std::uint8_t out[32], const std::uint8_t in[64]) {
+  sc_to_bytes(out, mod_l(U512::from_bytes(in, 64)));
+}
+
+// out = (a*b + c) mod L, all 32-byte little-endian scalars.
+void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32],
+               const std::uint8_t b[32], const std::uint8_t c[32]) {
+  U512 prod = mul_256(U512::from_bytes(a, 32), U512::from_bytes(b, 32));
+  prod.add(U512::from_bytes(c, 32));
+  sc_to_bytes(out, mod_l(prod));
+}
+
+// Checks s < L (RFC 8032 verification requirement).
+bool sc_is_canonical(const std::uint8_t s[32]) {
+  const U512 v = U512::from_bytes(s, 32);
+  return v.compare(order_l()) < 0;
+}
+
+void clamp(std::uint8_t scalar[32]) {
+  scalar[0] &= 0xF8;
+  scalar[31] &= 0x7F;
+  scalar[31] |= 0x40;
+}
+
+Sha512::Digest hash3(BytesView a, BytesView b, BytesView c) {
+  Sha512 h;
+  h.update(a).update(b).update(c);
+  return h.finish();
+}
+
+}  // namespace
+
+Ed25519::PublicKey Ed25519::public_key(const Seed& seed) {
+  auto h = Sha512::hash(BytesView{seed.data(), seed.size()});
+  std::uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  clamp(a);
+  const GePoint big_a = ge_scalar_mult(ge_base(), a);
+  PublicKey pk;
+  ge_compress(pk.data(), big_a);
+  return pk;
+}
+
+Ed25519::Signature Ed25519::sign(const Seed& seed, BytesView message) {
+  auto h = Sha512::hash(BytesView{seed.data(), seed.size()});
+  std::uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  clamp(a);
+  const PublicKey pk = public_key(seed);
+
+  // r = H(prefix || M) mod L
+  Sha512 rh;
+  rh.update(BytesView{h.data() + 32, 32}).update(message);
+  const auto r_hash = rh.finish();
+  std::uint8_t r[32];
+  sc_reduce(r, r_hash.data());
+
+  // R = r * B
+  const GePoint big_r = ge_scalar_mult(ge_base(), r);
+  std::uint8_t r_enc[32];
+  ge_compress(r_enc, big_r);
+
+  // k = H(R || A || M) mod L
+  const auto k_hash = hash3(BytesView{r_enc, 32},
+                            BytesView{pk.data(), pk.size()}, message);
+  std::uint8_t k[32];
+  sc_reduce(k, k_hash.data());
+
+  // s = (r + k*a) mod L
+  std::uint8_t s[32];
+  sc_muladd(s, k, a, r);
+
+  Signature sig;
+  std::memcpy(sig.data(), r_enc, 32);
+  std::memcpy(sig.data() + 32, s, 32);
+  return sig;
+}
+
+bool Ed25519::verify(const PublicKey& pub, BytesView message,
+                     const Signature& sig) {
+  const std::uint8_t* r_enc = sig.data();
+  const std::uint8_t* s = sig.data() + 32;
+  if (!sc_is_canonical(s)) return false;
+
+  GePoint a;
+  if (!ge_decompress(a, pub.data())) return false;
+
+  const auto k_hash =
+      hash3(BytesView{r_enc, 32}, BytesView{pub.data(), pub.size()}, message);
+  std::uint8_t k[32];
+  sc_reduce(k, k_hash.data());
+
+  // Check encode(s*B + k*(-A)) == R.
+  const GePoint sb = ge_scalar_mult(ge_base(), s);
+  const GePoint ka = ge_scalar_mult(ge_neg(a), k);
+  const GePoint r_check = ge_add(sb, ka);
+  std::uint8_t r_check_enc[32];
+  ge_compress(r_check_enc, r_check);
+  return std::memcmp(r_check_enc, r_enc, 32) == 0;
+}
+
+}  // namespace sciera::crypto

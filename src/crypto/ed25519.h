@@ -1,0 +1,45 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch: GF(2^255-19)
+// field arithmetic (51-bit limbs), unified twisted-Edwards point addition,
+// variable-time scalar multiplication, and scalar arithmetic mod the group
+// order. Variable-time is acceptable here: keys live inside a simulated
+// control plane, not on an exposed host. Curve constants (d, 2d, sqrt(-1))
+// are computed from first principles at startup, not transcribed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/result.h"
+
+namespace sciera::crypto {
+
+struct Ed25519 {
+  static constexpr std::size_t kSeedSize = 32;
+  static constexpr std::size_t kPublicKeySize = 32;
+  static constexpr std::size_t kSignatureSize = 64;
+
+  using Seed = std::array<std::uint8_t, kSeedSize>;
+  using PublicKey = std::array<std::uint8_t, kPublicKeySize>;
+  using Signature = std::array<std::uint8_t, kSignatureSize>;
+
+  // Derives the public key for a 32-byte seed (the RFC 8032 private key).
+  static PublicKey public_key(const Seed& seed);
+
+  static Signature sign(const Seed& seed, BytesView message);
+
+  [[nodiscard]] static bool verify(const PublicKey& pub, BytesView message,
+                                   const Signature& sig);
+};
+
+// A convenience bundle for PKI code.
+struct KeyPair {
+  Ed25519::Seed seed{};
+  Ed25519::PublicKey pub{};
+
+  static KeyPair from_seed(const Ed25519::Seed& seed) {
+    return KeyPair{seed, Ed25519::public_key(seed)};
+  }
+};
+
+}  // namespace sciera::crypto

@@ -1,0 +1,40 @@
+#include "crypto/hmac.h"
+
+namespace sciera::crypto {
+
+Sha256::Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, Sha256::kBlockSize> block_key{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad{};
+  std::array<std::uint8_t, Sha256::kBlockSize> opad{};
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5C;
+  }
+  Sha256 inner;
+  inner.update(ipad).update(message);
+  const auto inner_digest = inner.finish();
+  Sha256 outer;
+  outer.update(opad).update(inner_digest);
+  return outer.finish();
+}
+
+Sha256::Digest derive_key(BytesView secret, std::string_view label) {
+  Bytes info = bytes_of(label);
+  info.push_back(0x01);
+  return hmac_sha256(secret, info);
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace sciera::crypto

@@ -1,0 +1,20 @@
+// HMAC (RFC 2104) over SHA-256, plus an HKDF-style key-derivation helper
+// used to derive per-AS forwarding keys from AS master secrets.
+#pragma once
+
+#include "common/buffer.h"
+#include "crypto/sha256.h"
+
+namespace sciera::crypto {
+
+[[nodiscard]] Sha256::Digest hmac_sha256(BytesView key, BytesView message);
+
+// Single-block HKDF-Expand-style derivation: key material labelled by an
+// application string ("scion-forwarding-key" etc.).
+[[nodiscard]] Sha256::Digest derive_key(BytesView secret,
+                                        std::string_view label);
+
+// Constant-time comparison for MACs and digests.
+[[nodiscard]] bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace sciera::crypto

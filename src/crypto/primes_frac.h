@@ -1,0 +1,123 @@
+// Derives the SHA-2 round constants from first principles: the fractional
+// bits of sqrt(p) and cbrt(p) for the first primes, computed with exact
+// integer arithmetic (no floating point, no hand-typed constant tables).
+// The FIPS 180-4 definition is K_i = frac(cbrt(prime_i)) * 2^w truncated.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sciera::crypto::detail {
+
+// Minimal 256-bit unsigned integer: exactly what integer root extraction
+// for the SHA-2 constants needs, nothing more.
+struct U256 {
+  // Little-endian 64-bit limbs.
+  std::uint64_t limb[4] = {0, 0, 0, 0};
+
+  static U256 from_u128(unsigned __int128 v) {
+    U256 r;
+    r.limb[0] = static_cast<std::uint64_t>(v);
+    r.limb[1] = static_cast<std::uint64_t>(v >> 64);
+    return r;
+  }
+
+  // Full schoolbook product truncated to 256 bits (callers guarantee the
+  // true product fits).
+  static U256 mul(const U256& a, const U256& b) {
+    std::uint64_t out[8] = {0};
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        unsigned __int128 cur =
+            static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] +
+            out[i + j] + carry;
+        out[i + j] = static_cast<std::uint64_t>(cur);
+        carry = static_cast<std::uint64_t>(cur >> 64);
+      }
+      out[i + 4] += carry;
+    }
+    U256 r;
+    for (int i = 0; i < 4; ++i) r.limb[i] = out[i];
+    return r;
+  }
+
+  [[nodiscard]] int compare(const U256& other) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limb[i] != other.limb[i]) return limb[i] < other.limb[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  // Shift-left by whole bits (< 256 total; overflow bits are dropped, the
+  // callers keep values in range).
+  [[nodiscard]] U256 shl(unsigned bits) const {
+    U256 r;
+    const unsigned word = bits / 64;
+    const unsigned rem = bits % 64;
+    for (int i = 3; i >= 0; --i) {
+      std::uint64_t v = 0;
+      const int src = i - static_cast<int>(word);
+      if (src >= 0) {
+        v = limb[src] << rem;
+        if (rem != 0 && src - 1 >= 0) v |= limb[src - 1] >> (64 - rem);
+      }
+      r.limb[i] = v;
+    }
+    return r;
+  }
+};
+
+// floor(frac(sqrt(p)) * 2^fracbits) for fracbits <= 64, via
+// isqrt(p << (2*fracbits)) mod 2^fracbits.
+inline std::uint64_t sqrt_frac_bits(std::uint64_t p, unsigned fracbits) {
+  const U256 target = U256::from_u128(p).shl(2 * fracbits);
+  // root <= 2^fracbits * sqrt(p); for p <= 409 that is < 2^(fracbits+5).
+  unsigned __int128 lo = 0;
+  unsigned __int128 hi = (static_cast<unsigned __int128>(1) << (fracbits + 5));
+  while (lo < hi) {
+    const unsigned __int128 mid = lo + (hi - lo + 1) / 2;
+    const U256 m = U256::from_u128(mid);
+    if (U256::mul(m, m).compare(target) <= 0) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (fracbits == 64) return static_cast<std::uint64_t>(lo);
+  return static_cast<std::uint64_t>(lo) &
+         ((std::uint64_t{1} << fracbits) - 1);
+}
+
+// floor(frac(cbrt(p)) * 2^fracbits) for fracbits <= 64, via
+// icbrt(p << (3*fracbits)) mod 2^fracbits.
+inline std::uint64_t cbrt_frac_bits(std::uint64_t p, unsigned fracbits) {
+  const U256 target = U256::from_u128(p).shl(3 * fracbits);
+  // root <= 2^fracbits * cbrt(p); for p <= 409 that is < 2^(fracbits+4).
+  unsigned __int128 lo = 0;
+  unsigned __int128 hi = (static_cast<unsigned __int128>(1) << (fracbits + 4));
+  while (lo < hi) {
+    const unsigned __int128 mid = lo + (hi - lo + 1) / 2;
+    const U256 m = U256::from_u128(mid);
+    const U256 m3 = U256::mul(U256::mul(m, m), m);
+    if (m3.compare(target) <= 0) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (fracbits == 64) return static_cast<std::uint64_t>(lo);
+  return static_cast<std::uint64_t>(lo) &
+         ((std::uint64_t{1} << fracbits) - 1);
+}
+
+// First 80 primes, enough for SHA-512's K table.
+constexpr std::array<std::uint64_t, 80> kPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409};
+
+}  // namespace sciera::crypto::detail

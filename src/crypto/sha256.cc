@@ -1,0 +1,135 @@
+#include "crypto/sha256.h"
+
+#include "crypto/primes_frac.h"
+
+namespace sciera::crypto {
+namespace {
+
+std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+struct Tables {
+  std::array<std::uint32_t, 64> k;
+  std::array<std::uint32_t, 8> h0;
+  Tables() {
+    for (int i = 0; i < 64; ++i) {
+      k[i] = static_cast<std::uint32_t>(
+          detail::cbrt_frac_bits(detail::kPrimes[i], 32));
+    }
+    for (int i = 0; i < 8; ++i) {
+      h0[i] = static_cast<std::uint32_t>(
+          detail::sqrt_frac_bits(detail::kPrimes[i], 32));
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Sha256::Sha256() : state_(tables().h0) {}
+
+Sha256& Sha256::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (pending_len_ > 0) {
+    const std::size_t take = std::min(kBlockSize - pending_len_, data.size());
+    std::memcpy(pending_.data() + pending_len_, data.data(), take);
+    pending_len_ += take;
+    offset = take;
+    if (pending_len_ == kBlockSize) {
+      compress(pending_.data());
+      pending_len_ = 0;
+    }
+  }
+  while (data.size() - offset >= kBlockSize) {
+    compress(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(pending_.data(), data.data() + offset, data.size() - offset);
+    pending_len_ = data.size() - offset;
+  }
+  return *this;
+}
+
+Sha256::Digest Sha256::finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_one = 0x80;
+  update(BytesView{&pad_one, 1});
+  static constexpr std::uint8_t kZero[kBlockSize] = {};
+  while (pending_len_ != kBlockSize - 8) {
+    const std::size_t want =
+        pending_len_ < kBlockSize - 8 ? (kBlockSize - 8) - pending_len_
+                                      : kBlockSize - pending_len_;
+    update(BytesView{kZero, want});
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(BytesView{len_be, 8});
+  Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    for (int b = 0; b < 4; ++b) {
+      digest[static_cast<std::size_t>(i * 4 + b)] =
+          static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >>
+                                    (24 - 8 * b));
+    }
+  }
+  return digest;
+}
+
+Sha256::Digest Sha256::hash(BytesView data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+void Sha256::compress(const std::uint8_t* block) {
+  const auto& k = tables().k;
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + k[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+}  // namespace sciera::crypto

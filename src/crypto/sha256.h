@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Round constants are
+// derived at startup from the fractional parts of the cube roots of the
+// first 64 primes (the FIPS definition) instead of a hand-typed table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/buffer.h"
+
+namespace sciera::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  Sha256& update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, kBlockSize> pending_{};
+  std::size_t pending_len_ = 0;
+};
+
+}  // namespace sciera::crypto

@@ -1,0 +1,133 @@
+#include "crypto/sha512.h"
+
+#include "crypto/primes_frac.h"
+
+namespace sciera::crypto {
+namespace {
+
+std::uint64_t rotr(std::uint64_t x, int n) { return (x >> n) | (x << (64 - n)); }
+
+struct Tables {
+  std::array<std::uint64_t, 80> k;
+  std::array<std::uint64_t, 8> h0;
+  Tables() {
+    for (int i = 0; i < 80; ++i) {
+      k[i] = detail::cbrt_frac_bits(detail::kPrimes[i], 64);
+    }
+    for (int i = 0; i < 8; ++i) {
+      h0[i] = detail::sqrt_frac_bits(detail::kPrimes[i], 64);
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Sha512::Sha512() : state_(tables().h0) {}
+
+Sha512& Sha512::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (pending_len_ > 0) {
+    const std::size_t take = std::min(kBlockSize - pending_len_, data.size());
+    std::memcpy(pending_.data() + pending_len_, data.data(), take);
+    pending_len_ += take;
+    offset = take;
+    if (pending_len_ == kBlockSize) {
+      compress(pending_.data());
+      pending_len_ = 0;
+    }
+  }
+  while (data.size() - offset >= kBlockSize) {
+    compress(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(pending_.data(), data.data() + offset, data.size() - offset);
+    pending_len_ = data.size() - offset;
+  }
+  return *this;
+}
+
+Sha512::Digest Sha512::finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_one = 0x80;
+  update(BytesView{&pad_one, 1});
+  static constexpr std::uint8_t kZero[kBlockSize] = {};
+  while (pending_len_ != kBlockSize - 16) {
+    const std::size_t want =
+        pending_len_ < kBlockSize - 16 ? (kBlockSize - 16) - pending_len_
+                                       : kBlockSize - pending_len_;
+    update(BytesView{kZero, want});
+  }
+  // 128-bit length; the high 64 bits are always 0 for our message sizes.
+  std::uint8_t len_be[16] = {};
+  for (int i = 0; i < 8; ++i) {
+    len_be[8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(BytesView{len_be, 16});
+  Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      digest[static_cast<std::size_t>(i * 8 + b)] =
+          static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >>
+                                    (56 - 8 * b));
+    }
+  }
+  return digest;
+}
+
+Sha512::Digest Sha512::hash(BytesView data) {
+  Sha512 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+void Sha512::compress(const std::uint8_t* block) {
+  const auto& k = tables().k;
+  std::uint64_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | block[i * 8 + b];
+    w[i] = v;
+  }
+  for (int i = 16; i < 80; ++i) {
+    const std::uint64_t s0 =
+        rotr(w[i - 15], 1) ^ rotr(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    const std::uint64_t s1 =
+        rotr(w[i - 2], 19) ^ rotr(w[i - 2], 61) ^ (w[i - 2] >> 6);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint64_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint64_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 80; ++i) {
+    const std::uint64_t s1 = rotr(e, 14) ^ rotr(e, 18) ^ rotr(e, 41);
+    const std::uint64_t ch = (e & f) ^ (~e & g);
+    const std::uint64_t t1 = h + s1 + ch + k[static_cast<std::size_t>(i)] + w[i];
+    const std::uint64_t s0 = rotr(a, 28) ^ rotr(a, 34) ^ rotr(a, 39);
+    const std::uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint64_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+}  // namespace sciera::crypto

@@ -1,0 +1,35 @@
+// SHA-512 (FIPS 180-4), required by Ed25519. Round constants derived from
+// the fractional bits of cbrt/sqrt of the first 80 primes via exact
+// integer arithmetic (see primes_frac.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/buffer.h"
+
+namespace sciera::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512();
+
+  Sha512& update(BytesView data);
+  [[nodiscard]] Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, kBlockSize> pending_{};
+  std::size_t pending_len_ = 0;
+};
+
+}  // namespace sciera::crypto

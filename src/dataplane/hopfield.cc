@@ -1,0 +1,57 @@
+#include "dataplane/hopfield.h"
+
+#include "crypto/hmac.h"
+
+namespace sciera::dataplane {
+
+FwdKey derive_fwd_key(BytesView as_master_secret) {
+  const auto digest =
+      crypto::derive_key(as_master_secret, "scion-forwarding-key-v1");
+  FwdKey key{};
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+Mac6 compute_hop_mac(const FwdKey& key, std::uint16_t beta,
+                     std::uint32_t timestamp, const HopField& hop) {
+  // One 16-byte input block, zero padded: beta | ts | exp | in | out.
+  std::array<std::uint8_t, 16> block{};
+  block[0] = static_cast<std::uint8_t>(beta >> 8);
+  block[1] = static_cast<std::uint8_t>(beta);
+  for (int i = 0; i < 4; ++i) {
+    block[2 + i] = static_cast<std::uint8_t>(timestamp >> (24 - 8 * i));
+  }
+  block[6] = hop.exp_time;
+  block[7] = static_cast<std::uint8_t>(hop.cons_ingress >> 8);
+  block[8] = static_cast<std::uint8_t>(hop.cons_ingress);
+  block[9] = static_cast<std::uint8_t>(hop.cons_egress >> 8);
+  block[10] = static_cast<std::uint8_t>(hop.cons_egress);
+  // The peering flag changes chaining semantics, so it must be covered.
+  block[11] = hop.peering ? 1 : 0;
+  const crypto::AesCmac cmac{key};
+  const auto full = cmac.compute(block);
+  Mac6 mac{};
+  std::copy_n(full.begin(), mac.size(), mac.begin());
+  return mac;
+}
+
+bool verify_hop_mac(const FwdKey& key, std::uint16_t beta,
+                    std::uint32_t timestamp, const HopField& hop) {
+  const Mac6 expected = compute_hop_mac(key, beta, timestamp, hop);
+  return crypto::constant_time_equal(
+      BytesView{expected.data(), expected.size()},
+      BytesView{hop.mac.data(), hop.mac.size()});
+}
+
+std::uint16_t chain_beta(std::uint16_t beta, const Mac6& mac) {
+  return beta ^ static_cast<std::uint16_t>((mac[0] << 8) | mac[1]);
+}
+
+bool hop_expired(const HopField& hop, std::uint32_t segment_ts,
+                 std::uint32_t now_unix) {
+  const std::uint32_t ttl =
+      (static_cast<std::uint32_t>(hop.exp_time) + 1) * 86400 / 256;
+  return now_unix > segment_ts + ttl;
+}
+
+}  // namespace sciera::dataplane

@@ -1,0 +1,39 @@
+// Hop-field MAC computation and chaining (the SCION data-plane security
+// core). Each AS derives a forwarding key from its master secret; border
+// routers verify every packet's current hop field with one AES-CMAC — an
+// "efficient symmetric cryptographic operation" (Section 2).
+//
+// Chaining: beta_{i+1} = beta_i XOR mac_i[0:2]. A segment's info field
+// carries the accumulator (seg_id); traversal against construction
+// direction first un-chains (XOR) and then verifies, traversal along
+// construction direction verifies and then chains.
+#pragma once
+
+#include "crypto/cmac.h"
+#include "dataplane/packet.h"
+
+namespace sciera::dataplane {
+
+using FwdKey = crypto::Aes128::Key;
+
+// Derives an AS forwarding key from a master secret.
+[[nodiscard]] FwdKey derive_fwd_key(BytesView as_master_secret);
+
+// MAC over (beta, timestamp, exp_time, cons_ingress, cons_egress).
+[[nodiscard]] Mac6 compute_hop_mac(const FwdKey& key, std::uint16_t beta,
+                                   std::uint32_t timestamp,
+                                   const HopField& hop);
+
+[[nodiscard]] bool verify_hop_mac(const FwdKey& key, std::uint16_t beta,
+                                  std::uint32_t timestamp,
+                                  const HopField& hop);
+
+// beta update applied when moving past a hop in construction direction.
+[[nodiscard]] std::uint16_t chain_beta(std::uint16_t beta, const Mac6& mac);
+
+// Hop-field expiry: exp_time encodes a relative expiry of
+// (exp_time + 1) * 24h/256 after the segment timestamp.
+[[nodiscard]] bool hop_expired(const HopField& hop, std::uint32_t segment_ts,
+                               std::uint32_t now_unix);
+
+}  // namespace sciera::dataplane

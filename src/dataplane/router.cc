@@ -1,0 +1,261 @@
+#include "dataplane/router.h"
+
+#include "common/log.h"
+
+namespace sciera::dataplane {
+namespace {
+
+IfaceId effective_ingress(const InfoField& info, const HopField& hop) {
+  return info.construction_dir ? hop.cons_ingress : hop.cons_egress;
+}
+
+IfaceId effective_egress(const InfoField& info, const HopField& hop) {
+  return info.construction_dir ? hop.cons_egress : hop.cons_ingress;
+}
+
+}  // namespace
+
+BorderRouter::BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
+                           Config config)
+    : Node("br-" + ia.to_string()),
+      sim_(sim),
+      ia_(ia),
+      fwd_key_(fwd_key),
+      config_(config) {}
+
+void BorderRouter::attach_iface(IfaceId iface, simnet::Link* link, int side) {
+  ifaces_[iface] = IfaceBinding{link, side};
+}
+
+std::uint32_t BorderRouter::now_unix() const {
+  return config_.unix_epoch +
+         static_cast<std::uint32_t>(sim_.now() / kSecond);
+}
+
+Status BorderRouter::inject(const ScionPacket& packet) {
+  if (packet.path_type == PathType::kEmpty) {
+    if (packet.dst.ia != ia_) {
+      return Error{Errc::kInvalidArgument,
+                   "empty path can only reach the local AS"};
+    }
+    ++stats_.injected;
+    deliver_local(packet);
+    return {};
+  }
+  if (auto status = packet.path.validate(); !status.ok()) return status;
+  ++stats_.injected;
+  process(packet, /*arrival_iface=*/0, /*from_local=*/true);
+  return {};
+}
+
+void BorderRouter::receive(const simnet::MessagePtr& message,
+                           const simnet::Arrival& arrival) {
+  const auto* frame = dynamic_cast<const UnderlayFrame*>(message.get());
+  if (frame == nullptr) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  auto packet = ScionPacket::parse(frame->scion_bytes);
+  if (!packet) {
+    ++stats_.drop_malformed;
+    log_debug("router") << name() << " drops malformed packet: "
+                        << packet.error().to_string();
+    return;
+  }
+  process(std::move(packet).value(), arrival.local_iface, /*from_local=*/false);
+}
+
+Result<IfaceId> BorderRouter::process_current_hop(ScionPacket& packet,
+                                                  IfaceId arrival_iface,
+                                                  bool from_local) {
+  ScionPath& path = packet.path;
+  if (path.at_end()) {
+    return Error{Errc::kParseError, "path pointer past the end"};
+  }
+  InfoField& info = path.current_info();
+  const HopField& hop = path.current_hop();
+
+  // beta handling: against construction direction, un-chain first.
+  // Peering hop fields never touch the accumulator (see HopField::peering).
+  if (!info.construction_dir && !hop.peering) {
+    info.seg_id = chain_beta(info.seg_id, hop.mac);
+  }
+  const std::uint16_t beta = info.seg_id;
+
+  if (hop_expired(hop, info.timestamp, now_unix())) {
+    ++stats_.drop_expired;
+    return Error{Errc::kExpired, "hop field expired"};
+  }
+  if (!verify_hop_mac(fwd_key_, beta, info.timestamp, hop)) {
+    ++stats_.drop_mac;
+    return Error{Errc::kVerificationFailed, "hop field MAC mismatch"};
+  }
+  if (!from_local) {
+    const IfaceId expect_in = effective_ingress(info, hop);
+    if (expect_in != 0 && expect_in != arrival_iface) {
+      ++stats_.drop_bad_ingress;
+      return Error{Errc::kVerificationFailed, "wrong ingress interface"};
+    }
+  }
+
+  // Chain forward when moving along construction direction.
+  if (info.construction_dir && !hop.peering) {
+    info.seg_id = chain_beta(info.seg_id, hop.mac);
+  }
+  return effective_egress(info, hop);
+}
+
+void BorderRouter::process(ScionPacket packet, IfaceId arrival_iface,
+                           bool from_local) {
+  for (;;) {
+    auto egress = process_current_hop(packet, arrival_iface, from_local);
+    if (!egress) {
+      log_debug("router") << name() << " drop: " << egress.error().to_string();
+      return;
+    }
+    ScionPath& path = packet.path;
+    const bool last_segment = path.curr_inf + 1u >= path.num_segments();
+
+    // Segment crossovers: when the current hop is the last of its segment
+    // and more segments follow, the *same* AS opens the next segment
+    // (up/core/down joins and shortcuts). The one exception is a peering
+    // exit: the segment boundary is crossed over the peering link, so the
+    // packet is forwarded and the neighbor processes the next segment.
+    if (path.at_segment_end() && !last_segment) {
+      const bool peering_exit = path.current_info().peering &&
+                                path.current_hop().peering && *egress != 0;
+      if (!peering_exit) {
+        path.advance();
+        arrival_iface = 0;
+        from_local = true;  // intra-AS handover, no ingress check
+        continue;
+      }
+    }
+
+    // Delivery: the hop just processed is the final one of the path (its
+    // effective egress is 0 for full segments, or non-zero when the path
+    // was cut mid-segment at an on-path destination — Section 2's
+    // "shortcuts" also end this way on the return direction).
+    const bool last_hop = path.curr_hf + 1u >= path.num_hops();
+    if (*egress == 0 || last_hop) {
+      // End of path: must be addressed to this AS.
+      if (packet.dst.ia != ia_) {
+        ++stats_.drop_no_route;
+        return;
+      }
+      if (config_.answer_scmp_echo && packet.next_hdr == kProtoScmp) {
+        if (auto msg = ScmpMessage::parse(packet.payload);
+            msg.ok() && msg->type == ScmpType::kEchoRequest) {
+          answer_echo(packet);
+          return;
+        }
+      }
+      deliver_local(std::move(packet));
+      return;
+    }
+
+    // TTL-style hop limit: expires at the AS where it reaches zero, which
+    // is what the traceroute utility drives.
+    if (packet.hop_limit == 0 || --packet.hop_limit == 0) {
+      std::uint16_t id = 0, seq = 0;
+      if (packet.next_hdr == kProtoScmp) {
+        if (auto msg = ScmpMessage::parse(packet.payload); msg.ok()) {
+          if (msg->is_error()) return;  // never answer errors with errors
+          id = msg->identifier;
+          seq = msg->sequence;
+        }
+      }
+      ++stats_.scmp_errors_sent;
+      // Position the pointer past this AS's hop as forward() would have.
+      ScionPacket expired = packet;
+      expired.path.advance();
+      send_scmp_error(expired, make_hop_limit_exceeded(ia_, id, seq));
+      return;
+    }
+
+    path.advance();
+    forward(std::move(packet), *egress);
+    return;
+  }
+}
+
+void BorderRouter::deliver_local(ScionPacket packet) {
+  ++stats_.delivered;
+  if (!local_delivery_) return;
+  auto delivery = local_delivery_;
+  sim_.after(config_.intra_as_delay,
+             [delivery, packet = std::move(packet), &sim = sim_] {
+               delivery(packet, sim.now());
+             });
+}
+
+void BorderRouter::forward(ScionPacket packet, IfaceId egress) {
+  const auto it = ifaces_.find(egress);
+  if (it == ifaces_.end()) {
+    ++stats_.drop_no_route;
+    return;
+  }
+  if (!it->second.link->is_up()) {
+    // Data-plane failure: tell the source (SCMP ExternalInterfaceDown).
+    ++stats_.scmp_errors_sent;
+    send_scmp_error(packet, make_external_iface_down(ia_, egress));
+    return;
+  }
+  auto serialized = packet.serialize();
+  if (!serialized) {
+    ++stats_.drop_malformed;
+    return;
+  }
+  auto frame = std::make_shared<UnderlayFrame>();
+  frame->scion_bytes = std::move(serialized).value();
+  ++stats_.forwarded;
+  it->second.link->send(it->second.side, frame);
+}
+
+void BorderRouter::answer_echo(const ScionPacket& request) {
+  auto msg = ScmpMessage::parse(request.payload);
+  if (!msg) return;
+  ScionPacket reply = reverse_packet(request);
+  reply.payload = make_echo_reply(msg.value()).serialize();
+  ++stats_.echo_replies;
+  // The reply's first hop names this AS; process it as a local injection.
+  process(std::move(reply), /*arrival_iface=*/0, /*from_local=*/true);
+}
+
+void BorderRouter::send_scmp_error(const ScionPacket& offending,
+                                   ScmpMessage error) {
+  if (offending.next_hdr == kProtoScmp) {
+    // Never answer SCMP errors with SCMP errors; echo requests are fine to
+    // answer but errors about errors would loop.
+    if (auto msg = ScmpMessage::parse(offending.payload);
+        msg.ok() && msg->is_error()) {
+      return;
+    }
+  }
+  ScionPacket reply = reverse_packet(offending);
+  // The offending packet's pointer already advanced past this AS's hop;
+  // position the reverse pointer on this AS's hop so the reply starts here.
+  const std::size_t total = reply.path.num_hops();
+  const std::size_t orig_hf = offending.path.curr_hf;
+  if (orig_hf == 0 || orig_hf > total) return;
+  reply.path.curr_hf = static_cast<std::uint8_t>(total - orig_hf);
+  reply.path.curr_inf =
+      static_cast<std::uint8_t>(reply.path.segment_of(reply.path.curr_hf));
+  reply.next_hdr = kProtoScmp;
+  reply.payload = error.serialize();
+  process(std::move(reply), /*arrival_iface=*/0, /*from_local=*/true);
+}
+
+ScionPacket reverse_packet(const ScionPacket& packet) {
+  ScionPacket reply;
+  reply.traffic_class = packet.traffic_class;
+  reply.flow_id = packet.flow_id;
+  reply.next_hdr = packet.next_hdr;
+  reply.path_type = packet.path_type;
+  reply.dst = packet.src;
+  reply.src = packet.dst;
+  reply.path = packet.path.reversed();
+  return reply;
+}
+
+}  // namespace sciera::dataplane

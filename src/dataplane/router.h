@@ -1,0 +1,107 @@
+// SCION border router: parses arriving underlay frames, verifies the
+// current hop field (MAC, expiry, ingress interface), advances the path
+// pointers, and forwards out the egress interface — or delivers locally
+// over the intra-AS IP underlay (Section 2, "data plane").
+//
+// One router instance models an AS's border (all interfaces); SCMP errors
+// (e.g. external interface down) travel back to the source along the
+// reversed path, exactly like echo replies do.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "dataplane/hopfield.h"
+#include "dataplane/packet.h"
+#include "dataplane/scmp.h"
+#include "dataplane/underlay.h"
+#include "simnet/link.h"
+#include "simnet/simulator.h"
+
+namespace sciera::dataplane {
+
+class BorderRouter final : public simnet::Node {
+ public:
+  struct Config {
+    // Time to cross the intra-AS fabric to a local host.
+    Duration intra_as_delay = 300 * kMicrosecond;
+    // Offset mapping sim time 0 to a unix timestamp (for hop expiry).
+    std::uint32_t unix_epoch = 1'700'000'000;
+    // Whether to answer SCMP echo requests addressed to this AS directly
+    // at the border (the usual responder for infrastructure pings).
+    bool answer_scmp_echo = true;
+  };
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t echo_replies = 0;
+    std::uint64_t drop_mac = 0;
+    std::uint64_t drop_expired = 0;
+    std::uint64_t drop_bad_ingress = 0;
+    std::uint64_t drop_no_route = 0;
+    std::uint64_t drop_malformed = 0;
+    std::uint64_t scmp_errors_sent = 0;
+  };
+
+  BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
+               Config config);
+  BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key)
+      : BorderRouter(sim, ia, fwd_key, Config{}) {}
+
+  [[nodiscard]] IsdAs isd_as() const { return ia_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FwdKey& fwd_key() const { return fwd_key_; }
+
+  // Wires a local interface id to one side of a link.
+  void attach_iface(IfaceId iface, simnet::Link* link, int side);
+
+  // Handler for packets addressed to hosts/services in this AS.
+  using LocalDelivery =
+      std::function<void(const ScionPacket& packet, SimTime arrival)>;
+  void set_local_delivery(LocalDelivery delivery) {
+    local_delivery_ = std::move(delivery);
+  }
+
+  // Entry point for packets originated by hosts in this AS. The router
+  // processes the first hop (which names this AS) and forwards.
+  Status inject(const ScionPacket& packet);
+
+  // simnet::Node
+  void receive(const simnet::MessagePtr& message,
+               const simnet::Arrival& arrival) override;
+
+ private:
+  struct IfaceBinding {
+    simnet::Link* link = nullptr;
+    int side = 0;
+  };
+
+  void process(ScionPacket packet, IfaceId arrival_iface, bool from_local);
+  // Verifies + chains the current hop. Returns the effective egress iface,
+  // or an error describing the drop reason.
+  Result<IfaceId> process_current_hop(ScionPacket& packet,
+                                      IfaceId arrival_iface, bool from_local);
+  void deliver_local(ScionPacket packet);
+  void forward(ScionPacket packet, IfaceId egress);
+  void send_scmp_error(const ScionPacket& offending, ScmpMessage error);
+  void answer_echo(const ScionPacket& request);
+  [[nodiscard]] std::uint32_t now_unix() const;
+
+  simnet::Simulator& sim_;
+  IsdAs ia_;
+  FwdKey fwd_key_;
+  Config config_;
+  std::unordered_map<IfaceId, IfaceBinding> ifaces_;
+  LocalDelivery local_delivery_;
+  Stats stats_;
+};
+
+// Reverses a packet in place for the return direction (echo replies, SCMP
+// errors): swaps addresses, reverses the path, resets the pointers. The
+// info-field seg_id accumulators are kept as they arrived, which is
+// exactly the state the reverse traversal needs.
+[[nodiscard]] ScionPacket reverse_packet(const ScionPacket& packet);
+
+}  // namespace sciera::dataplane

@@ -1,0 +1,77 @@
+#include "dataplane/scmp.h"
+
+namespace sciera::dataplane {
+
+Bytes ScmpMessage::serialize() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(identifier);
+  w.u16(sequence);
+  w.u64(origin_ia);
+  w.u64(failed_iface);
+  w.u32(static_cast<std::uint32_t>(data.size()));
+  w.raw(data);
+  return std::move(w).take();
+}
+
+Result<ScmpMessage> ScmpMessage::parse(BytesView bytes) {
+  Reader r{bytes};
+  auto type = r.u8();
+  auto code = r.u8();
+  auto id = r.u16();
+  auto seq = r.u16();
+  auto origin = r.u64();
+  auto iface = r.u64();
+  auto len = r.u32();
+  if (!type || !code || !id || !seq || !origin || !iface || !len) {
+    return Error{Errc::kParseError, "truncated SCMP header"};
+  }
+  auto data = r.raw(*len);
+  if (!data) return data.error();
+  ScmpMessage msg;
+  msg.type = static_cast<ScmpType>(*type);
+  msg.code = *code;
+  msg.identifier = *id;
+  msg.sequence = *seq;
+  msg.origin_ia = *origin;
+  msg.failed_iface = *iface;
+  msg.data = std::move(data).value();
+  return msg;
+}
+
+ScmpMessage make_echo_request(std::uint16_t id, std::uint16_t seq,
+                              Bytes payload) {
+  ScmpMessage msg;
+  msg.type = ScmpType::kEchoRequest;
+  msg.identifier = id;
+  msg.sequence = seq;
+  msg.data = std::move(payload);
+  return msg;
+}
+
+ScmpMessage make_echo_reply(const ScmpMessage& request) {
+  ScmpMessage reply = request;
+  reply.type = ScmpType::kEchoReply;
+  return reply;
+}
+
+ScmpMessage make_hop_limit_exceeded(IsdAs origin, std::uint16_t id,
+                                    std::uint16_t seq) {
+  ScmpMessage msg;
+  msg.type = ScmpType::kHopLimitExceeded;
+  msg.origin_ia = origin.packed();
+  msg.identifier = id;
+  msg.sequence = seq;
+  return msg;
+}
+
+ScmpMessage make_external_iface_down(IsdAs origin, IfaceId iface) {
+  ScmpMessage msg;
+  msg.type = ScmpType::kExternalInterfaceDown;
+  msg.origin_ia = origin.packed();
+  msg.failed_iface = iface;
+  return msg;
+}
+
+}  // namespace sciera::dataplane

@@ -1,0 +1,58 @@
+// SCMP — the SCION Control Message Protocol. The measurement campaign of
+// Section 5.4 is built on SCMP echo ("SCMP pings in parallel over three
+// SCION paths"); routers emit SCMP errors for data-plane failures such as
+// an external interface being down.
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "dataplane/packet.h"
+
+namespace sciera::dataplane {
+
+enum class ScmpType : std::uint8_t {
+  kDestinationUnreachable = 1,
+  kPacketTooBig = 2,
+  kHopLimitExceeded = 3,
+  kParameterProblem = 4,
+  kExternalInterfaceDown = 5,
+  kInternalConnectivityDown = 6,
+  kEchoRequest = 128,
+  kEchoReply = 129,
+};
+
+struct ScmpMessage {
+  ScmpType type = ScmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  // Echo: identifier + sequence. Errors: ISD-AS + interface of the failure.
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  std::uint64_t origin_ia = 0;
+  std::uint64_t failed_iface = 0;
+  Bytes data;  // echo payload / quoted packet prefix for errors
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<ScmpMessage> parse(BytesView bytes);
+
+  [[nodiscard]] bool is_error() const {
+    return static_cast<std::uint8_t>(type) < 128;
+  }
+};
+
+// Convenience constructors.
+[[nodiscard]] ScmpMessage make_echo_request(std::uint16_t id,
+                                            std::uint16_t seq,
+                                            Bytes payload = {});
+[[nodiscard]] ScmpMessage make_echo_reply(const ScmpMessage& request);
+[[nodiscard]] ScmpMessage make_external_iface_down(IsdAs origin,
+                                                   IfaceId iface);
+// Hop-limit expiry at `origin` — the basis of SCION traceroute here. The
+// identifier/sequence of the expiring echo probe are echoed back so the
+// prober can match responses.
+[[nodiscard]] ScmpMessage make_hop_limit_exceeded(IsdAs origin,
+                                                  std::uint16_t id,
+                                                  std::uint16_t seq);
+
+}  // namespace sciera::dataplane

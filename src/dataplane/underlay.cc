@@ -1,0 +1,3 @@
+#include "dataplane/underlay.h"
+
+// UnderlayFrame is header-only; this TU anchors its vtable.

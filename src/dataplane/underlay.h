@@ -1,0 +1,34 @@
+// The IP-UDP "Layer 2.5" underlay (Sections 2, 4.3.1): SCION packets are
+// encapsulated in IP-UDP so they can cross existing intra-AS IP networks
+// and L2 circuits unchanged. The frame carries the serialized SCION bytes
+// plus the underlay 5-tuple; wire size includes the encap overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/buffer.h"
+#include "simnet/node.h"
+
+namespace sciera::dataplane {
+
+// IPv4 (20) + UDP (8) encapsulation overhead.
+inline constexpr std::size_t kUnderlayOverhead = 28;
+// The single fixed underlay port the legacy dispatcher listens on
+// (Section 4.8); dispatcherless endpoints use ephemeral ports.
+inline constexpr std::uint16_t kDispatcherPort = 30041;
+
+struct UnderlayFrame final : simnet::Message {
+  Bytes scion_bytes;           // serialized ScionPacket
+  std::uint32_t src_ip = 0;    // intra-AS underlay addresses
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = kDispatcherPort;
+  std::uint16_t dst_port = kDispatcherPort;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return scion_bytes.size() + kUnderlayOverhead;
+  }
+  [[nodiscard]] std::string tag() const override { return "scion/udp"; }
+};
+
+}  // namespace sciera::dataplane

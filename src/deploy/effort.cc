@@ -1,0 +1,99 @@
+#include "deploy/effort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace sciera::deploy {
+namespace {
+
+IsdAs ia(const char* text) { return IsdAs::parse(text).value(); }
+
+}  // namespace
+
+const char* connection_kind_name(ConnectionKind kind) {
+  switch (kind) {
+    case ConnectionKind::kCoreNewHardware: return "core/new-hardware";
+    case ConnectionKind::kCoreReuse: return "core/reuse";
+    case ConnectionKind::kCoreReinstall: return "core/reinstall";
+    case ConnectionKind::kLeafGeantPlus: return "leaf/geant-plus";
+    case ConnectionKind::kLeafVlanMultiParty: return "leaf/vlan-multi-party";
+    case ConnectionKind::kLeafSharedVlan: return "leaf/shared-vlan";
+    case ConnectionKind::kLeafMultipointVlan: return "leaf/multipoint-vlan";
+    case ConnectionKind::kLeafVxlan: return "leaf/vxlan";
+  }
+  return "?";
+}
+
+std::vector<Deployment> sciera_deployments() {
+  using K = ConnectionKind;
+  // Dates from Figure 3; kinds and party counts from Appendix C.
+  return {
+      {"GEANT", ia("71-20965"), 2022, 6, K::kCoreNewHardware, 3},
+      {"SWITCH", ia("71-559"), 2022, 9, K::kCoreReuse, 2},
+      {"SIDN Labs", ia("71-1140"), 2023, 3, K::kLeafGeantPlus, 2},
+      {"BRIDGES", ia("71-2:0:35"), 2023, 3, K::kCoreNewHardware, 3},
+      {"UVa", ia("71-225"), 2023, 3, K::kLeafVlanMultiParty, 4},
+      {"Equinix", ia("71-2:0:48"), 2023, 5, K::kLeafVlanMultiParty, 3},
+      {"CybExer", ia("71-2:0:49"), 2023, 7, K::kLeafGeantPlus, 2},
+      {"Princeton", ia("71-88"), 2023, 8, K::kLeafVlanMultiParty, 4},
+      {"OVGU", ia("71-2:0:42"), 2023, 8, K::kLeafGeantPlus, 2},
+      {"Demokritos", ia("71-2546"), 2023, 9, K::kLeafGeantPlus, 2},
+      {"SEC", ia("71-2:0:18"), 2023, 10, K::kLeafVxlan, 3},
+      {"KISTI CHG", ia("71-2:0:3f"), 2023, 10, K::kCoreReinstall, 3},
+      {"UFMS", ia("71-2:0:5c"), 2024, 3, K::kLeafMultipointVlan, 3},
+      {"KISTI DJ", ia("71-2:0:3b"), 2024, 5, K::kCoreReinstall, 3},
+      {"KISTI SG", ia("71-2:0:3d"), 2024, 8, K::kCoreReinstall, 4},
+      {"KISTI AMS", ia("71-2:0:3e"), 2024, 8, K::kCoreReinstall, 3},
+      {"CCDCoE", ia("71-203311"), 2024, 9, K::kLeafSharedVlan, 2},
+      {"Korea University", ia("71-2:0:4a"), 2024, 11, K::kLeafGeantPlus, 2},
+      {"KAUST", ia("71-50999"), 2025, 3, K::kLeafVlanMultiParty, 3},
+      {"RNP", ia("71-1916"), 2025, 4, K::kLeafMultipointVlan, 3},
+      {"KISTI HK", ia("71-2:0:3c"), 2025, 5, K::kCoreReinstall, 3},
+      {"KISTI STL", ia("71-2:0:40"), 2025, 5, K::kCoreReinstall, 3},
+      {"NUS", ia("71-2:0:61"), 2025, 6, K::kLeafMultipointVlan, 2},
+  };
+}
+
+double EffortModel::base_effort(ConnectionKind kind) const {
+  switch (kind) {
+    case ConnectionKind::kCoreNewHardware: return 16.0;  // months of HW + L2
+    case ConnectionKind::kCoreReuse: return 2.5;
+    case ConnectionKind::kCoreReinstall: return 8.0;
+    case ConnectionKind::kLeafGeantPlus: return 2.0;
+    case ConnectionKind::kLeafVlanMultiParty: return 9.0;
+    case ConnectionKind::kLeafSharedVlan: return 1.0;
+    case ConnectionKind::kLeafMultipointVlan: return 3.0;
+    case ConnectionKind::kLeafVxlan: return 5.0;
+  }
+  return 4.0;
+}
+
+std::vector<EffortPoint> effort_timeline(
+    const std::vector<Deployment>& deployments, const EffortModel& model) {
+  std::vector<Deployment> ordered = deployments;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Deployment& x, const Deployment& y) {
+                     return x.timeline_month() < y.timeline_month();
+                   });
+  std::map<ConnectionKind, int> prior;
+  std::vector<EffortPoint> out;
+  int total_prior = 0;
+  for (const auto& deployment : ordered) {
+    const int same_kind = prior[deployment.kind]++;
+    // Kind-specific learning plus a slow overall learning effect from the
+    // team's accumulated experience and automation (Section 4.4).
+    const double kind_factor = std::pow(model.learning_rate, same_kind);
+    const double global_factor =
+        std::pow(0.985, static_cast<double>(total_prior));
+    double effort = model.base_effort(deployment.kind) * kind_factor *
+                        global_factor +
+                    model.per_party * std::max(0, deployment.parties - 2);
+    effort = std::max(effort, model.floor_effort);
+    out.push_back(EffortPoint{deployment, effort});
+    ++total_prior;
+  }
+  return out;
+}
+
+}  // namespace sciera::deploy

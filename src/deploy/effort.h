@@ -1,0 +1,67 @@
+// Deployment-effort model (Figure 3, Section 5.3, Appendix C): every
+// SCIERA AS deployment with its date and connection kind, and a
+// learning-curve effort model — first-of-a-kind setups are expensive
+// (hardware procurement, L2 circuit negotiation across parties), repeats
+// get cheap as the team, the automation (Section 4.4), and the NSPs gain
+// experience.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/isd_as.h"
+
+namespace sciera::deploy {
+
+enum class ConnectionKind : std::uint8_t {
+  kCoreNewHardware,    // new servers + international circuits (GEANT, BRIDGES)
+  kCoreReuse,          // experienced operator reusing infra (SWITCH)
+  kCoreReinstall,      // reinstalling existing nodes (KISTI ring)
+  kLeafGeantPlus,      // one GEANT Plus circuit (CybExer, Demokritos)
+  kLeafVlanMultiParty, // point-to-point VLANs across several parties (UVa)
+  kLeafSharedVlan,     // reusing existing VLANs (CCDCoE over CybExer's)
+  kLeafMultipointVlan, // AL2S multipoint VLAN (post-Princeton US sites)
+  kLeafVxlan,          // VXLAN over an open exchange (SEC)
+};
+
+[[nodiscard]] const char* connection_kind_name(ConnectionKind kind);
+
+struct Deployment {
+  std::string name;
+  IsdAs ia;
+  int year = 0;
+  int month = 0;  // 1..12
+  ConnectionKind kind = ConnectionKind::kLeafGeantPlus;
+  int parties = 2;  // organisations that had to coordinate
+
+  // Months since January 2022, for plotting.
+  [[nodiscard]] double timeline_month() const {
+    return static_cast<double>((year - 2022) * 12 + (month - 1));
+  }
+};
+
+// The Figure 3 deployment history.
+[[nodiscard]] std::vector<Deployment> sciera_deployments();
+
+struct EffortModel {
+  // Base effort (person-weeks) per connection kind, first deployment.
+  double base_effort(ConnectionKind kind) const;
+  // Multiplicative reduction per prior same-kind deployment.
+  double learning_rate = 0.62;
+  // Extra coordination cost per party beyond two.
+  double per_party = 1.1;
+  // Floor: even routine deployments need some hours.
+  double floor_effort = 0.4;
+};
+
+struct EffortPoint {
+  Deployment deployment;
+  double effort = 0;  // person-weeks (relative scale)
+};
+
+// Applies the learning-curve model over the chronological deployment
+// sequence (the Figure 3 series).
+[[nodiscard]] std::vector<EffortPoint> effort_timeline(
+    const std::vector<Deployment>& deployments, const EffortModel& model = {});
+
+}  // namespace sciera::deploy

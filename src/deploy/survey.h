@@ -1,0 +1,65 @@
+// The operator survey of Section 5.6: eight anonymous responses across
+// three areas (deployment experience, CAPEX, OPEX), encoded as the raw
+// records behind the paper's percentages, plus the aggregations that
+// regenerate every number the section reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sciera::deploy {
+
+enum class Role : std::uint8_t { kNetworkEngineer, kResearcher };
+enum class SetupTime : std::uint8_t {
+  kUnderOneMonth,
+  kUnderSixMonths,
+  kLonger,
+};
+enum class OpexRating : std::uint8_t { kLower, kComparable, kSlightlyHigher };
+
+struct SurveyResponse {
+  int id = 0;
+  Role role = Role::kNetworkEngineer;
+  bool over_decade_experience = false;
+  SetupTime setup_time = SetupTime::kUnderSixMonths;
+  bool deployed_without_vendor_support = false;
+  bool hardware_under_20k_usd = false;
+  bool no_licensing_costs = false;
+  bool no_additional_hiring = false;
+  OpexRating opex = OpexRating::kComparable;
+  // Cost drivers (multi-select).
+  bool driver_hardware_maintenance = false;
+  bool driver_staff_workload = false;
+  bool driver_monitoring = false;
+  bool driver_power = false;
+  bool sciera_under_10pct_workload = false;
+  bool vendor_support_under_3_per_year = false;
+};
+
+// The eight responses, consistent with every percentage in Section 5.6.
+[[nodiscard]] std::vector<SurveyResponse> survey_responses();
+
+struct SurveySummary {
+  int respondents = 0;
+  double pct_over_decade_experience = 0;
+  double pct_engineers = 0;
+  double pct_setup_under_month = 0;
+  double pct_setup_under_six_months = 0;  // cumulative with under-month
+  double pct_no_vendor_support_needed = 0;
+  double pct_hardware_under_20k = 0;
+  double pct_no_licensing = 0;
+  double pct_no_hiring = 0;
+  double pct_opex_comparable_or_lower = 0;
+  double pct_driver_hardware = 0;
+  double pct_driver_staff = 0;
+  double pct_driver_monitoring = 0;
+  double pct_driver_power = 0;
+  double pct_under_10pct_workload = 0;
+  double pct_vendor_support_rare = 0;
+};
+
+[[nodiscard]] SurveySummary summarize(
+    const std::vector<SurveyResponse>& responses);
+[[nodiscard]] std::string render_summary(const SurveySummary& summary);
+
+}  // namespace sciera::deploy

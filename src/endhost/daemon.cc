@@ -1,0 +1,54 @@
+#include "endhost/daemon.h"
+
+namespace sciera::endhost {
+
+Daemon::Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config)
+    : net_(net), ia_(ia), config_(config),
+      service_(net.control_service(ia)) {}
+
+std::vector<controlplane::Path> Daemon::filter_alive(
+    std::vector<controlplane::Path> paths) const {
+  std::erase_if(paths, [this](const controlplane::Path& path) {
+    return !path_alive(path);
+  });
+  return paths;
+}
+
+std::vector<controlplane::Path> Daemon::paths(IsdAs dst) {
+  ++lookups_;
+  auto it = cache_.find(dst);
+  if (it == cache_.end() ||
+      net_.sim().now() - it->second.fetched_at > config_.path_cache_ttl) {
+    CacheEntry entry;
+    entry.paths = service_->lookup_paths_now(dst);
+    entry.fetched_at = net_.sim().now();
+    it = cache_.insert_or_assign(dst, std::move(entry)).first;
+  }
+  return filter_alive(it->second.paths);
+}
+
+void Daemon::paths_async(
+    IsdAs dst, std::function<void(std::vector<controlplane::Path>)> cb) {
+  ++lookups_;
+  service_->lookup_paths(
+      dst, [this, cb = std::move(cb)](
+               const std::vector<controlplane::Path>& paths) {
+        cb(filter_alive(paths));
+      });
+}
+
+const cppki::Trc* Daemon::trc(Isd isd) const {
+  auto* pki = net_.pki(isd);
+  return pki == nullptr ? nullptr : &pki->trc();
+}
+
+void Daemon::report_path_down(const std::string& fingerprint) {
+  down_until_[fingerprint] = net_.sim().now() + config_.down_path_penalty;
+}
+
+bool Daemon::path_alive(const controlplane::Path& path) const {
+  const auto it = down_until_.find(path.fingerprint());
+  return it == down_until_.end() || net_.sim().now() >= it->second;
+}
+
+}  // namespace sciera::endhost

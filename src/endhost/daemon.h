@@ -1,0 +1,62 @@
+// The SCION daemon (Section 2, "End-host Stack"): the per-host control
+// plane client. It consolidates path lookup and caching, keeps the TRC
+// database, and tracks data-plane path liveness (SCMP feedback) so
+// applications can fail over instantly.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "controlplane/control_plane.h"
+
+namespace sciera::endhost {
+
+class Daemon {
+ public:
+  struct Config {
+    Duration path_cache_ttl = 5 * kMinute;
+    Duration down_path_penalty = 90 * kSecond;
+  };
+
+  Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config);
+  Daemon(controlplane::ScionNetwork& net, IsdAs ia)
+      : Daemon(net, ia, Config{}) {}
+
+  [[nodiscard]] IsdAs isd_as() const { return ia_; }
+
+  // Live paths toward dst (cached; drops paths reported down).
+  [[nodiscard]] std::vector<controlplane::Path> paths(IsdAs dst);
+  void paths_async(IsdAs dst,
+                   std::function<void(std::vector<controlplane::Path>)> cb);
+
+  // The daemon's TRC database (fed from the local control service's ISD
+  // plus any TRCs learned during bootstrap).
+  [[nodiscard]] const cppki::Trc* trc(Isd isd) const;
+
+  // SCMP feedback: a path failed on the data plane (e.g. external
+  // interface down). It is quarantined for down_path_penalty.
+  void report_path_down(const std::string& fingerprint);
+  [[nodiscard]] bool path_alive(const controlplane::Path& path) const;
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  void flush_cache() { cache_.clear(); }
+
+ private:
+  struct CacheEntry {
+    std::vector<controlplane::Path> paths;
+    SimTime fetched_at = 0;
+  };
+
+  [[nodiscard]] std::vector<controlplane::Path> filter_alive(
+      std::vector<controlplane::Path> paths) const;
+
+  controlplane::ScionNetwork& net_;
+  IsdAs ia_;
+  Config config_;
+  controlplane::ControlService* service_;
+  std::unordered_map<IsdAs, CacheEntry> cache_;
+  std::map<std::string, SimTime> down_until_;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace sciera::endhost

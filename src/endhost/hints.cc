@@ -1,0 +1,104 @@
+#include "endhost/hints.h"
+
+namespace sciera::endhost {
+
+const char* hint_mechanism_name(HintMechanism mechanism) {
+  switch (mechanism) {
+    case HintMechanism::kDhcpVivo: return "DHCP-VIVO";
+    case HintMechanism::kDhcpOption72: return "DHCP-opt72";
+    case HintMechanism::kDhcpv6Vsio: return "DHCPv6-VSIO";
+    case HintMechanism::kIpv6Ndp: return "IPv6-NDP";
+    case HintMechanism::kDnsSrv: return "DNS-SRV";
+    case HintMechanism::kDnsNaptr: return "DNS-NAPTR";
+    case HintMechanism::kDnsSd: return "DNS-SD";
+    case HintMechanism::kMdns: return "mDNS";
+  }
+  return "?";
+}
+
+std::vector<HintMechanism> all_hint_mechanisms() {
+  return {HintMechanism::kDhcpVivo,  HintMechanism::kDhcpOption72,
+          HintMechanism::kDhcpv6Vsio, HintMechanism::kIpv6Ndp,
+          HintMechanism::kDnsSrv,     HintMechanism::kDnsNaptr,
+          HintMechanism::kDnsSd,      HintMechanism::kMdns};
+}
+
+bool mechanism_available(HintMechanism mechanism,
+                         const NetworkEnvironment& env) {
+  // Encodes Table 2 of the paper, plus whether the operator configured the
+  // hint on that channel.
+  const bool dns_usable =
+      env.local_dns_search_domain && env.dns_hints_configured;
+  switch (mechanism) {
+    case HintMechanism::kDhcpVivo:
+    case HintMechanism::kDhcpOption72:
+      return !env.static_ips_only && env.dhcp_leases &&
+             env.dhcp_hint_configured;
+    case HintMechanism::kDhcpv6Vsio:
+      return !env.static_ips_only && env.dhcpv6_leases &&
+             env.dhcpv6_hint_configured;
+    case HintMechanism::kIpv6Ndp:
+      // Needs RAs carrying DNS config, then the DNS-based discovery.
+      return env.ipv6_ras && dns_usable;
+    case HintMechanism::kDnsSrv:
+    case HintMechanism::kDnsNaptr:
+    case HintMechanism::kDnsSd:
+      return dns_usable;
+    case HintMechanism::kMdns:
+      return env.multicast_allowed && env.mdns_responder_present;
+  }
+  return false;
+}
+
+OsProfile windows_profile() {
+  // Service-based resolver and DHCP client add indirection.
+  return OsProfile{"Windows", 180 * kMicrosecond, 1200 * kMicrosecond, 0.45};
+}
+
+OsProfile linux_profile() {
+  return OsProfile{"Linux", 60 * kMicrosecond, 250 * kMicrosecond, 0.35};
+}
+
+OsProfile macos_profile() {
+  return OsProfile{"Mac", 90 * kMicrosecond, 600 * kMicrosecond, 0.40};
+}
+
+std::vector<OsProfile> all_os_profiles() {
+  return {windows_profile(), linux_profile(), macos_profile()};
+}
+
+int mechanism_round_trips(HintMechanism mechanism) {
+  switch (mechanism) {
+    case HintMechanism::kDhcpVivo: return 2;      // DISCOVER/OFFER+REQ/ACK reuse: INFORM/ACK x2
+    case HintMechanism::kDhcpOption72: return 2;
+    case HintMechanism::kDhcpv6Vsio: return 2;    // INFORMATION-REQUEST/REPLY
+    case HintMechanism::kIpv6Ndp: return 3;       // RS/RA + 2 DNS queries
+    case HintMechanism::kDnsSrv: return 2;        // SRV + A
+    case HintMechanism::kDnsNaptr: return 3;      // NAPTR + SRV + A
+    case HintMechanism::kDnsSd: return 3;         // PTR + SRV + A
+    case HintMechanism::kMdns: return 2;          // multicast query + A
+  }
+  return 2;
+}
+
+Duration sample_hint_latency(HintMechanism mechanism,
+                             const NetworkEnvironment& env,
+                             const OsProfile& os, Rng& rng) {
+  const int rtts = mechanism_round_trips(mechanism);
+  double total_ms = 0.0;
+  for (int i = 0; i < rtts; ++i) {
+    const double wire_ms = to_ms(2 * env.lan_one_way) *
+                           rng.lognormal_median(1.0, 0.25);
+    const double stack_ms =
+        to_ms(os.syscall_overhead + os.service_overhead) *
+        rng.lognormal_median(1.0, os.variance_sigma);
+    total_ms += wire_ms + stack_ms;
+  }
+  // mDNS waits a short aggregation interval for responders.
+  if (mechanism == HintMechanism::kMdns) {
+    total_ms += rng.uniform(20.0, 120.0);
+  }
+  return from_ms(total_ms);
+}
+
+}  // namespace sciera::endhost

@@ -1,0 +1,78 @@
+// Bootstrapping hint discovery (Section 4.1, Appendix A): the mechanisms a
+// fresh end host can use to find the bootstrapping server without manual
+// configuration, each piggybacking on protocols already present in the
+// network (DHCP, NDP, DNS). Availability follows Table 2; retrieval cost
+// is modelled as the mechanism's real message exchanges over the local
+// network plus per-OS stack overhead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace sciera::endhost {
+
+enum class HintMechanism : std::uint8_t {
+  kDhcpVivo,      // DHCPv4 Vendor-Identifying Vendor Option (RFC 3925)
+  kDhcpOption72,  // DHCPv4 "Default WWW server" fallback option
+  kDhcpv6Vsio,    // DHCPv6 Vendor-Specific Information Option (RFC 3315)
+  kIpv6Ndp,       // RA-delivered DNS config (RFC 6106) + DNS lookup
+  kDnsSrv,        // _sciondiscovery._tcp SRV (RFC 2782)
+  kDnsNaptr,      // x-sciondiscovery NAPTR (RFC 2915)
+  kDnsSd,         // DNS-SD PTR -> SRV (RFC 6763)
+  kMdns,          // multicast DNS (RFC 6762)
+};
+
+[[nodiscard]] const char* hint_mechanism_name(HintMechanism mechanism);
+[[nodiscard]] std::vector<HintMechanism> all_hint_mechanisms();
+
+// What zero-conf machinery exists in the network a host joins (the columns
+// of Table 2).
+struct NetworkEnvironment {
+  bool static_ips_only = false;
+  bool dhcp_leases = true;          // dynamic DHCPv4
+  bool dhcpv6_leases = false;
+  bool ipv6_ras = false;            // IPv6 RAs with DNS options
+  bool local_dns_search_domain = true;
+  bool multicast_allowed = true;
+  // Operator actually configured the hint on each channel:
+  bool dhcp_hint_configured = true;
+  bool dhcpv6_hint_configured = false;
+  bool dns_hints_configured = true;
+  bool mdns_responder_present = false;
+  // One-way latency to local infrastructure servers (DHCP/DNS/bootstrap).
+  Duration lan_one_way = 400 * kMicrosecond;
+};
+
+// Table 2: is the mechanism available ("Y"/"M") in this environment?
+[[nodiscard]] bool mechanism_available(HintMechanism mechanism,
+                                       const NetworkEnvironment& env);
+
+// OS profile: per-message-exchange stack overhead (socket setup, service
+// round trips, API layers) — why the Figure 4 boxes differ per OS.
+struct OsProfile {
+  std::string name;
+  Duration syscall_overhead;   // per network operation
+  Duration service_overhead;   // OS service indirection (e.g. resolver svc)
+  double variance_sigma;       // log-normal spread of the above
+};
+
+[[nodiscard]] OsProfile windows_profile();
+[[nodiscard]] OsProfile linux_profile();
+[[nodiscard]] OsProfile macos_profile();
+[[nodiscard]] std::vector<OsProfile> all_os_profiles();
+
+// Number of request/response exchanges on the LAN each mechanism needs
+// (DHCP INFORM, DNS queries, mDNS multicast...).
+[[nodiscard]] int mechanism_round_trips(HintMechanism mechanism);
+
+// Samples the time to retrieve the bootstrapping hint.
+[[nodiscard]] Duration sample_hint_latency(HintMechanism mechanism,
+                                           const NetworkEnvironment& env,
+                                           const OsProfile& os, Rng& rng);
+
+}  // namespace sciera::endhost

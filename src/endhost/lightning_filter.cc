@@ -1,0 +1,81 @@
+#include "endhost/lightning_filter.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+
+namespace sciera::endhost {
+
+LightningFilter::LightningFilter(BytesView filter_secret, Config config)
+    : secret_(filter_secret.begin(), filter_secret.end()),
+      config_(std::move(config)) {}
+
+crypto::Aes128::Key LightningFilter::key_for(IsdAs src) const {
+  Writer w;
+  w.str("lightning-drkey-v1");
+  w.u64(src.packed());
+  Bytes input = secret_;
+  const Bytes label = std::move(w).take();
+  const auto digest = crypto::hmac_sha256(input, label);
+  crypto::Aes128::Key key{};
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+Bytes LightningFilter::make_authenticator(IsdAs src, BytesView payload) const {
+  const crypto::AesCmac cmac{key_for(src)};
+  const auto mac = cmac.compute(payload);
+  return Bytes{mac.begin(), mac.end()};
+}
+
+LightningFilter::Verdict LightningFilter::check(
+    const dataplane::ScionPacket& packet, SimTime now) {
+  // AS-level allow rule.
+  if (!config_.allowed_sources.empty() &&
+      std::find(config_.allowed_sources.begin(),
+                config_.allowed_sources.end(),
+                packet.src.ia) == config_.allowed_sources.end()) {
+    ++stats_.dropped_rule;
+    return Verdict::kDropRule;
+  }
+  // Authentication: payload must end with a valid 16-byte CMAC.
+  if (config_.require_auth) {
+    if (packet.payload.size() < 16) {
+      ++stats_.dropped_auth;
+      return Verdict::kDropAuth;
+    }
+    const BytesView body{packet.payload.data(), packet.payload.size() - 16};
+    const BytesView tag{packet.payload.data() + packet.payload.size() - 16,
+                        16};
+    const crypto::AesCmac cmac{key_for(packet.src.ia)};
+    if (!cmac.verify(body, tag)) {
+      ++stats_.dropped_auth;
+      return Verdict::kDropAuth;
+    }
+  }
+  // Per-source rate limit (token bucket).
+  if (config_.rate_pps > 0) {
+    Bucket& bucket = buckets_[packet.src.ia.packed()];
+    const double elapsed =
+        static_cast<double>(now - bucket.last) / static_cast<double>(kSecond);
+    bucket.tokens = std::min(config_.burst,
+                             bucket.tokens + elapsed * config_.rate_pps);
+    bucket.last = now;
+    if (bucket.tokens < 1.0) {
+      ++stats_.dropped_rate;
+      return Verdict::kDropRate;
+    }
+    bucket.tokens -= 1.0;
+  }
+  ++stats_.accepted;
+  return Verdict::kAccept;
+}
+
+double LightningFilter::throughput_bps(std::size_t packet_bytes,
+                                       bool rss) const {
+  const double cores = rss ? config_.cores : 1;
+  return config_.per_core_pps * cores *
+         static_cast<double>(packet_bytes) * 8.0;
+}
+
+}  // namespace sciera::endhost

@@ -1,0 +1,178 @@
+#include "endhost/pan.h"
+
+namespace sciera::endhost {
+
+const char* stack_mode_name(StackMode mode) {
+  switch (mode) {
+    case StackMode::kDaemonDependent: return "daemon-dependent";
+    case StackMode::kBootstrapperDependent: return "bootstrapper-dependent";
+    case StackMode::kStandalone: return "standalone";
+  }
+  return "?";
+}
+
+PanContext::PanContext(HostEnvironment env, StackMode mode)
+    : env_(std::move(env)), mode_(mode) {
+  stack_ = std::make_unique<HostStack>(*env_.net, env_.address,
+                                       env_.stack_config);
+}
+
+Result<std::unique_ptr<PanContext>> PanContext::create(HostEnvironment env,
+                                                       Rng rng) {
+  if (env.net == nullptr) {
+    return Error{Errc::kInvalidArgument, "no network in host environment"};
+  }
+  // Automatic fallback chain (Section 4.2.1).
+  StackMode mode;
+  if (env.daemon != nullptr) {
+    mode = StackMode::kDaemonDependent;
+  } else if (env.bootstrapper_state != nullptr) {
+    mode = StackMode::kBootstrapperDependent;
+  } else {
+    mode = StackMode::kStandalone;
+  }
+  auto ctx = std::unique_ptr<PanContext>(new PanContext(std::move(env), mode));
+  if (mode == StackMode::kStandalone) {
+    if (ctx->env_.bootstrap_server == nullptr) {
+      return Error{Errc::kUnreachable,
+                   "standalone mode needs a reachable bootstrap server"};
+    }
+    Bootstrapper bootstrapper{ctx->env_.network_env, ctx->env_.os};
+    auto result = bootstrapper.run(*ctx->env_.bootstrap_server, rng,
+                                   ctx->env_.net->sim().now());
+    if (!result) return result.error();
+    ctx->bootstrap_time_ = result->timings.total();
+    ctx->own_bootstrap_ = std::move(result).value();
+  }
+  return ctx;
+}
+
+std::vector<controlplane::Path> PanContext::paths(IsdAs dst,
+                                                  const PathPolicy& policy) {
+  std::vector<controlplane::Path> raw;
+  if (mode_ == StackMode::kDaemonDependent) {
+    raw = env_.daemon->paths(dst);
+  } else {
+    // Without a daemon the library talks to the control service itself and
+    // applies its private liveness table.
+    auto* cs = env_.net->control_service(env_.address.ia);
+    raw = cs->lookup_paths_now(dst);
+    std::erase_if(raw, [this](const controlplane::Path& path) {
+      const auto it = down_until_.find(path.fingerprint());
+      return it != down_until_.end() && env_.net->sim().now() < it->second;
+    });
+  }
+  return policy.apply(std::move(raw));
+}
+
+void PanContext::report_path_down(const std::string& fingerprint) {
+  if (mode_ == StackMode::kDaemonDependent) {
+    env_.daemon->report_path_down(fingerprint);
+  } else {
+    down_until_[fingerprint] = env_.net->sim().now() + 90 * kSecond;
+  }
+}
+
+Result<Duration> PanContext::handle_network_change(Rng& rng) {
+  switch (mode_) {
+    case StackMode::kDaemonDependent:
+      // The shared daemon re-bootstraps once for every app: free here.
+      env_.daemon->flush_cache();
+      return Duration{0};
+    case StackMode::kBootstrapperDependent:
+      // The shared bootstrapper refreshes its state: apps only flush.
+      return Duration{0};
+    case StackMode::kStandalone: {
+      // Each application must detect the change and re-bootstrap itself —
+      // the inefficiency Section 4.2.1 calls out.
+      if (env_.bootstrap_server == nullptr) {
+        return Error{Errc::kUnreachable, "no bootstrap server"};
+      }
+      Bootstrapper bootstrapper{env_.network_env, env_.os};
+      auto result = bootstrapper.run(*env_.bootstrap_server, rng,
+                                     env_.net->sim().now());
+      if (!result) return result.error();
+      bootstrap_time_ = result->timings.total();
+      own_bootstrap_ = std::move(result).value();
+      return bootstrap_time_;
+    }
+  }
+  return Error{Errc::kInternal, "unreachable"};
+}
+
+PanSocket::PanSocket(PanContext& ctx, std::uint16_t port)
+    : ctx_(ctx), port_(port) {}
+
+Result<std::unique_ptr<PanSocket>> PanSocket::open(PanContext& ctx,
+                                                   std::uint16_t port,
+                                                   Handler handler) {
+  auto bound = ctx.stack().bind(
+      port, [handler = std::move(handler)](
+                const dataplane::ScionPacket& packet,
+                const dataplane::UdpDatagram& datagram, SimTime arrival) {
+        handler(packet.src, datagram.src_port, datagram.data, arrival);
+      });
+  if (!bound) return bound.error();
+  return std::unique_ptr<PanSocket>(new PanSocket(ctx, bound.value()));
+}
+
+PanSocket::~PanSocket() { ctx_.stack().unbind(port_); }
+
+Status PanSocket::select_path(IsdAs dst, std::size_t index) {
+  const auto options = ctx_.paths(dst, policy_);
+  if (index >= options.size()) {
+    return Error{Errc::kNotFound,
+                 "path index " + std::to_string(index) + " out of range (" +
+                     std::to_string(options.size()) + " paths)"};
+  }
+  pinned_[dst] = options[index];
+  return {};
+}
+
+Result<controlplane::Path> PanSocket::current_path(IsdAs dst) {
+  const auto pin = pinned_.find(dst);
+  if (pin != pinned_.end() && ctx_.network().path_usable(pin->second)) {
+    return pin->second;
+  }
+  auto options = ctx_.paths(dst, policy_);
+  std::erase_if(options, [this](const controlplane::Path& path) {
+    return !ctx_.network().path_usable(path);
+  });
+  if (options.empty()) {
+    return Error{Errc::kUnreachable, "no usable path to " + dst.to_string()};
+  }
+  return options.front();
+}
+
+Status PanSocket::send_to(const dataplane::Address& dst,
+                          std::uint16_t dst_port, BytesView data) {
+  if (dst.ia == ctx_.local_address().ia) {
+    // Intra-AS: empty path, plain IP underlay.
+    dataplane::ScionPacket packet;
+    packet.path_type = dataplane::PathType::kEmpty;
+    packet.dst = dst;
+    packet.next_hdr = dataplane::kProtoUdp;
+    dataplane::UdpDatagram datagram;
+    datagram.src_port = port_;
+    datagram.dst_port = dst_port;
+    datagram.data = Bytes{data.begin(), data.end()};
+    packet.payload = datagram.serialize();
+    ++sent_;
+    return ctx_.stack().send(std::move(packet));
+  }
+  auto path = current_path(dst.ia);
+  if (!path) return path.error();
+  dataplane::ScionPacket packet;
+  packet.dst = dst;
+  packet.next_hdr = dataplane::kProtoUdp;
+  packet.path = path->dataplane_path;
+  dataplane::UdpDatagram datagram;
+  datagram.src_port = port_;
+  datagram.dst_port = dst_port;
+  datagram.data = Bytes{data.begin(), data.end()};
+  packet.payload = datagram.serialize();
+  ++sent_;
+  return ctx_.stack().send(std::move(packet));
+}
+
+}  // namespace sciera::endhost

@@ -1,0 +1,125 @@
+// The PAN-style application library (Section 4.2): the drop-in socket API
+// that makes applications SCION-aware with a handful of lines (Section
+// 5.2's bat/Caddy/netcat case studies). The library resolves its
+// operating mode automatically (Section 4.2.1):
+//
+//   daemon-dependent      — a daemon is running; use it for paths/TRCs.
+//   bootstrapper-dependent — no daemon, but a pre-installed bootstrapper
+//                            left configuration behind.
+//   standalone            — nothing installed: the library bootstraps
+//                            itself in-process ("it will just work").
+#pragma once
+
+#include <memory>
+
+#include "endhost/bootstrapper.h"
+#include "endhost/daemon.h"
+#include "endhost/dispatcher.h"
+#include "endhost/policy.h"
+
+namespace sciera::endhost {
+
+enum class StackMode {
+  kDaemonDependent,
+  kBootstrapperDependent,
+  kStandalone,
+};
+
+[[nodiscard]] const char* stack_mode_name(StackMode mode);
+
+// Everything the library can probe on the host it runs on.
+struct HostEnvironment {
+  controlplane::ScionNetwork* net = nullptr;
+  dataplane::Address address;
+  Daemon* daemon = nullptr;                       // running daemon, if any
+  const BootstrapResult* bootstrapper_state = nullptr;  // pre-installed
+  const BootstrapServer* bootstrap_server = nullptr;    // reachable in-AS
+  NetworkEnvironment network_env;
+  OsProfile os = linux_profile();
+  HostStack::Config stack_config;
+};
+
+class PanContext {
+ public:
+  // Resolves the mode and (in standalone mode) performs the in-app
+  // bootstrap. "There is no need to explicitly choose a mode of
+  // operation" — the fallback chain is automatic.
+  static Result<std::unique_ptr<PanContext>> create(HostEnvironment env,
+                                                    Rng rng);
+
+  [[nodiscard]] StackMode mode() const { return mode_; }
+  // Time the application spent bootstrapping (zero with a daemon).
+  [[nodiscard]] Duration bootstrap_time() const { return bootstrap_time_; }
+  [[nodiscard]] HostStack& stack() { return *stack_; }
+  [[nodiscard]] controlplane::ScionNetwork& network() { return *env_.net; }
+  [[nodiscard]] const dataplane::Address& local_address() const {
+    return env_.address;
+  }
+
+  // Live paths toward dst under a policy (already sorted best-first).
+  [[nodiscard]] std::vector<controlplane::Path> paths(
+      IsdAs dst, const PathPolicy& policy = PathPolicy{});
+
+  // Data-plane failure feedback propagated from sockets.
+  void report_path_down(const std::string& fingerprint);
+
+  // Network-change handling (Section 4.2.1: standalone mode re-bootstraps
+  // per application). Returns the re-bootstrap cost.
+  Result<Duration> handle_network_change(Rng& rng);
+
+ private:
+  PanContext(HostEnvironment env, StackMode mode);
+
+  HostEnvironment env_;
+  StackMode mode_;
+  std::unique_ptr<HostStack> stack_;
+  std::optional<BootstrapResult> own_bootstrap_;
+  Duration bootstrap_time_ = 0;
+  // Standalone/bootstrapper modes keep a private liveness table (no shared
+  // daemon cache — the cost called out in Section 4.2.1).
+  std::map<std::string, SimTime> down_until_;
+};
+
+// A drop-in UDP-style socket (Section 4.2.2): mirrors sendto/recvfrom
+// while adding path awareness. Handles Layer-2.5 encapsulation, path
+// selection under the configured policy, and failover.
+class PanSocket {
+ public:
+  using Handler = std::function<void(const dataplane::Address& src,
+                                     std::uint16_t src_port, const Bytes& data,
+                                     SimTime arrival)>;
+
+  // Binds `port` (0 = ephemeral) on the context's host stack.
+  static Result<std::unique_ptr<PanSocket>> open(PanContext& ctx,
+                                                 std::uint16_t port,
+                                                 Handler handler);
+  ~PanSocket();
+  PanSocket(const PanSocket&) = delete;
+  PanSocket& operator=(const PanSocket&) = delete;
+
+  [[nodiscard]] std::uint16_t local_port() const { return port_; }
+
+  void set_policy(PathPolicy policy) { policy_ = std::move(policy); }
+  // Interactive path selection (the bat tool's --interactive flag): pin
+  // the nth policy-admitted path for a destination.
+  Status select_path(IsdAs dst, std::size_t index);
+  void clear_selection(IsdAs dst) { pinned_.erase(dst); }
+  // The path the next send to dst would use.
+  [[nodiscard]] Result<controlplane::Path> current_path(IsdAs dst);
+
+  Status send_to(const dataplane::Address& dst, std::uint16_t dst_port,
+                 BytesView data);
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  PanSocket(PanContext& ctx, std::uint16_t port);
+
+  PanContext& ctx_;
+  std::uint16_t port_;
+  PathPolicy policy_;
+  std::map<IsdAs, controlplane::Path> pinned_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace sciera::endhost

@@ -1,0 +1,72 @@
+// Path policies (Sections 4.2.2, 4.7, 4.9): filtering (geofencing, AS
+// deny-lists, the SCIERA no-commercial-transit rule) and preference
+// sorting (hops, latency, disjointness, carbon-aware "green" routing).
+// This is what the PAN-style socket exposes to applications via its
+// policy/preference flags — the bat tool's CLI options in Section 5.2.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "controlplane/combinator.h"
+
+namespace sciera::endhost {
+
+// Per-AS carbon intensity (gCO2eq/kWh of the hosting grid), the input to
+// green routing [Tabaeiaghdaei et al., e-Energy 2023].
+class CarbonMap {
+ public:
+  void set(IsdAs ia, double intensity) { intensity_[ia] = intensity; }
+  [[nodiscard]] double get(IsdAs ia) const {
+    const auto it = intensity_.find(ia);
+    return it == intensity_.end() ? default_intensity_ : it->second;
+  }
+  void set_default(double intensity) { default_intensity_ = intensity; }
+
+  // Grid intensities for the SCIERA PoP countries (approximate public
+  // figures; relative order is what matters for path choice).
+  static CarbonMap sciera_defaults();
+
+ private:
+  std::map<IsdAs, double> intensity_;
+  double default_intensity_ = 300.0;
+};
+
+// Sum of per-AS intensities along the path (simple additive model).
+[[nodiscard]] double path_carbon_score(const controlplane::Path& path,
+                                       const CarbonMap& carbon);
+
+struct PathPolicy {
+  enum class Preference { kHops, kLatency, kDisjointness, kCarbon };
+
+  // --- Filters -------------------------------------------------------------
+  std::vector<IsdAs> deny_ases;
+  std::vector<Isd> deny_isds;  // geofencing: never cross these ISDs
+  std::vector<IsdAs> require_ases;
+  std::optional<std::size_t> max_hops;
+  // Section 4.9: commercial ISDs may appear only as endpoints, never as
+  // transit, so SCIERA cannot be abused as free transit.
+  bool forbid_commercial_transit = false;
+  std::vector<Isd> commercial_isds = {64};
+
+  // --- Ordering --------------------------------------------------------------
+  // Applied lexicographically, like PAN's comma-separated sorting options.
+  std::vector<Preference> preference = {Preference::kLatency};
+  // Reference path for the disjointness preference (most-disjoint-from).
+  std::optional<controlplane::Path> disjoint_reference;
+  CarbonMap carbon = CarbonMap::sciera_defaults();
+
+  [[nodiscard]] bool admits(const controlplane::Path& path) const;
+  // Filters + sorts; the first element is the policy's preferred path.
+  [[nodiscard]] std::vector<controlplane::Path> apply(
+      std::vector<controlplane::Path> paths) const;
+};
+
+// Convenience builders mirroring the bat tool's CLI flags.
+[[nodiscard]] PathPolicy lowest_latency_policy();
+[[nodiscard]] PathPolicy fewest_hops_policy();
+[[nodiscard]] PathPolicy green_policy();
+[[nodiscard]] PathPolicy geofence_policy(std::vector<Isd> deny_isds);
+
+}  // namespace sciera::endhost

@@ -1,0 +1,41 @@
+// SCION traceroute: walks a concrete path hop by hop using expiring hop
+// limits, revealing which AS answers at each position and its RTT — the
+// path-debugging companion to `showpaths` (operators' first tool when a
+// Section 4.4 alert fires).
+#pragma once
+
+#include "endhost/dispatcher.h"
+
+namespace sciera::endhost {
+
+struct TracerouteHop {
+  int position = 0;      // 1-based hop index
+  IsdAs ia;              // answering AS
+  Duration rtt = 0;
+  bool is_destination = false;
+  bool timed_out = false;
+};
+
+class Traceroute {
+ public:
+  struct Config {
+    Duration probe_timeout = 3 * kSecond;
+    std::uint16_t identifier = 0x7EAC;
+  };
+
+  // The host stack must have no other SCMP receiver attached while a
+  // traceroute runs (the utility installs and removes its own).
+  Traceroute(HostStack& stack, Config config) : stack_(stack), config_(config) {}
+  explicit Traceroute(HostStack& stack) : Traceroute(stack, Config{}) {}
+
+  // Probes `path` toward dst, driving the simulator. One probe per hop,
+  // sequentially, like the classic utility.
+  [[nodiscard]] std::vector<TracerouteHop> run(
+      const dataplane::Address& dst, const controlplane::Path& path);
+
+ private:
+  HostStack& stack_;
+  Config config_;
+};
+
+}  // namespace sciera::endhost

@@ -1,0 +1,105 @@
+#include "sig/sig.h"
+
+namespace sciera::sig {
+
+Bytes IpPacket::serialize() const {
+  Writer w;
+  w.u32(src_ip);
+  w.u32(dst_ip);
+  w.u8(protocol);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Result<IpPacket> IpPacket::parse(BytesView bytes) {
+  Reader r{bytes};
+  auto src = r.u32();
+  auto dst = r.u32();
+  auto proto = r.u8();
+  auto len = r.u32();
+  if (!src || !dst || !proto || !len) {
+    return Error{Errc::kParseError, "truncated IP header"};
+  }
+  auto payload = r.raw(*len);
+  if (!payload) return payload.error();
+  IpPacket packet;
+  packet.src_ip = *src;
+  packet.dst_ip = *dst;
+  packet.protocol = *proto;
+  packet.payload = std::move(payload).value();
+  return packet;
+}
+
+ScionIpGateway::ScionIpGateway(controlplane::ScionNetwork& net,
+                               dataplane::Address addr, IpDelivery delivery)
+    : net_(net),
+      stack_(net, addr),
+      daemon_(net, addr.ia),
+      delivery_(std::move(delivery)) {
+  (void)stack_.bind(kSigPort,
+                    [this](const dataplane::ScionPacket& packet,
+                           const dataplane::UdpDatagram& datagram,
+                           SimTime arrival) {
+                      on_tunnel_packet(packet, datagram, arrival);
+                    });
+}
+
+void ScionIpGateway::add_rule(IpPrefix prefix, dataplane::Address remote) {
+  rules_.emplace_back(prefix, remote);
+}
+
+Status ScionIpGateway::send_ip(const IpPacket& packet) {
+  const dataplane::Address* remote = nullptr;
+  for (const auto& [prefix, sig] : rules_) {
+    if (prefix.contains(packet.dst_ip)) {
+      remote = &sig;
+      break;
+    }
+  }
+  if (remote == nullptr) {
+    ++stats_.no_rule;
+    return Error{Errc::kNotFound, "no SIG traffic rule for destination"};
+  }
+
+  dataplane::ScionPacket tunnel;
+  tunnel.dst = *remote;
+  tunnel.next_hdr = dataplane::kProtoUdp;
+  if (remote->ia != stack_.address().ia) {
+    auto paths = policy_.apply(daemon_.paths(remote->ia));
+    std::erase_if(paths, [this](const controlplane::Path& path) {
+      return !net_.path_usable(path);
+    });
+    if (paths.empty()) {
+      ++stats_.send_failures;
+      return Error{Errc::kUnreachable,
+                   "no usable path to remote SIG " + remote->to_string()};
+    }
+    tunnel.path = paths.front().dataplane_path;
+  } else {
+    tunnel.path_type = dataplane::PathType::kEmpty;
+  }
+  dataplane::UdpDatagram datagram;
+  datagram.src_port = kSigPort;
+  datagram.dst_port = kSigPort;
+  datagram.data = packet.serialize();
+  tunnel.payload = datagram.serialize();
+  const auto status = stack_.send(std::move(tunnel));
+  if (!status.ok()) {
+    ++stats_.send_failures;
+    return status;
+  }
+  ++stats_.encapsulated;
+  return {};
+}
+
+void ScionIpGateway::on_tunnel_packet(const dataplane::ScionPacket&,
+                                      const dataplane::UdpDatagram& datagram,
+                                      SimTime arrival) {
+  auto packet = IpPacket::parse(datagram.data);
+  if (!packet) return;
+  ++stats_.decapsulated;
+  if (delivery_) delivery_(packet.value(), arrival);
+}
+
+}  // namespace sciera::sig

@@ -1,0 +1,60 @@
+#include "simnet/link.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sciera::simnet {
+
+void Link::attach(int side, Node* node, IfaceId local_iface) {
+  assert(side == 0 || side == 1);
+  ends_[static_cast<std::size_t>(side)] = End{node, local_iface, 0};
+}
+
+void Link::send(int from_side, const MessagePtr& message) {
+  assert(from_side == 0 || from_side == 1);
+  End& tx = ends_[static_cast<std::size_t>(from_side)];
+  End& rx = ends_[static_cast<std::size_t>(from_side ^ 1)];
+  assert(tx.node != nullptr && rx.node != nullptr);
+
+  if (!up_) {
+    ++stats_.dropped_down;
+    return;
+  }
+  if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+
+  const auto serialization = static_cast<Duration>(
+      static_cast<double>(message->wire_size() + config_.encap_overhead_bytes) * 8.0 /
+      config_.bandwidth_bps * static_cast<double>(kSecond));
+
+  // Tail-drop if the egress queue for this direction is over capacity.
+  const SimTime now = sim_.now();
+  const SimTime start = std::max(now, tx.tx_free_at);
+  const auto queued_ahead = serialization > 0
+      ? static_cast<std::size_t>((start - now) / std::max<Duration>(serialization, 1))
+      : 0;
+  if (queued_ahead > config_.queue_capacity) {
+    ++stats_.dropped_queue;
+    return;
+  }
+  tx.tx_free_at = start + serialization;
+
+  Duration delay = config_.propagation_delay;
+  if (config_.jitter_sigma > 0) {
+    delay = static_cast<Duration>(static_cast<double>(delay) *
+                                  rng_.lognormal_median(1.0, config_.jitter_sigma));
+  }
+
+  const SimTime deliver_at = tx.tx_free_at + delay;
+  Node* receiver = rx.node;
+  Link* self = this;
+  const IfaceId rx_iface = rx.iface;
+  sim_.at(deliver_at, [receiver, message, self, rx_iface, deliver_at] {
+    ++self->stats_.delivered;
+    receiver->receive(message, Arrival{self, rx_iface, deliver_at});
+  });
+}
+
+}  // namespace sciera::simnet

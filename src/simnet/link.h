@@ -1,0 +1,75 @@
+// Duplex point-to-point link with propagation delay, serialization at a
+// configured bandwidth, bounded egress queues, optional jitter/loss, and an
+// up/down state driven by failure schedules. Models the L2 circuits
+// (VLANs/MPLS) that carry SCIERA's inter-AS connectivity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "simnet/node.h"
+#include "simnet/simulator.h"
+
+namespace sciera::simnet {
+
+struct LinkConfig {
+  Duration propagation_delay = 5 * kMillisecond;  // one-way
+  double bandwidth_bps = 10e9;
+  // Log-normal multiplicative jitter sigma applied to each traversal;
+  // 0 disables jitter.
+  double jitter_sigma = 0.0;
+  double loss_probability = 0.0;
+  // Egress queue bound per direction, in packets, on top of the one being
+  // serialized. Exceeding it drops the packet (tail drop).
+  std::size_t queue_capacity = 256;
+  // Extra bytes the circuit's local encapsulation adds per frame.
+  std::size_t encap_overhead_bytes = 4;
+};
+
+class Link {
+ public:
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_down = 0;
+    std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_queue = 0;
+  };
+
+  Link(Simulator& sim, LinkConfig config, Rng jitter_rng)
+      : sim_(sim), config_(config), rng_(jitter_rng) {}
+
+  // Attaches endpoint `side` (0 or 1). The owner names its end of the link
+  // with its own interface id.
+  void attach(int side, Node* node, IfaceId local_iface);
+
+  // Sends from endpoint `from_side` to the opposite endpoint.
+  void send(int from_side, const MessagePtr& message);
+
+  void set_up(bool up) { up_ = up; }
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Node* peer_of(int side) const { return ends_[side ^ 1].node; }
+  [[nodiscard]] IfaceId iface_of(int side) const {
+    return ends_[static_cast<std::size_t>(side)].iface;
+  }
+
+ private:
+  struct End {
+    Node* node = nullptr;
+    IfaceId iface = 0;
+    // Time the serializer for this direction becomes free.
+    SimTime tx_free_at = 0;
+  };
+
+  Simulator& sim_;
+  LinkConfig config_;
+  Rng rng_;
+  std::array<End, 2> ends_{};
+  Stats stats_;
+  bool up_ = true;
+};
+
+}  // namespace sciera::simnet

@@ -1,0 +1,3 @@
+#include "simnet/node.h"
+
+// Node is an interface; the translation unit anchors its vtable.

@@ -1,0 +1,53 @@
+// Simulated network elements: messages, ports, and nodes.
+//
+// A Message is any payload carried across a Link. SCION data-plane packets
+// are real serialized bytes (see dataplane/packet.h); control-plane
+// exchanges are structured messages — signatures still cover canonical
+// byte encodings, so authenticity is enforced end to end.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/isd_as.h"
+#include "common/time.h"
+
+namespace sciera::simnet {
+
+struct Message {
+  virtual ~Message() = default;
+  // Size on the wire, used for serialization/bandwidth modelling.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  // Human-readable tag for logs.
+  [[nodiscard]] virtual std::string tag() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+class Link;
+
+// Where a message arrived: the link it came over and the local interface id
+// the owner assigned to its end of that link.
+struct Arrival {
+  Link* link = nullptr;
+  IfaceId local_iface = 0;
+  SimTime time = 0;
+};
+
+// A receiver endpoint. Nodes (routers, servers, hosts) implement this.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  virtual void receive(const MessagePtr& message, const Arrival& arrival) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sciera::simnet

@@ -1,0 +1,41 @@
+#include "simnet/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sciera::simnet {
+
+void Simulator::at(SimTime when, Action action) {
+  assert(when >= now_);
+  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(action)});
+}
+
+void Simulator::after(Duration delay, Action action) {
+  at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // priority_queue::top() is const; move via const_cast is the standard
+    // idiom-free workaround, but copying the function is cheap enough and
+    // keeps this strictly well-defined.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.action();
+  }
+}
+
+}  // namespace sciera::simnet

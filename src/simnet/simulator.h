@@ -1,0 +1,55 @@
+// Discrete-event simulator core. This is the substrate that stands in for
+// the physical SCIERA network: links with real propagation delays and
+// failure schedules, and deterministic event ordering so every experiment
+// replays exactly from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sciera::simnet {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules an action at an absolute time (>= now).
+  void at(SimTime when, Action action);
+  // Schedules an action after a relative delay (>= 0).
+  void after(Duration delay, Action action);
+
+  // Runs until the queue drains or the given time is passed.
+  void run_until(SimTime deadline);
+  void run_for(Duration span) { run_until(now_ + span); }
+  // Runs until the queue drains completely.
+  void run_all();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sciera::simnet

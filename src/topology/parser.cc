@@ -1,0 +1,245 @@
+#include "topology/parser.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace sciera::topology {
+namespace {
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+// Tokenizes a line honoring double-quoted strings (kept as single tokens,
+// quotes stripped, backslash escapes resolved).
+Result<std::vector<std::string>> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    std::string token;
+    bool in_quotes = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '\\' && i + 1 < line.size()) {
+          token.push_back(line[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          in_quotes = false;
+          ++i;
+          continue;
+        }
+        token.push_back(c);
+        ++i;
+      } else {
+        if (c == '"') {
+          in_quotes = true;
+          ++i;
+          continue;
+        }
+        if (c == ' ' || c == '\t') break;
+        token.push_back(c);
+        ++i;
+      }
+    }
+    if (in_quotes) return Error{Errc::kParseError, "unterminated quote"};
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+struct KeyValues {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] const std::string* get(std::string_view key) const {
+    for (const auto& [k, v] : pairs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool has_flag(std::string_view flag) const {
+    for (const auto& f : flags) {
+      if (f == flag) return true;
+    }
+    return false;
+  }
+};
+
+KeyValues classify(const std::vector<std::string>& tokens, std::size_t from) {
+  KeyValues kv;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      kv.flags.push_back(tokens[i]);
+    } else {
+      kv.pairs.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+    }
+  }
+  return kv;
+}
+
+Result<double> parse_double(const std::string& text) {
+  double value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    return Error{Errc::kParseError, "bad number: " + text};
+  }
+  return value;
+}
+
+Result<std::int64_t> parse_int(const std::string& text) {
+  std::int64_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) {
+    return Error{Errc::kParseError, "bad integer: " + text};
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string serialize(const Topology& topo) {
+  std::string out = "# sciera topology v1\n";
+  for (const auto& as_info : topo.ases()) {
+    out += "as " + as_info.ia.to_string();
+    if (as_info.core) out += " core";
+    if (as_info.measurement_point) out += " mp";
+    out += " name=" + quote(as_info.name);
+    out += " city=" + quote(as_info.city);
+    out += strformat(" lat=%.4f lon=%.4f", as_info.location.lat_deg,
+                     as_info.location.lon_deg);
+    out += "\n";
+  }
+  for (const auto& link : topo.links()) {
+    const char* type = link.type == LinkType::kCore ? "core"
+                       : link.type == LinkType::kParentChild ? "parent"
+                                                             : "peer";
+    out += strformat(
+        "link %s %s %s %s delay_us=%lld bw_mbps=%lld ifaces=%u:%u encap=%s\n",
+        quote(link.label).c_str(), link.a.to_string().c_str(),
+        link.b.to_string().c_str(), type,
+        static_cast<long long>(link.delay / kMicrosecond),
+        static_cast<long long>(link.bandwidth_bps / 1e6), link.a_iface,
+        link.b_iface, encap_name(link.encap));
+  }
+  return out;
+}
+
+Result<Topology> parse(std::string_view text) {
+  Topology topo;
+  int line_no = 0;
+  for (const auto line_raw : split(text, '\n')) {
+    ++line_no;
+    auto line = trim(line_raw);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    auto tokens_result = tokenize(line);
+    if (!tokens_result) return tokens_result.error();
+    const auto& tokens = tokens_result.value();
+    const auto fail = [&](const std::string& why) -> Error {
+      return Error{Errc::kParseError,
+                   strformat("line %d: %s", line_no, why.c_str())};
+    };
+
+    if (tokens[0] == "as") {
+      if (tokens.size() < 2) return fail("'as' needs an ISD-AS");
+      const auto ia = IsdAs::parse(tokens[1]);
+      if (!ia) return fail("bad ISD-AS: " + tokens[1]);
+      const auto kv = classify(tokens, 2);
+      AsInfo info;
+      info.ia = *ia;
+      info.core = kv.has_flag("core");
+      info.measurement_point = kv.has_flag("mp");
+      if (const auto* name = kv.get("name")) info.name = *name;
+      if (const auto* city = kv.get("city")) info.city = *city;
+      if (const auto* lat = kv.get("lat")) {
+        auto v = parse_double(*lat);
+        if (!v) return fail(v.error().message);
+        info.location.lat_deg = *v;
+      }
+      if (const auto* lon = kv.get("lon")) {
+        auto v = parse_double(*lon);
+        if (!v) return fail(v.error().message);
+        info.location.lon_deg = *v;
+      }
+      if (auto status = topo.add_as(std::move(info)); !status.ok()) {
+        return fail(status.error().message);
+      }
+    } else if (tokens[0] == "link") {
+      if (tokens.size() < 5) return fail("'link' needs label, 2 ASes, type");
+      const auto a = IsdAs::parse(tokens[2]);
+      const auto b = IsdAs::parse(tokens[3]);
+      if (!a || !b) return fail("bad ISD-AS in link");
+      LinkType type;
+      if (tokens[4] == "core") {
+        type = LinkType::kCore;
+      } else if (tokens[4] == "parent") {
+        type = LinkType::kParentChild;
+      } else if (tokens[4] == "peer") {
+        type = LinkType::kPeering;
+      } else {
+        return fail("unknown link type: " + tokens[4]);
+      }
+      const auto kv = classify(tokens, 5);
+      Duration delay = 5 * kMillisecond;
+      double bw = 10e9;
+      IfaceId a_iface = 0, b_iface = 0;
+      if (const auto* d = kv.get("delay_us")) {
+        auto v = parse_int(*d);
+        if (!v) return fail(v.error().message);
+        delay = *v * kMicrosecond;
+      }
+      if (const auto* w = kv.get("bw_mbps")) {
+        auto v = parse_int(*w);
+        if (!v) return fail(v.error().message);
+        bw = static_cast<double>(*v) * 1e6;
+      }
+      if (const auto* ifaces = kv.get("ifaces")) {
+        const auto parts = split(*ifaces, ':');
+        if (parts.size() != 2) return fail("ifaces must be <a>:<b>");
+        auto ia_if = parse_int(std::string{parts[0]});
+        auto ib_if = parse_int(std::string{parts[1]});
+        if (!ia_if || !ib_if) return fail("bad iface ids");
+        a_iface = static_cast<IfaceId>(*ia_if);
+        b_iface = static_cast<IfaceId>(*ib_if);
+      }
+      auto id = topo.add_link(tokens[1], *a, *b, type, delay, bw, a_iface,
+                              b_iface);
+      if (!id) return fail(id.error().message);
+      if (const auto* encap = kv.get("encap")) {
+        Encap kind;
+        if (*encap == "vlan") {
+          kind = Encap::kVlan;
+        } else if (*encap == "mpls") {
+          kind = Encap::kMpls;
+        } else if (*encap == "vxlan") {
+          kind = Encap::kVxlan;
+        } else {
+          return fail("unknown encapsulation: " + *encap);
+        }
+        (void)topo.set_link_encap(tokens[1], kind);
+      }
+    } else {
+      return fail("unknown declaration: " + tokens[0]);
+    }
+  }
+  return topo;
+}
+
+}  // namespace sciera::topology

@@ -1,0 +1,21 @@
+// Text serialization for topologies: what the bootstrap server hands to
+// end hosts (the "/topology" endpoint, Section 4.1.2) and what operators
+// would keep in version control. Round-trips losslessly.
+//
+// Format, one declaration per line ('#' starts a comment):
+//   as <isd-as> [core] [mp] name="..." city="..." lat=<f> lon=<f>
+//   link <label> <isd-as> <isd-as> <core|parent|peer> delay_us=<n>
+//        bw_mbps=<n> [ifaces=<a>:<b>]
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "topology/topology.h"
+
+namespace sciera::topology {
+
+[[nodiscard]] std::string serialize(const Topology& topo);
+[[nodiscard]] Result<Topology> parse(std::string_view text);
+
+}  // namespace sciera::topology

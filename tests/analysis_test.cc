@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "analysis/charts.h"
+#include "analysis/resilience.h"
+#include "analysis/stats.h"
+#include "topology/sciera_net.h"
+
+namespace sciera::analysis {
+namespace {
+
+TEST(Cdf, PercentilesNearestRank) {
+  Cdf cdf{{5.0, 1.0, 3.0, 2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+}
+
+TEST(Cdf, FractionBelow) {
+  Cdf cdf{{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10), 1.0);
+}
+
+TEST(Cdf, EmptyIsSafe) {
+  Cdf cdf{{}};
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.median(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.0);
+}
+
+TEST(Charts, CdfSeriesIsMonotonic) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(i * 0.1);
+  const Series series = cdf_series("x", samples);
+  ASSERT_GE(series.points.size(), 2u);
+  for (std::size_t i = 1; i < series.points.size(); ++i) {
+    EXPECT_GE(series.points[i].first, series.points[i - 1].first);
+    EXPECT_GE(series.points[i].second, series.points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.points.back().second, 1.0);
+}
+
+TEST(Charts, RenderChartContainsLegendAndAxes) {
+  Series s1{"alpha", {{0, 0}, {1, 1}}};
+  Series s2{"beta", {{0, 1}, {1, 0}}};
+  const std::string chart = render_chart({s1, s2}, "x", "y");
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find("beta"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+TEST(Charts, RenderChartHandlesEmpty) {
+  EXPECT_EQ(render_chart({}, "x", "y"), "(no data)\n");
+}
+
+TEST(Charts, RenderMatrixShowsDiagonalDash) {
+  const auto ia = topology::ases::geant();
+  const auto ib = topology::ases::uva();
+  std::vector<std::vector<int>> values = {{-1, 5}, {7, -1}};
+  const std::string out = render_matrix({ia, ib}, values, "test");
+  EXPECT_NE(out.find("test"), std::string::npos);
+  EXPECT_NE(out.find('5'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Charts, RenderBoxes) {
+  BoxGroup group;
+  group.group = "Hint";
+  group.boxes.emplace_back("Linux", Cdf{{1, 2, 3, 4, 5}});
+  const std::string out = render_boxes({group}, "ms");
+  EXPECT_NE(out.find("Hint"), std::string::npos);
+  EXPECT_NE(out.find("Linux"), std::string::npos);
+}
+
+TEST(Resilience, MultipathDominatesSinglePath) {
+  const topology::Topology topo = topology::build_sciera();
+  ResilienceOptions options;
+  options.runs = 20;  // fast for tests; benches run the paper's 100
+  const auto points = link_failure_resilience(topo, options);
+  ASSERT_GT(points.size(), 10u);
+  // Boundary conditions.
+  EXPECT_DOUBLE_EQ(points.front().fraction_links_removed, 0.0);
+  EXPECT_NEAR(points.front().multipath_connectivity, 1.0, 1e-9);
+  EXPECT_NEAR(points.back().multipath_connectivity, 0.0, 1e-9);
+  EXPECT_NEAR(points.back().singlepath_connectivity, 0.0, 1e-9);
+  // Multipath >= single path everywhere; strictly better in the middle.
+  double gap_sum = 0;
+  for (const auto& point : points) {
+    EXPECT_GE(point.multipath_connectivity,
+              point.singlepath_connectivity - 1e-9);
+    gap_sum += point.multipath_connectivity - point.singlepath_connectivity;
+  }
+  EXPECT_GT(gap_sum, 1.0);
+  // Paper shape: at ~20% removed, multipath keeps most pairs connected
+  // while single-path loses far more.
+  for (const auto& point : points) {
+    if (point.fraction_links_removed >= 0.195 &&
+        point.fraction_links_removed <= 0.25) {
+      EXPECT_GT(point.multipath_connectivity, 0.6);
+      EXPECT_LT(point.singlepath_connectivity,
+                point.multipath_connectivity - 0.15);
+    }
+  }
+}
+
+TEST(Resilience, MonotoneNonIncreasing) {
+  const topology::Topology topo = topology::build_sciera();
+  ResilienceOptions options;
+  options.runs = 10;
+  const auto points = link_failure_resilience(topo, options);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].multipath_connectivity,
+              points[i - 1].multipath_connectivity + 1e-9);
+    EXPECT_LE(points[i].singlepath_connectivity,
+              points[i - 1].singlepath_connectivity + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sciera::analysis

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "bgp/bgp.h"
+#include "topology/sciera_net.h"
+
+namespace sciera::bgp {
+namespace {
+
+namespace a = topology::ases;
+
+class BgpFixture : public ::testing::Test {
+ protected:
+  BgpFixture() : topo_(topology::build_sciera()), bgp_(topo_) {}
+  topology::Topology topo_;
+  BgpNetwork bgp_;
+};
+
+TEST_F(BgpFixture, ConvergesQuickly) {
+  EXPECT_GT(bgp_.last_convergence_rounds(), 0);
+  EXPECT_LT(bgp_.last_convergence_rounds(), 20);
+}
+
+TEST_F(BgpFixture, AllPairsReachable) {
+  for (const auto& src : topo_.ases()) {
+    for (const auto& dst : topo_.ases()) {
+      EXPECT_NE(bgp_.route(src.ia, dst.ia), nullptr)
+          << src.ia.to_string() << " -> " << dst.ia.to_string();
+    }
+  }
+}
+
+TEST_F(BgpFixture, SinglePathPerPair) {
+  const auto* route = bgp_.route(a::uva(), a::ufms());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->as_path.front(), a::uva());
+  EXPECT_EQ(route->as_path.back(), a::ufms());
+  // Loop-free.
+  std::set<IsdAs> unique(route->as_path.begin(), route->as_path.end());
+  EXPECT_EQ(unique.size(), route->as_path.size());
+}
+
+TEST_F(BgpFixture, PrefersPeeringOverProviderDetour) {
+  // UVa and Princeton peer directly over the Internet2 multipoint VLAN;
+  // BGP must pick the 1-hop peer route, not the route via BRIDGES.
+  const auto* route = bgp_.route(a::uva(), a::princeton());
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->as_path.size(), 2u) << "expected direct peering route";
+}
+
+TEST_F(BgpFixture, ValleyFreeNoPeerTransit) {
+  // The SEC<->NUS peering link must never transit traffic for third
+  // parties: routes between other ASes cannot contain SEC->NUS.
+  for (const auto& src : topo_.ases()) {
+    for (const auto& dst : topo_.ases()) {
+      const auto* route = bgp_.route(src.ia, dst.ia);
+      if (route == nullptr) continue;
+      for (std::size_t i = 0; i + 1 < route->as_path.size(); ++i) {
+        const bool crosses_peering =
+            (route->as_path[i] == a::sec() &&
+             route->as_path[i + 1] == a::nus()) ||
+            (route->as_path[i] == a::nus() &&
+             route->as_path[i + 1] == a::sec());
+        if (crosses_peering) {
+          EXPECT_TRUE((src.ia == a::sec() || src.ia == a::nus()) ||
+                      (dst.ia == a::sec() || dst.ia == a::nus()))
+              << src.ia.to_string() << "->" << dst.ia.to_string()
+              << " transits the SEC/NUS peering";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BgpFixture, RttIsSymmetricEnough) {
+  const auto fwd = bgp_.rtt(a::uva(), a::ufms());
+  const auto rev = bgp_.rtt(a::ufms(), a::uva());
+  ASSERT_TRUE(fwd.has_value());
+  ASSERT_TRUE(rev.has_value());
+  // Same topology, deterministic tie-breaks: paths should match closely.
+  EXPECT_NEAR(to_ms(*fwd), to_ms(*rev), 30.0);
+}
+
+TEST_F(BgpFixture, LinkFailureTriggersReroute) {
+  const auto* before = bgp_.route(a::kisti_dj(), a::kisti_sg());
+  ASSERT_NE(before, nullptr);
+  const auto before_len = before->as_path.size();
+  const Duration before_delay = before->one_way_delay;
+  // Cut the Korea-Singapore side of the ring (the August 2024 cable cut).
+  bgp_.set_link_up("kreonet-dj-hk", false);
+  bgp_.set_link_up("kreonet-hk-sg", false);
+  const auto* after = bgp_.route(a::kisti_dj(), a::kisti_sg());
+  ASSERT_NE(after, nullptr) << "backup route must exist";
+  EXPECT_GT(after->one_way_delay, before_delay);
+  EXPECT_GE(after->as_path.size(), before_len);
+  // Restore.
+  bgp_.set_link_up("kreonet-dj-hk", true);
+  bgp_.set_link_up("kreonet-hk-sg", true);
+  const auto* restored = bgp_.route(a::kisti_dj(), a::kisti_sg());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->one_way_delay, before_delay);
+}
+
+TEST_F(BgpFixture, PartitionMakesUnreachable) {
+  // UFMS hangs off RNP only: cutting both RNP uplinks and both UFMS links'
+  // parent... cutting RNP's uplinks isolates the RNP subtree.
+  bgp_.set_link_up("geant-rnp", false);
+  bgp_.set_link_up("bridges-rnp", false);
+  EXPECT_EQ(bgp_.route(a::uva(), a::ufms()), nullptr);
+  EXPECT_NE(bgp_.route(a::rnp(), a::ufms()), nullptr);  // intra-subtree ok
+  bgp_.set_link_up("geant-rnp", true);
+  bgp_.set_link_up("bridges-rnp", true);
+  EXPECT_NE(bgp_.route(a::uva(), a::ufms()), nullptr);
+}
+
+TEST_F(BgpFixture, RttMatchesPathDelays) {
+  const auto* route = bgp_.route(a::sidn(), a::ovgu());
+  ASSERT_NE(route, nullptr);
+  Duration sum = 0;
+  for (auto id : route->links) sum += topo_.find_link(id)->delay;
+  EXPECT_EQ(route->one_way_delay, sum);
+  EXPECT_EQ(bgp_.rtt(a::sidn(), a::ovgu()).value(),
+            2 * sum + 2 * 600 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace sciera::bgp

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/cmac.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace sciera::crypto {
+namespace {
+
+Bytes hex(std::string_view h) { return from_hex(h).value(); }
+
+template <std::size_t N>
+std::array<std::uint8_t, N> array_from_hex(std::string_view h) {
+  const Bytes b = hex(h);
+  EXPECT_EQ(b.size(), N);
+  std::array<std::uint8_t, N> out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVS vectors) --------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const auto msg = bytes_of("abc");
+  EXPECT_EQ(to_hex(Sha256::hash(msg)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const auto msg =
+      bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(to_hex(Sha256::hash(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finish();
+  EXPECT_EQ(to_hex(d),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng{42};
+  Bytes data(4097);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto oneshot = Sha256::hash(data);
+  // Feed in awkward chunk sizes straddling block boundaries.
+  Sha256 h;
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 63, 64, 65, 127, 128, 129, 1000};
+  std::size_t ci = 0;
+  while (pos < data.size()) {
+    const std::size_t n = std::min(chunks[ci % 8], data.size() - pos);
+    h.update(BytesView{data.data() + pos, n});
+    pos += n;
+    ++ci;
+  }
+  EXPECT_EQ(h.finish(), oneshot);
+}
+
+// --- SHA-512 ------------------------------------------------------------------
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(to_hex(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(to_hex(Sha512::hash(bytes_of("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  const auto msg = bytes_of(
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
+  EXPECT_EQ(to_hex(Sha512::hash(msg)),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  Rng rng{43};
+  Bytes data(10000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto oneshot = Sha512::hash(data);
+  Sha512 h;
+  std::size_t pos = 0;
+  std::size_t n = 1;
+  while (pos < data.size()) {
+    const std::size_t take = std::min(n, data.size() - pos);
+    h.update(BytesView{data.data() + pos, take});
+    pos += take;
+    n = (n * 3 + 1) % 257 + 1;
+  }
+  EXPECT_EQ(h.finish(), oneshot);
+}
+
+// --- HMAC-SHA256 (RFC 4231) ----------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DeriveKeyIsDeterministicAndLabelSensitive) {
+  const Bytes secret = hex("000102030405060708090a0b0c0d0e0f");
+  const auto k1 = derive_key(secret, "scion-forwarding-key");
+  const auto k2 = derive_key(secret, "scion-forwarding-key");
+  const auto k3 = derive_key(secret, "other");
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+}
+
+TEST(Hmac, ConstantTimeEqual) {
+  const Bytes a = hex("00112233");
+  const Bytes b = hex("00112233");
+  const Bytes c = hex("00112234");
+  const Bytes d = hex("001122");
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+// --- AES-128 (FIPS 197 Appendix C.1) -------------------------------------------
+
+TEST(Aes128, Fips197Vector) {
+  const auto key = array_from_hex<16>("000102030405060708090a0b0c0d0e0f");
+  const auto pt = array_from_hex<16>("00112233445566778899aabbccddeeff");
+  Aes128 aes{key};
+  const auto ct = aes.encrypt(pt);
+  EXPECT_EQ(to_hex(BytesView{ct.data(), ct.size()}),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Sp800_38aVector) {
+  // First block of the ECB-AES128 example from NIST SP 800-38A.
+  const auto key = array_from_hex<16>("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = array_from_hex<16>("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes{key};
+  EXPECT_EQ(to_hex(aes.encrypt(pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+// --- AES-CMAC (RFC 4493) --------------------------------------------------------
+
+class CmacRfc4493 : public ::testing::Test {
+ protected:
+  AesCmac cmac_{array_from_hex<16>("2b7e151628aed2a6abf7158809cf4f3c")};
+  Bytes msg_ = hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+};
+
+TEST_F(CmacRfc4493, EmptyMessage) {
+  EXPECT_EQ(to_hex(cmac_.compute({})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST_F(CmacRfc4493, SixteenBytes) {
+  EXPECT_EQ(to_hex(cmac_.compute(BytesView{msg_.data(), 16})),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST_F(CmacRfc4493, FortyBytes) {
+  EXPECT_EQ(to_hex(cmac_.compute(BytesView{msg_.data(), 40})),
+            "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST_F(CmacRfc4493, SixtyFourBytes) {
+  EXPECT_EQ(to_hex(cmac_.compute(msg_)),
+            "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST_F(CmacRfc4493, VerifyAcceptsTruncatedMac) {
+  const auto mac = cmac_.compute(msg_);
+  EXPECT_TRUE(cmac_.verify(msg_, BytesView{mac.data(), 6}));
+  auto tampered = mac;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(cmac_.verify(msg_, BytesView{tampered.data(), 6}));
+}
+
+// --- Ed25519 (RFC 8032 test vectors) ---------------------------------------------
+
+TEST(Ed25519Sig, Rfc8032Vector1EmptyMessage) {
+  const auto seed = array_from_hex<32>(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto pk = Ed25519::public_key(seed);
+  EXPECT_EQ(to_hex(pk),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = Ed25519::sign(seed, {});
+  EXPECT_EQ(to_hex(sig),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(Ed25519::verify(pk, {}, sig));
+}
+
+TEST(Ed25519Sig, Rfc8032Vector2OneByte) {
+  const auto seed = array_from_hex<32>(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto pk = Ed25519::public_key(seed);
+  EXPECT_EQ(to_hex(pk),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = hex("72");
+  const auto sig = Ed25519::sign(seed, msg);
+  EXPECT_EQ(to_hex(sig),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(Ed25519::verify(pk, msg, sig));
+}
+
+TEST(Ed25519Sig, RejectsTamperedMessage) {
+  Rng rng{7};
+  Ed25519::Seed seed{};
+  for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto pk = Ed25519::public_key(seed);
+  const Bytes msg = bytes_of("path segment payload");
+  const auto sig = Ed25519::sign(seed, msg);
+  EXPECT_TRUE(Ed25519::verify(pk, msg, sig));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(Ed25519::verify(pk, tampered, sig));
+}
+
+TEST(Ed25519Sig, RejectsTamperedSignature) {
+  Ed25519::Seed seed{};
+  seed[0] = 9;
+  const auto pk = Ed25519::public_key(seed);
+  const Bytes msg = bytes_of("x");
+  auto sig = Ed25519::sign(seed, msg);
+  sig[40] ^= 0x20;
+  EXPECT_FALSE(Ed25519::verify(pk, msg, sig));
+}
+
+TEST(Ed25519Sig, RejectsWrongKey) {
+  Ed25519::Seed seed_a{}, seed_b{};
+  seed_a[0] = 1;
+  seed_b[0] = 2;
+  const auto pk_b = Ed25519::public_key(seed_b);
+  const Bytes msg = bytes_of("trc payload");
+  const auto sig = Ed25519::sign(seed_a, msg);
+  EXPECT_FALSE(Ed25519::verify(pk_b, msg, sig));
+}
+
+// Property sweep: sign/verify round-trips across message sizes.
+class Ed25519Property : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Ed25519Property, SignVerifyRoundTrip) {
+  Rng rng{GetParam() * 977 + 3};
+  Ed25519::Seed seed{};
+  for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+  Bytes msg(GetParam());
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto pk = Ed25519::public_key(seed);
+  const auto sig = Ed25519::sign(seed, msg);
+  EXPECT_TRUE(Ed25519::verify(pk, msg, sig));
+  if (!msg.empty()) {
+    msg[msg.size() / 2] ^= 0x80;
+    EXPECT_FALSE(Ed25519::verify(pk, msg, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MessageSizes, Ed25519Property,
+                         ::testing::Values(0, 1, 31, 32, 33, 63, 64, 100, 255,
+                                           1024));
+
+// Property sweep: CMAC over random messages, verify + tamper.
+class CmacProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmacProperty, ComputeVerifyTamper) {
+  Rng rng{GetParam() + 101};
+  Aes128::Key key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  AesCmac cmac{key};
+  Bytes msg(GetParam());
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto mac = cmac.compute(msg);
+  EXPECT_TRUE(cmac.verify(msg, mac));
+  if (!msg.empty()) {
+    Bytes bad = msg;
+    bad[0] ^= 1;
+    EXPECT_FALSE(cmac.verify(bad, mac));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MessageSizes, CmacProperty,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 48,
+                                           64, 100, 256));
+
+}  // namespace
+}  // namespace sciera::crypto

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataplane/hopfield.h"
+#include "dataplane/packet.h"
+#include "dataplane/scmp.h"
+
+namespace sciera::dataplane {
+namespace {
+
+ScionPath sample_path() {
+  ScionPath path;
+  path.info = {InfoField{false, false, 0x1234, 1700000000},
+               InfoField{true, false, 0x9999, 1700000100}};
+  path.seg_len = {2, 3, 0};
+  for (int i = 0; i < 5; ++i) {
+    HopField hop;
+    hop.exp_time = static_cast<std::uint8_t>(100 + i);
+    hop.cons_ingress = static_cast<IfaceId>(i);
+    hop.cons_egress = static_cast<IfaceId>(i + 10);
+    hop.mac = {1, 2, 3, 4, 5, static_cast<std::uint8_t>(i)};
+    path.hops.push_back(hop);
+  }
+  return path;
+}
+
+ScionPacket sample_packet() {
+  ScionPacket pkt;
+  pkt.traffic_class = 7;
+  pkt.flow_id = 0xABCDE;
+  pkt.next_hdr = kProtoUdp;
+  pkt.dst = Address{IsdAs::parse("71-2:0:5c").value(), 0x0A000001};
+  pkt.src = Address{IsdAs::parse("71-225").value(), 0x0A000002};
+  pkt.path = sample_path();
+  pkt.payload = bytes_of("payload-bytes");
+  return pkt;
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  const ScionPacket pkt = sample_packet();
+  const auto bytes = pkt.serialize();
+  ASSERT_TRUE(bytes.ok()) << bytes.error().to_string();
+  const auto parsed = ScionPacket::parse(bytes.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), pkt);
+}
+
+TEST(Packet, WireSizeMatchesSerialization) {
+  const ScionPacket pkt = sample_packet();
+  const auto bytes = pkt.serialize();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), pkt.wire_size());
+}
+
+TEST(Packet, ParseRejectsTruncation) {
+  const auto bytes = sample_packet().serialize().value();
+  for (std::size_t cut : {1ul, 8ul, 20ul, 40ul, bytes.size() - 1}) {
+    auto truncated = Bytes(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ScionPacket::parse(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Packet, ParseRejectsTrailingGarbage) {
+  auto bytes = sample_packet().serialize().value();
+  bytes.push_back(0xAA);
+  EXPECT_FALSE(ScionPacket::parse(bytes).ok());
+}
+
+TEST(Packet, EmptyPathPacketRoundTrips) {
+  ScionPacket pkt = sample_packet();
+  pkt.path_type = PathType::kEmpty;
+  pkt.path = {};
+  const auto bytes = pkt.serialize();
+  ASSERT_TRUE(bytes.ok());
+  const auto parsed = ScionPacket::parse(bytes.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), pkt);
+}
+
+TEST(Packet, ValidateCatchesBadSegLens) {
+  ScionPath path = sample_path();
+  path.seg_len = {2, 2, 0};  // sum != hops
+  EXPECT_FALSE(path.validate().ok());
+  path = sample_path();
+  path.seg_len = {5, 0, 0};  // second segment missing but info present
+  EXPECT_FALSE(path.validate().ok());
+  path = sample_path();
+  path.info.clear();
+  EXPECT_FALSE(path.validate().ok());
+}
+
+TEST(Path, AdvanceWalksSegments) {
+  ScionPath path = sample_path();
+  EXPECT_EQ(path.curr_inf, 0);
+  EXPECT_FALSE(path.at_segment_end());
+  path.advance();  // hop 1, last of segment 0
+  EXPECT_EQ(path.curr_inf, 0);
+  EXPECT_TRUE(path.at_segment_end());
+  path.advance();  // hop 2, first of segment 1
+  EXPECT_EQ(path.curr_inf, 1);
+  path.advance();
+  path.advance();  // hop 4, last
+  EXPECT_TRUE(path.at_segment_end());
+  EXPECT_FALSE(path.at_end());
+  path.advance();
+  EXPECT_TRUE(path.at_end());
+}
+
+TEST(Path, ReversedFlipsEverything) {
+  const ScionPath path = sample_path();
+  const ScionPath rev = path.reversed();
+  EXPECT_EQ(rev.info.size(), 2u);
+  EXPECT_EQ(rev.info[0].construction_dir, false);  // was segment 1, C=1
+  EXPECT_EQ(rev.info[1].construction_dir, true);   // was segment 0, C=0
+  EXPECT_EQ(rev.seg_len[0], 3);
+  EXPECT_EQ(rev.seg_len[1], 2);
+  EXPECT_EQ(rev.hops.front(), path.hops.back());
+  EXPECT_EQ(rev.hops.back(), path.hops.front());
+  // Reversing twice restores the hop order.
+  const ScionPath twice = rev.reversed();
+  EXPECT_EQ(twice.hops, path.hops);
+}
+
+TEST(HopMac, ComputeVerifyRoundTrip) {
+  const FwdKey key = derive_fwd_key(bytes_of("master-secret"));
+  HopField hop;
+  hop.exp_time = 63;
+  hop.cons_ingress = 3;
+  hop.cons_egress = 9;
+  hop.mac = compute_hop_mac(key, 0xBEEF, 1700000000, hop);
+  EXPECT_TRUE(verify_hop_mac(key, 0xBEEF, 1700000000, hop));
+  EXPECT_FALSE(verify_hop_mac(key, 0xBEEE, 1700000000, hop));
+  EXPECT_FALSE(verify_hop_mac(key, 0xBEEF, 1700000001, hop));
+  HopField tampered = hop;
+  tampered.cons_egress = 10;
+  EXPECT_FALSE(verify_hop_mac(key, 0xBEEF, 1700000000, tampered));
+}
+
+TEST(HopMac, DifferentKeysDifferentMacs) {
+  const FwdKey k1 = derive_fwd_key(bytes_of("as-one"));
+  const FwdKey k2 = derive_fwd_key(bytes_of("as-two"));
+  HopField hop;
+  hop.mac = compute_hop_mac(k1, 1, 1, hop);
+  EXPECT_FALSE(verify_hop_mac(k2, 1, 1, hop));
+}
+
+TEST(HopMac, ChainBetaIsInvolutive) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    const auto beta = static_cast<std::uint16_t>(rng.next_u64());
+    Mac6 mac;
+    for (auto& b : mac) b = static_cast<std::uint8_t>(rng.next_u64());
+    EXPECT_EQ(chain_beta(chain_beta(beta, mac), mac), beta);
+  }
+}
+
+TEST(HopMac, ExpiryRespectsExpTime)
+{
+  HopField hop;
+  hop.exp_time = 0;  // (0+1)*24h/256 = 337.5s
+  EXPECT_FALSE(hop_expired(hop, 1000, 1000 + 300));
+  EXPECT_TRUE(hop_expired(hop, 1000, 1000 + 400));
+  hop.exp_time = 255;  // full 24h
+  EXPECT_FALSE(hop_expired(hop, 1000, 1000 + 86000));
+  EXPECT_TRUE(hop_expired(hop, 1000, 1000 + 86500));
+}
+
+TEST(Scmp, EchoRoundTrip) {
+  const auto request = make_echo_request(7, 42, bytes_of("ping"));
+  const auto bytes = request.serialize();
+  const auto parsed = ScmpMessage::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, ScmpType::kEchoRequest);
+  EXPECT_EQ(parsed->identifier, 7);
+  EXPECT_EQ(parsed->sequence, 42);
+  EXPECT_EQ(parsed->data, bytes_of("ping"));
+  const auto reply = make_echo_reply(parsed.value());
+  EXPECT_EQ(reply.type, ScmpType::kEchoReply);
+  EXPECT_EQ(reply.sequence, 42);
+  EXPECT_FALSE(reply.is_error());
+}
+
+TEST(Scmp, ExternalIfaceDownCarriesOrigin) {
+  const auto ia = IsdAs::parse("71-2:0:35").value();
+  const auto msg = make_external_iface_down(ia, 4);
+  EXPECT_TRUE(msg.is_error());
+  const auto parsed = ScmpMessage::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(IsdAs::from_packed(parsed->origin_ia), ia);
+  EXPECT_EQ(parsed->failed_iface, 4u);
+}
+
+TEST(Scmp, ParseRejectsTruncated) {
+  const auto bytes = make_echo_request(1, 2).serialize();
+  Bytes cut(bytes.begin(), bytes.begin() + 5);
+  EXPECT_FALSE(ScmpMessage::parse(cut).ok());
+}
+
+TEST(Udp, DatagramRoundTrip) {
+  UdpDatagram dg;
+  dg.src_port = 40001;
+  dg.dst_port = 8080;
+  dg.data = bytes_of("hello scion");
+  const auto parsed = UdpDatagram::parse(dg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->src_port, 40001);
+  EXPECT_EQ(parsed->dst_port, 8080);
+  EXPECT_EQ(parsed->data, bytes_of("hello scion"));
+}
+
+// Property sweep: random path shapes round-trip through bytes.
+class PacketProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketProperty, RandomPathsRoundTrip) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 7};
+  ScionPacket pkt;
+  pkt.dst = Address{IsdAs{71, As{rng.next_u64() & 0xFFFF}}, 1};
+  pkt.src = Address{IsdAs{64, As{rng.next_u64() & 0xFFFF}}, 2};
+  const std::size_t segments = 1 + rng.next_below(3);
+  for (std::size_t s = 0; s < segments; ++s) {
+    InfoField inf;
+    inf.construction_dir = rng.chance(0.5);
+    inf.peering = rng.chance(0.2);
+    inf.seg_id = static_cast<std::uint16_t>(rng.next_u64());
+    inf.timestamp = static_cast<std::uint32_t>(rng.next_u64());
+    pkt.path.info.push_back(inf);
+    const std::size_t hops = 1 + rng.next_below(5);
+    pkt.path.seg_len[s] = static_cast<std::uint8_t>(hops);
+    for (std::size_t h = 0; h < hops; ++h) {
+      HopField hop;
+      hop.peering = rng.chance(0.1);
+      hop.exp_time = static_cast<std::uint8_t>(rng.next_u64());
+      hop.cons_ingress = static_cast<IfaceId>(rng.next_u64());
+      hop.cons_egress = static_cast<IfaceId>(rng.next_u64());
+      for (auto& b : hop.mac) b = static_cast<std::uint8_t>(rng.next_u64());
+      pkt.path.hops.push_back(hop);
+    }
+  }
+  pkt.payload.resize(rng.next_below(100));
+  for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto bytes = pkt.serialize();
+  ASSERT_TRUE(bytes.ok());
+  const auto parsed = ScionPacket::parse(bytes.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), pkt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PacketProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sciera::dataplane

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deploy/effort.h"
+#include "deploy/survey.h"
+
+namespace sciera::deploy {
+namespace {
+
+TEST(Deployments, MatchesFigure3Timeline) {
+  const auto deployments = sciera_deployments();
+  EXPECT_GE(deployments.size(), 20u);
+  // Chronology anchors from Figure 3.
+  EXPECT_EQ(deployments.front().name, "GEANT");
+  EXPECT_EQ(deployments.front().year, 2022);
+  bool found_nus = false;
+  for (const auto& d : deployments) {
+    if (d.name == "NUS") {
+      found_nus = true;
+      EXPECT_EQ(d.year, 2025);
+      EXPECT_EQ(d.month, 6);
+    }
+    EXPECT_GE(d.year, 2022);
+    EXPECT_LE(d.year, 2025);
+    EXPECT_GE(d.month, 1);
+    EXPECT_LE(d.month, 12);
+  }
+  EXPECT_TRUE(found_nus);
+}
+
+TEST(Effort, LearningCurveReducesSameKindEffort) {
+  const auto timeline = effort_timeline(sciera_deployments());
+  std::map<ConnectionKind, double> last_effort;
+  for (const auto& point : timeline) {
+    const auto it = last_effort.find(point.deployment.kind);
+    if (it != last_effort.end()) {
+      // Later deployments of the same kind are never more expensive,
+      // modulo per-party coordination overhead.
+      EXPECT_LE(point.effort, it->second + 2.5)
+          << point.deployment.name << " ("
+          << connection_kind_name(point.deployment.kind) << ")";
+    }
+    last_effort[point.deployment.kind] = point.effort;
+  }
+}
+
+TEST(Effort, FirstCoreSetupsDominante) {
+  const auto timeline = effort_timeline(sciera_deployments());
+  double max_effort = 0;
+  std::string max_name;
+  for (const auto& point : timeline) {
+    if (point.effort > max_effort) {
+      max_effort = point.effort;
+      max_name = point.deployment.name;
+    }
+  }
+  // "initial SCION network setups demanded significant effort" — the GEANT
+  // greenfield deployment is the most expensive of all.
+  EXPECT_EQ(max_name, "GEANT");
+}
+
+TEST(Effort, RecentDeploymentsAreCheap) {
+  const auto timeline = effort_timeline(sciera_deployments());
+  // "the most recent SCION deployments in 2025 ... took considerably less
+  // effort than previous comparable setups."
+  double first_reinstall = -1, last_reinstall = -1;
+  for (const auto& point : timeline) {
+    if (point.deployment.kind == ConnectionKind::kCoreReinstall) {
+      if (first_reinstall < 0) first_reinstall = point.effort;
+      last_reinstall = point.effort;
+    }
+  }
+  ASSERT_GT(first_reinstall, 0);
+  EXPECT_LT(last_reinstall, first_reinstall / 2);
+}
+
+TEST(Survey, EightRespondents) {
+  EXPECT_EQ(survey_responses().size(), 8u);
+}
+
+TEST(Survey, MatchesEverySection56Percentage) {
+  const auto summary = summarize(survey_responses());
+  EXPECT_DOUBLE_EQ(summary.pct_over_decade_experience, 50.0);
+  EXPECT_DOUBLE_EQ(summary.pct_engineers, 50.0);
+  EXPECT_DOUBLE_EQ(summary.pct_setup_under_month, 37.5);
+  EXPECT_DOUBLE_EQ(summary.pct_setup_under_six_months, 50.0);
+  EXPECT_DOUBLE_EQ(summary.pct_no_vendor_support_needed, 62.5);
+  EXPECT_DOUBLE_EQ(summary.pct_hardware_under_20k, 75.0);
+  EXPECT_DOUBLE_EQ(summary.pct_no_licensing, 62.5);
+  EXPECT_DOUBLE_EQ(summary.pct_no_hiring, 75.0);
+  EXPECT_DOUBLE_EQ(summary.pct_opex_comparable_or_lower, 75.0);
+  EXPECT_DOUBLE_EQ(summary.pct_driver_hardware, 62.5);
+  EXPECT_DOUBLE_EQ(summary.pct_driver_staff, 50.0);
+  EXPECT_DOUBLE_EQ(summary.pct_driver_monitoring, 25.0);
+  EXPECT_DOUBLE_EQ(summary.pct_driver_power, 12.5);
+  EXPECT_DOUBLE_EQ(summary.pct_under_10pct_workload, 87.5);
+  EXPECT_DOUBLE_EQ(summary.pct_vendor_support_rare, 62.5);
+}
+
+TEST(Survey, RenderIncludesHeadlineNumbers) {
+  const std::string text = render_summary(summarize(survey_responses()));
+  EXPECT_NE(text.find("n=8"), std::string::npos);
+  EXPECT_NE(text.find("37.5"), std::string::npos);
+  EXPECT_NE(text.find("87.5"), std::string::npos);
+}
+
+TEST(Survey, EmptySurveyIsSafe) {
+  const auto summary = summarize({});
+  EXPECT_EQ(summary.respondents, 0);
+  EXPECT_DOUBLE_EQ(summary.pct_engineers, 0.0);
+}
+
+}  // namespace
+}  // namespace sciera::deploy

@@ -1,0 +1,575 @@
+// End-host stack tests: hint discovery (Table 2), bootstrapping with
+// signature verification, the three PAN library modes with automatic
+// fallback, the drop-in socket, path policies (geofencing, green routing,
+// no-commercial-transit), the dispatcher bottleneck, Hercules planning,
+// and LightningFilter authentication.
+#include <gtest/gtest.h>
+
+#include "endhost/bootstrapper.h"
+#include "endhost/hercules.h"
+#include "endhost/hints.h"
+#include "endhost/lightning_filter.h"
+#include "endhost/pan.h"
+#include "topology/sciera_net.h"
+
+namespace sciera::endhost {
+namespace {
+
+namespace a = topology::ases;
+using controlplane::ScionNetwork;
+
+ScionNetwork& shared_net() {
+  static ScionNetwork network{topology::build_sciera()};
+  return network;
+}
+
+std::unique_ptr<BootstrapServer> make_server(ScionNetwork& net, IsdAs ia) {
+  const auto* creds = net.pki(ia.isd())->credentials(ia);
+  std::vector<cppki::Trc> trcs{net.pki(ia.isd())->trc()};
+  return std::make_unique<BootstrapServer>(
+      ia, local_topology_view(net.topology(), ia), *creds, trcs);
+}
+
+// --- Hint discovery -----------------------------------------------------------
+
+TEST(Hints, Table2AvailabilityMatrix) {
+  // Column "dyn. DHCP leases": DHCP mechanisms Y, DNS M, mDNS M.
+  NetworkEnvironment dhcp_only;
+  dhcp_only.dhcp_leases = true;
+  dhcp_only.local_dns_search_domain = false;
+  dhcp_only.mdns_responder_present = false;
+  EXPECT_TRUE(mechanism_available(HintMechanism::kDhcpVivo, dhcp_only));
+  EXPECT_FALSE(mechanism_available(HintMechanism::kDnsSrv, dhcp_only));
+  EXPECT_FALSE(mechanism_available(HintMechanism::kDhcpv6Vsio, dhcp_only));
+
+  // Column "Static IPs only": only mDNS remains viable.
+  NetworkEnvironment static_net;
+  static_net.static_ips_only = true;
+  static_net.dhcp_leases = false;
+  static_net.local_dns_search_domain = false;
+  static_net.mdns_responder_present = true;
+  EXPECT_FALSE(mechanism_available(HintMechanism::kDhcpVivo, static_net));
+  EXPECT_TRUE(mechanism_available(HintMechanism::kMdns, static_net));
+
+  // Column "DNS search domain": all DNS mechanisms available.
+  NetworkEnvironment dns_net;
+  dns_net.dhcp_leases = false;
+  dns_net.local_dns_search_domain = true;
+  for (auto m : {HintMechanism::kDnsSrv, HintMechanism::kDnsNaptr,
+                 HintMechanism::kDnsSd}) {
+    EXPECT_TRUE(mechanism_available(m, dns_net));
+  }
+
+  // IPv6 NDP needs RAs and DNS.
+  NetworkEnvironment v6;
+  v6.ipv6_ras = true;
+  EXPECT_TRUE(mechanism_available(HintMechanism::kIpv6Ndp, v6));
+  v6.ipv6_ras = false;
+  EXPECT_FALSE(mechanism_available(HintMechanism::kIpv6Ndp, v6));
+}
+
+TEST(Hints, LatencySamplesArePositiveAndOsOrdered) {
+  NetworkEnvironment env;
+  Rng rng{7};
+  double win = 0, lin = 0;
+  for (int i = 0; i < 200; ++i) {
+    win += to_ms(sample_hint_latency(HintMechanism::kDhcpVivo, env,
+                                     windows_profile(), rng));
+    lin += to_ms(sample_hint_latency(HintMechanism::kDhcpVivo, env,
+                                     linux_profile(), rng));
+  }
+  EXPECT_GT(lin, 0);
+  EXPECT_GT(win, lin);  // Windows service indirection costs more
+}
+
+TEST(Hints, MdnsSlowestDhcpFast) {
+  NetworkEnvironment env;
+  env.mdns_responder_present = true;
+  Rng rng{8};
+  double dhcp = 0, mdns = 0;
+  for (int i = 0; i < 200; ++i) {
+    dhcp += to_ms(sample_hint_latency(HintMechanism::kDhcpVivo, env,
+                                      linux_profile(), rng));
+    mdns += to_ms(sample_hint_latency(HintMechanism::kMdns, env,
+                                      linux_profile(), rng));
+  }
+  EXPECT_GT(mdns, dhcp);
+}
+
+// --- Bootstrapping --------------------------------------------------------------
+
+TEST(Bootstrap, FullRunVerifiesAndParses) {
+  auto& net = shared_net();
+  const auto server = make_server(net, a::ovgu());
+  Bootstrapper bootstrapper{NetworkEnvironment{}, linux_profile()};
+  Rng rng{3};
+  auto result = bootstrapper.run(*server, rng, net.sim().now());
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result->local_ia, a::ovgu());
+  EXPECT_NE(result->local_topology.find_as(a::ovgu()), nullptr);
+  EXPECT_NE(result->local_topology.find_as(a::geant()), nullptr);
+  EXPECT_NE(result->trust_store.latest(71), nullptr);
+  EXPECT_GT(result->timings.hint_retrieval, 0);
+  EXPECT_GT(result->timings.config_retrieval, 0);
+  // "median < 150ms" scale: a single run lands well under a second.
+  EXPECT_LT(to_ms(result->timings.total()), 1000.0);
+}
+
+TEST(Bootstrap, OutOfBandTrcAnchor) {
+  auto& net = shared_net();
+  const auto server = make_server(net, a::sidn());
+  const cppki::Trc oob = net.pki(71)->trc();
+  Bootstrapper bootstrapper{NetworkEnvironment{}, macos_profile()};
+  Rng rng{4};
+  auto result = bootstrapper.run(*server, rng, net.sim().now(), &oob);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(Bootstrap, TamperedTopologyRejected) {
+  auto& net = shared_net();
+  auto server = make_server(net, a::sidn());
+  // A rogue bootstrapping server (the rogue-DHCP analogue of Section
+  // 4.1.1) serves a modified topology without a valid signature.
+  const auto* creds = net.pki(71)->credentials(a::sidn());
+  std::vector<cppki::Trc> trcs{net.pki(71)->trc()};
+  BootstrapServer rogue{a::sidn(),
+                        local_topology_view(net.topology(), a::uva()),
+                        *creds, trcs};
+  SignedTopology bad = rogue.topology();
+  bad.topology_text += "\n# malicious edit";
+  cppki::TrustStore store;
+  ASSERT_TRUE(store.anchor(net.pki(71)->trc()).ok());
+  EXPECT_FALSE(verify_signed_topology(bad, store, net.sim().now()).ok());
+}
+
+TEST(Bootstrap, FailsWhenNoMechanismAvailable) {
+  auto& net = shared_net();
+  const auto server = make_server(net, a::sidn());
+  NetworkEnvironment dead;
+  dead.static_ips_only = true;
+  dead.dhcp_leases = false;
+  dead.local_dns_search_domain = false;
+  dead.mdns_responder_present = false;
+  Bootstrapper bootstrapper{dead, linux_profile()};
+  Rng rng{5};
+  auto result = bootstrapper.run(*server, rng, net.sim().now());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kUnreachable);
+}
+
+// --- PAN modes -------------------------------------------------------------------
+
+TEST(Pan, DaemonModeSelectedWhenDaemonPresent) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::uva()};
+  HostEnvironment env;
+  env.net = &net;
+  env.address = {a::uva(), 0x0A010101};
+  env.daemon = &daemon;
+  auto ctx = PanContext::create(env, Rng{1});
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ((*ctx)->mode(), StackMode::kDaemonDependent);
+  EXPECT_EQ((*ctx)->bootstrap_time(), 0);
+  EXPECT_FALSE((*ctx)->paths(a::ufms()).empty());
+}
+
+TEST(Pan, BootstrapperModeWhenStatePresent) {
+  auto& net = shared_net();
+  const auto server = make_server(net, a::uva());
+  Bootstrapper bootstrapper{NetworkEnvironment{}, linux_profile()};
+  Rng rng{6};
+  auto boot = bootstrapper.run(*server, rng, net.sim().now());
+  ASSERT_TRUE(boot.ok());
+  HostEnvironment env;
+  env.net = &net;
+  env.address = {a::uva(), 0x0A010102};
+  env.bootstrapper_state = &boot.value();
+  auto ctx = PanContext::create(env, Rng{2});
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ((*ctx)->mode(), StackMode::kBootstrapperDependent);
+}
+
+TEST(Pan, StandaloneModeBootstrapsItself) {
+  auto& net = shared_net();
+  const auto server = make_server(net, a::uva());
+  HostEnvironment env;
+  env.net = &net;
+  env.address = {a::uva(), 0x0A010103};
+  env.bootstrap_server = server.get();
+  auto ctx = PanContext::create(env, Rng{3});
+  ASSERT_TRUE(ctx.ok()) << ctx.error().to_string();
+  EXPECT_EQ((*ctx)->mode(), StackMode::kStandalone);
+  EXPECT_GT((*ctx)->bootstrap_time(), 0);
+  // Network change: standalone must re-bootstrap (cost > 0).
+  Rng rng{9};
+  auto cost = (*ctx)->handle_network_change(rng);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(cost.value(), 0);
+}
+
+TEST(Pan, StandaloneWithoutServerFails) {
+  auto& net = shared_net();
+  HostEnvironment env;
+  env.net = &net;
+  env.address = {a::uva(), 0x0A010104};
+  auto ctx = PanContext::create(env, Rng{4});
+  EXPECT_FALSE(ctx.ok());
+}
+
+// --- Drop-in socket over the real network ------------------------------------------
+
+TEST(Pan, SocketSendsAndReceivesAcrossAtlantic) {
+  auto& net = shared_net();
+  Daemon d_uva{net, a::uva()};
+  Daemon d_ovgu{net, a::ovgu()};
+  HostEnvironment env_a;
+  env_a.net = &net;
+  env_a.address = {a::uva(), 0x0A020201};
+  env_a.daemon = &d_uva;
+  HostEnvironment env_b;
+  env_b.net = &net;
+  env_b.address = {a::ovgu(), 0x0A020202};
+  env_b.daemon = &d_ovgu;
+  auto ctx_a = PanContext::create(env_a, Rng{10});
+  auto ctx_b = PanContext::create(env_b, Rng{11});
+  ASSERT_TRUE(ctx_a.ok());
+  ASSERT_TRUE(ctx_b.ok());
+
+  // Echo server at OVGU.
+  std::vector<Bytes> server_rx;
+  PanSocket* server_sock_raw = nullptr;
+  auto server_sock = PanSocket::open(
+      **ctx_b, 8888,
+      [&](const dataplane::Address& src, std::uint16_t src_port,
+          const Bytes& data, SimTime) {
+        server_rx.push_back(data);
+        (void)server_sock_raw->send_to(src, src_port, data);  // echo
+      });
+  ASSERT_TRUE(server_sock.ok());
+  server_sock_raw = server_sock->get();
+
+  std::vector<Bytes> client_rx;
+  std::vector<SimTime> rx_times;
+  auto client_sock = PanSocket::open(
+      **ctx_a, 0,
+      [&](const dataplane::Address&, std::uint16_t, const Bytes& data,
+          SimTime t) {
+        client_rx.push_back(data);
+        rx_times.push_back(t);
+      });
+  ASSERT_TRUE(client_sock.ok());
+
+  const SimTime t0 = net.sim().now();
+  ASSERT_TRUE((*client_sock)
+                  ->send_to({a::ovgu(), 0x0A020202}, 8888,
+                            bytes_of("hello sciera"))
+                  .ok());
+  net.sim().run_for(5 * kSecond);
+  ASSERT_EQ(server_rx.size(), 1u);
+  ASSERT_EQ(client_rx.size(), 1u);
+  EXPECT_EQ(client_rx[0], bytes_of("hello sciera"));
+  const Duration rtt = rx_times[0] - t0;
+  // Transatlantic round trip: tens of ms, under a second.
+  EXPECT_GT(to_ms(rtt), 40.0);
+  EXPECT_LT(to_ms(rtt), 500.0);
+}
+
+TEST(Pan, InteractivePathSelectionPins) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::kisti_dj()};
+  HostEnvironment env;
+  env.net = &net;
+  env.address = {a::kisti_dj(), 0x0A030301};
+  env.daemon = &daemon;
+  auto ctx = PanContext::create(env, Rng{12});
+  ASSERT_TRUE(ctx.ok());
+  auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
+  ASSERT_TRUE(sock.ok());
+  const auto options = (*ctx)->paths(a::kisti_sg());
+  ASSERT_GE(options.size(), 2u);
+  ASSERT_TRUE((*sock)->select_path(a::kisti_sg(), 1).ok());
+  auto current = (*sock)->current_path(a::kisti_sg());
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->fingerprint(), options[1].fingerprint());
+  EXPECT_FALSE((*sock)->select_path(a::kisti_sg(), 10'000).ok());
+  (*sock)->clear_selection(a::kisti_sg());
+  auto after = (*sock)->current_path(a::kisti_sg());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->fingerprint(), options[0].fingerprint());
+}
+
+// --- Policies -----------------------------------------------------------------------
+
+TEST(Policy, GeofencingExcludesIsd) {
+  auto& net = shared_net();
+  auto paths = net.paths(a::ovgu(), a::sidn());
+  ASSERT_FALSE(paths.empty());
+  auto fenced = geofence_policy({64}).apply(paths);
+  for (const auto& path : fenced) {
+    for (IsdAs ia : path.as_sequence) EXPECT_NE(ia.isd(), 64);
+  }
+}
+
+TEST(Policy, CommercialTransitForbidden) {
+  // Build a synthetic path crossing ISD 64 in the middle and check the
+  // Section 4.9 rule rejects it while endpoint use is allowed.
+  auto& net = shared_net();
+  PathPolicy policy;
+  policy.forbid_commercial_transit = true;
+  auto to_eth = net.paths(a::ovgu(), a::eth());  // terminates in ISD 64: OK
+  ASSERT_FALSE(to_eth.empty());
+  EXPECT_TRUE(policy.admits(to_eth.front()));
+  controlplane::Path transit = to_eth.front();
+  transit.as_sequence.push_back(a::eth());  // fake: now ISD-64 is interior
+  transit.as_sequence.push_back(a::ovgu());
+  std::rotate(transit.as_sequence.rbegin(), transit.as_sequence.rbegin() + 2,
+              transit.as_sequence.rend());
+  // Simpler: construct explicitly.
+  transit.as_sequence = {a::ovgu(), a::switch64(), a::uva()};
+  EXPECT_FALSE(policy.admits(transit));
+}
+
+TEST(Policy, GreenRoutingPrefersCleanGrids) {
+  auto& net = shared_net();
+  auto paths = net.paths(a::uva(), a::ufms());
+  ASSERT_GE(paths.size(), 2u);
+  const auto green = green_policy().apply(paths);
+  const auto fast = lowest_latency_policy().apply(paths);
+  ASSERT_FALSE(green.empty());
+  const CarbonMap carbon = CarbonMap::sciera_defaults();
+  EXPECT_LE(path_carbon_score(green.front(), carbon),
+            path_carbon_score(fast.front(), carbon));
+  // Ordering is actually sorted by carbon.
+  for (std::size_t i = 1; i < green.size(); ++i) {
+    EXPECT_LE(path_carbon_score(green[i - 1], carbon),
+              path_carbon_score(green[i], carbon) + 1e-9);
+  }
+}
+
+TEST(Policy, MaxHopsAndDenyLists) {
+  auto& net = shared_net();
+  auto paths = net.paths(a::uva(), a::ufms());
+  PathPolicy policy;
+  policy.max_hops = 4;
+  for (const auto& path : policy.apply(paths)) {
+    EXPECT_LE(path.as_sequence.size(), 4u);
+  }
+  PathPolicy deny;
+  deny.deny_ases = {a::bridges()};
+  for (const auto& path : deny.apply(paths)) {
+    for (IsdAs ia : path.as_sequence) EXPECT_NE(ia, a::bridges());
+  }
+  PathPolicy require;
+  require.require_ases = {a::geant()};
+  const auto required = require.apply(paths);
+  ASSERT_FALSE(required.empty());
+  for (const auto& path : required) {
+    EXPECT_NE(std::find(path.as_sequence.begin(), path.as_sequence.end(),
+                        a::geant()),
+              path.as_sequence.end());
+  }
+}
+
+// --- Dispatcher bottleneck (Section 4.8) ----------------------------------------------
+
+TEST(Dispatcher, SharedQueueDropsUnderLoad) {
+  auto& net = shared_net();
+  HostStack::Config cfg;
+  cfg.mode = HostMode::kDispatcher;
+  cfg.dispatcher_pps = 1000;  // tiny on purpose
+  cfg.dispatcher_queue = 16;
+  HostStack stack{net, {a::uva(), 0x0A040401}, cfg};
+  int received = 0;
+  ASSERT_TRUE(stack.bind(5000, [&](auto&&...) { ++received; }).ok());
+  // Blast 500 local packets within one instant.
+  for (int i = 0; i < 500; ++i) {
+    dataplane::ScionPacket pkt;
+    pkt.path_type = dataplane::PathType::kEmpty;
+    pkt.dst = {a::uva(), 0x0A040401};
+    pkt.src = {a::uva(), 0x0A040402};
+    dataplane::UdpDatagram dg;
+    dg.dst_port = 5000;
+    dg.data = bytes_of("x");
+    pkt.payload = dg.serialize();
+    ASSERT_TRUE(net.send_from_host(pkt).ok());
+  }
+  net.sim().run_for(10 * kSecond);
+  EXPECT_GT(stack.stats().dropped_overload, 0u);
+  EXPECT_LT(received, 500);
+  EXPECT_EQ(static_cast<std::uint64_t>(received), stack.stats().delivered);
+}
+
+TEST(Dispatcher, DispatcherlessHandlesSameLoad) {
+  auto& net = shared_net();
+  HostStack::Config cfg;
+  cfg.mode = HostMode::kDispatcherless;
+  HostStack stack{net, {a::uva(), 0x0A040403}, cfg};
+  int received = 0;
+  ASSERT_TRUE(stack.bind(5000, [&](auto&&...) { ++received; }).ok());
+  for (int i = 0; i < 500; ++i) {
+    dataplane::ScionPacket pkt;
+    pkt.path_type = dataplane::PathType::kEmpty;
+    pkt.dst = {a::uva(), 0x0A040403};
+    pkt.src = {a::uva(), 0x0A040404};
+    dataplane::UdpDatagram dg;
+    dg.dst_port = 5000;
+    dg.data = bytes_of("x");
+    pkt.payload = dg.serialize();
+    ASSERT_TRUE(net.send_from_host(pkt).ok());
+  }
+  net.sim().run_for(10 * kSecond);
+  EXPECT_EQ(received, 500);
+  EXPECT_EQ(stack.stats().dropped_overload, 0u);
+}
+
+TEST(Dispatcher, PortManagement) {
+  auto& net = shared_net();
+  HostStack stack{net, {a::uva(), 0x0A040405}};
+  auto p1 = stack.bind(7000, [](auto&&...) {});
+  ASSERT_TRUE(p1.ok());
+  EXPECT_FALSE(stack.bind(7000, [](auto&&...) {}).ok());  // taken
+  auto eph1 = stack.bind(0, [](auto&&...) {});
+  auto eph2 = stack.bind(0, [](auto&&...) {});
+  ASSERT_TRUE(eph1.ok());
+  ASSERT_TRUE(eph2.ok());
+  EXPECT_NE(eph1.value(), eph2.value());
+  stack.unbind(7000);
+  EXPECT_TRUE(stack.bind(7000, [](auto&&...) {}).ok());
+}
+
+// --- Hercules ---------------------------------------------------------------------------
+
+TEST(Hercules, MultipathBeatsSinglePath) {
+  auto& net = shared_net();
+  auto paths = net.paths(a::kisti_dj(), a::kisti_ams());
+  ASSERT_GE(paths.size(), 2u);
+  HerculesConfig cfg;
+  cfg.use_xdp = true;
+  Hercules hercules{net.topology(), cfg};
+  const auto single = hercules.plan({paths[0]}, 1'000'000'000);
+  // Pick disjoint paths for aggregation.
+  std::vector<controlplane::Path> chosen{paths[0]};
+  for (const auto& path : paths) {
+    if (path_disjointness(path, paths[0]) == 1.0) {
+      chosen.push_back(path);
+      break;
+    }
+  }
+  ASSERT_GE(chosen.size(), 2u) << "need a disjoint path pair";
+  const auto multi = hercules.plan(chosen, 1'000'000'000);
+  EXPECT_GT(multi.aggregate_bps, single.aggregate_bps * 1.5);
+  EXPECT_LT(multi.transfer_time, single.transfer_time);
+}
+
+TEST(Hercules, DispatcherCapsThroughput) {
+  auto& net = shared_net();
+  auto paths = net.paths(a::kisti_dj(), a::kisti_ams());
+  ASSERT_FALSE(paths.empty());
+  HerculesConfig via_dispatcher;
+  via_dispatcher.receiver_mode = HostMode::kDispatcher;
+  via_dispatcher.use_xdp = false;
+  HerculesConfig via_xdp;
+  via_xdp.use_xdp = true;
+  Hercules slow{net.topology(), via_dispatcher};
+  Hercules fast{net.topology(), via_xdp};
+  const auto r_slow = slow.plan({paths[0]}, 10'000'000'000ULL);
+  const auto r_fast = fast.plan({paths[0]}, 10'000'000'000ULL);
+  // The dispatcher pins the transfer to single-core pps ("performance hit
+  // a wall"), XDP restores multi-Gbps.
+  EXPECT_LT(r_slow.aggregate_bps, 4e9);
+  EXPECT_GT(r_fast.aggregate_bps, 3 * r_slow.aggregate_bps);
+}
+
+TEST(Hercules, SharedLinksNotDoubleCounted) {
+  auto& net = shared_net();
+  auto paths = net.paths(a::sec(), a::nus());
+  ASSERT_FALSE(paths.empty());
+  // Same path twice: the shared links must cap the total at one path's
+  // bandwidth, not double it.
+  HerculesConfig cfg;
+  cfg.use_xdp = true;
+  Hercules hercules{net.topology(), cfg};
+  const auto once = hercules.plan({paths[0]}, 1'000'000);
+  const auto twice = hercules.plan({paths[0], paths[0]}, 1'000'000);
+  EXPECT_NEAR(twice.network_limit_bps, once.network_limit_bps,
+              once.network_limit_bps * 0.01);
+}
+
+// --- LightningFilter -----------------------------------------------------------------------
+
+TEST(LightningFilter, AuthenticatedTrafficAccepted) {
+  LightningFilter filter{bytes_of("dmz-secret")};
+  dataplane::ScionPacket pkt;
+  pkt.src = {a::kisti_dj(), 1};
+  pkt.dst = {a::kisti_ams(), 2};
+  pkt.path_type = dataplane::PathType::kEmpty;
+  Bytes payload = bytes_of("science data");
+  const Bytes tag = filter.make_authenticator(pkt.src.ia, payload);
+  pkt.payload = payload;
+  pkt.payload.insert(pkt.payload.end(), tag.begin(), tag.end());
+  EXPECT_EQ(filter.check(pkt, 0), LightningFilter::Verdict::kAccept);
+  EXPECT_EQ(filter.stats().accepted, 1u);
+}
+
+TEST(LightningFilter, ForgedAuthenticatorDropped) {
+  LightningFilter filter{bytes_of("dmz-secret")};
+  dataplane::ScionPacket pkt;
+  pkt.src = {a::kisti_dj(), 1};
+  Bytes payload = bytes_of("science data");
+  Bytes tag = filter.make_authenticator(pkt.src.ia, payload);
+  tag[0] ^= 1;
+  pkt.payload = payload;
+  pkt.payload.insert(pkt.payload.end(), tag.begin(), tag.end());
+  EXPECT_EQ(filter.check(pkt, 0), LightningFilter::Verdict::kDropAuth);
+  // A different source AS's key must not validate either.
+  LightningFilter filter2{bytes_of("dmz-secret")};
+  Bytes tag2 = filter2.make_authenticator(a::uva(), payload);
+  pkt.payload = payload;
+  pkt.payload.insert(pkt.payload.end(), tag2.begin(), tag2.end());
+  EXPECT_EQ(filter2.check(pkt, 0), LightningFilter::Verdict::kDropAuth);
+}
+
+TEST(LightningFilter, AllowListEnforced) {
+  LightningFilter::Config cfg;
+  cfg.allowed_sources = {a::kisti_dj()};
+  cfg.require_auth = false;
+  LightningFilter filter{bytes_of("s"), cfg};
+  dataplane::ScionPacket ok;
+  ok.src = {a::kisti_dj(), 1};
+  dataplane::ScionPacket bad;
+  bad.src = {a::uva(), 1};
+  EXPECT_EQ(filter.check(ok, 0), LightningFilter::Verdict::kAccept);
+  EXPECT_EQ(filter.check(bad, 0), LightningFilter::Verdict::kDropRule);
+}
+
+TEST(LightningFilter, RateLimitKicksIn) {
+  LightningFilter::Config cfg;
+  cfg.require_auth = false;
+  cfg.rate_pps = 10;
+  cfg.burst = 5;
+  LightningFilter filter{bytes_of("s"), cfg};
+  dataplane::ScionPacket pkt;
+  pkt.src = {a::uva(), 1};
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (filter.check(pkt, kSecond) == LightningFilter::Verdict::kAccept) {
+      ++accepted;
+    }
+  }
+  EXPECT_LE(accepted, 11);
+  EXPECT_GT(filter.stats().dropped_rate, 0u);
+  // After a pause the bucket refills.
+  EXPECT_EQ(filter.check(pkt, 10 * kSecond),
+            LightningFilter::Verdict::kAccept);
+}
+
+TEST(LightningFilter, RssScalesThroughput) {
+  LightningFilter filter{bytes_of("s")};
+  const double single = filter.throughput_bps(1500, /*rss=*/false);
+  const double rss = filter.throughput_bps(1500, /*rss=*/true);
+  EXPECT_NEAR(rss / single, 8.0, 0.01);  // default 8 cores
+  EXPECT_GT(rss, 100e9);  // line rate at 100G+ (the paper's figure)
+}
+
+}  // namespace
+}  // namespace sciera::endhost

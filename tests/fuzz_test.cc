@@ -1,0 +1,194 @@
+// Adversarial robustness sweeps: random byte-level corruption of packets,
+// SCMP messages, topology files and PCBs must never crash a parser or a
+// router, and MAC/signature protection must hold under every single-byte
+// mutation of protected fields.
+#include <gtest/gtest.h>
+
+#include "controlplane/control_plane.h"
+#include "sig/sig.h"
+#include "topology/parser.h"
+#include "topology/sciera_net.h"
+
+namespace sciera {
+namespace {
+
+namespace a = topology::ases;
+
+controlplane::ScionNetwork& net() {
+  static controlplane::ScionNetwork network{topology::build_sciera()};
+  return network;
+}
+
+Bytes valid_packet_bytes() {
+  const auto paths = net().paths(a::uva(), a::ufms());
+  dataplane::ScionPacket pkt;
+  pkt.src = {a::uva(), 1};
+  pkt.dst = {a::ufms(), 2};
+  pkt.next_hdr = dataplane::kProtoScmp;
+  pkt.path = paths.front().dataplane_path;
+  pkt.payload = dataplane::make_echo_request(1, 1).serialize();
+  return pkt.serialize().value();
+}
+
+// Parsers survive arbitrary random bytes.
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 13};
+  Bytes junk(rng.next_below(300));
+  for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+  // The parsers must return errors, not crash; success on random bytes is
+  // allowed only if the payload happens to be self-consistent.
+  (void)dataplane::ScionPacket::parse(junk);
+  (void)dataplane::ScmpMessage::parse(junk);
+  (void)dataplane::UdpDatagram::parse(junk);
+  (void)sig::IpPacket::parse(junk);
+  (void)topology::parse(std::string(junk.begin(), junk.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 30));
+
+// Truncation at every boundary is an error, never UB.
+TEST(ParserFuzz, EveryTruncationRejected) {
+  const Bytes bytes = valid_packet_bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Bytes truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(dataplane::ScionPacket::parse(truncated).ok())
+        << "cut=" << cut;
+  }
+  // And the untruncated packet parses.
+  EXPECT_TRUE(dataplane::ScionPacket::parse(bytes).ok());
+}
+
+// Single-byte mutations of a valid in-flight packet must never produce a
+// successful echo: either a parser rejects it, a router drops it (MAC,
+// ingress, bounds), or — for bytes outside the protected region, like the
+// payload or flow id — the reply must come back unchanged semantics aside.
+class MutationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationFuzz, MutatedPathBytesNeverReachDestination) {
+  auto& network = net();
+  const auto paths = network.paths(a::uva(), a::princeton());
+  ASSERT_FALSE(paths.empty());
+
+  int delivered = 0;
+  const dataplane::Address host{a::uva(), 0x0A0F0001};
+  ASSERT_TRUE(network
+                  .register_host(host, [&](const dataplane::ScionPacket&,
+                                           SimTime) { ++delivered; })
+                  .ok());
+
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 104729 + 7};
+  for (int trial = 0; trial < 20; ++trial) {
+    dataplane::ScionPacket pkt;
+    pkt.src = host;
+    pkt.dst = {a::princeton(), 2};
+    pkt.next_hdr = dataplane::kProtoScmp;
+    pkt.path = paths.front().dataplane_path;
+    pkt.payload = dataplane::make_echo_request(
+                      9, static_cast<std::uint16_t>(trial))
+                      .serialize();
+    // Flip one random bit inside the path header region (info+hop fields):
+    // offsets [40, 40 + path bytes).
+    const std::size_t path_bytes =
+        4 + pkt.path.info.size() * 8 + pkt.path.hops.size() * 12;
+    auto bytes = pkt.serialize().value();
+    const std::size_t offset = 36 + rng.next_below(path_bytes);
+    bytes[offset] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+
+    auto mutated = dataplane::ScionPacket::parse(bytes);
+    if (!mutated.ok()) continue;  // parser rejected: fine
+    // Inject through the source router like a malicious host would.
+    (void)network.send_from_host(mutated.value());
+  }
+  network.sim().run_for(5 * kSecond);
+  network.unregister_host(host);
+  // No mutated packet may complete the round trip. (Bit flips in the
+  // curr_inf/curr_hf pointers or seg_id are caught by MAC verification;
+  // iface flips by ingress checks; expiry flips by MAC too.)
+  EXPECT_EQ(delivered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Range(0, 10));
+
+// Routers never crash on totally random frames arriving from a link.
+TEST(RouterFuzz, RandomFramesAreDiscarded) {
+  auto& network = net();
+  auto* router = network.router(a::geant());
+  const auto before = router->stats().delivered;
+  Rng rng{99};
+  // Feed junk through the router's receive path via a real link arrival:
+  // easiest is to parse-reject; emulate by calling receive with a frame.
+  for (int i = 0; i < 200; ++i) {
+    auto frame = std::make_shared<dataplane::UnderlayFrame>();
+    frame->scion_bytes.resize(rng.next_below(200));
+    for (auto& b : frame->scion_bytes) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    router->receive(frame, simnet::Arrival{nullptr, 1, network.sim().now()});
+  }
+  network.sim().run_for(kSecond);
+  EXPECT_EQ(router->stats().delivered, before);
+  EXPECT_GT(router->stats().drop_malformed, 0u);
+}
+
+// Tampered PCB entries never verify, for every entry and field class.
+TEST(PcbFuzz, EveryFieldMutationBreaksSignature) {
+  auto& network = net();
+  auto* pki71 = network.pki(71);
+  auto* pki64 = network.pki(64);
+  const controlplane::KeyLookup keys =
+      [&](IsdAs as) -> const crypto::Ed25519::PublicKey* {
+    auto* pki = as.isd() == 71 ? pki71 : pki64;
+    const auto* creds = pki->credentials(as);
+    return creds == nullptr ? nullptr : &creds->as_cert.subject_key;
+  };
+  const controlplane::PathSegment* segment = nullptr;
+  for (const auto& candidate : network.segments().all()) {
+    if (candidate.pcb.entries.size() >= 3) {
+      segment = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(segment, nullptr);
+  ASSERT_TRUE(verify_pcb(segment->pcb, keys).ok());
+
+  for (std::size_t entry = 0; entry < segment->pcb.entries.size(); ++entry) {
+    {
+      auto tampered = segment->pcb;
+      tampered.entries[entry].hop.cons_ingress ^= 1;
+      EXPECT_FALSE(verify_pcb(tampered, keys).ok());
+    }
+    {
+      auto tampered = segment->pcb;
+      tampered.entries[entry].hop.cons_egress ^= 1;
+      EXPECT_FALSE(verify_pcb(tampered, keys).ok());
+    }
+    {
+      auto tampered = segment->pcb;
+      tampered.entries[entry].beta ^= 0x0100;
+      EXPECT_FALSE(verify_pcb(tampered, keys).ok());
+    }
+    {
+      auto tampered = segment->pcb;
+      tampered.entries[entry].hop.mac[0] ^= 1;
+      EXPECT_FALSE(verify_pcb(tampered, keys).ok());
+    }
+    {
+      auto tampered = segment->pcb;
+      tampered.entries[entry].signature[10] ^= 1;
+      EXPECT_FALSE(verify_pcb(tampered, keys).ok());
+    }
+  }
+  // Reordering entries breaks the chain.
+  auto reordered = segment->pcb;
+  std::swap(reordered.entries[0], reordered.entries[1]);
+  EXPECT_FALSE(verify_pcb(reordered, keys).ok());
+  // Changing the header (timestamp) invalidates everything.
+  auto reheaded = segment->pcb;
+  reheaded.timestamp += 1;
+  EXPECT_FALSE(verify_pcb(reheaded, keys).ok());
+}
+
+}  // namespace
+}  // namespace sciera

@@ -1,0 +1,118 @@
+// Happy Eyeballs with SCION as the third option (Section 4.2.2).
+#include <gtest/gtest.h>
+
+#include "endhost/happy_eyeballs.h"
+#include "topology/sciera_net.h"
+
+namespace sciera::endhost {
+namespace {
+
+namespace a = topology::ases;
+
+struct Nets {
+  controlplane::ScionNetwork net{topology::build_sciera()};
+  bgp::BgpNetwork bgp{net.topology()};
+};
+
+Nets& nets() {
+  static Nets shared;
+  return shared;
+}
+
+TEST(HappyEyeballs, PrefersScionWhenCompetitive) {
+  auto& s = nets();
+  HappyEyeballs dialer{s.net, s.bgp};
+  Rng rng{1};
+  int scion_wins = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    auto result = dialer.dial(a::ovgu(), a::sidn(), rng);
+    ASSERT_TRUE(result.ok());
+    scion_wins += result->chosen == Transport::kScion;
+  }
+  // SCION starts first and the paths are comparable: it should win the
+  // large majority of dials.
+  EXPECT_GT(scion_wins, trials * 2 / 3);
+}
+
+TEST(HappyEyeballs, FallsBackToIpWhenScionDown) {
+  auto& s = nets();
+  HappyEyeballs dialer{s.net, s.bgp};
+  Rng rng{2};
+  // Cut OVGU's only SCION uplink; its BGP route survives (the failure is
+  // modelled as SCION-service loss, BGP still has the physical circuit).
+  s.net.set_link_up("geant-ovgu", false);
+  auto result = dialer.dial(a::ovgu(), a::sidn(), rng);
+  s.net.set_link_up("geant-ovgu", true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->chosen, Transport::kScion);
+}
+
+TEST(HappyEyeballs, ScionDisabledNeverChoosesScion) {
+  auto& s = nets();
+  HappyEyeballs::Config config;
+  config.scion_enabled = false;
+  HappyEyeballs dialer{s.net, s.bgp, config};
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) {
+    auto result = dialer.dial(a::uva(), a::princeton(), rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NE(result->chosen, Transport::kScion);
+  }
+}
+
+TEST(HappyEyeballs, StaggerDelayGivesScionHeadStart) {
+  auto& s = nets();
+  // With an enormous stagger, even a slowish SCION path wins because v4
+  // starts half a second later.
+  HappyEyeballs::Config config;
+  config.attempt_delay = 500 * kMillisecond;
+  HappyEyeballs dialer{s.net, s.bgp, config};
+  Rng rng{4};
+  auto result = dialer.dial(a::kisti_dj(), a::kisti_ams(), rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->chosen, Transport::kScion);
+  // With zero stagger, the fastest transport wins on merit.
+  config.attempt_delay = 0;
+  HappyEyeballs merit{s.net, s.bgp, config};
+  auto result2 = merit.dial(a::kisti_dj(), a::kisti_ams(), rng);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->connect_time, result2->first_rtt);
+}
+
+TEST(HappyEyeballs, UnreachableEverywhereFails) {
+  auto& s = nets();
+  HappyEyeballs dialer{s.net, s.bgp};
+  Rng rng{5};
+  // Fully isolate UFMS on both planes.
+  s.net.set_link_up("rnp-ufms", false);
+  s.net.set_link_up("rnp-ufms-2", false);
+  s.bgp.set_link_up("rnp-ufms", false);
+  s.bgp.set_link_up("rnp-ufms-2", false);
+  auto result = dialer.dial(a::uva(), a::ufms(), rng);
+  s.net.set_link_up("rnp-ufms", true);
+  s.net.set_link_up("rnp-ufms-2", true);
+  s.bgp.set_link_up("rnp-ufms", true);
+  s.bgp.set_link_up("rnp-ufms-2", true);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HappyEyeballs, AttemptCountMatchesConfig) {
+  auto& s = nets();
+  HappyEyeballs dialer{s.net, s.bgp};
+  Rng rng{6};
+  auto result = dialer.dial(a::uva(), a::princeton(), rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->attempts_started, 3);  // scion + v6 + v4
+  HappyEyeballs::Config v4_only;
+  v4_only.scion_enabled = false;
+  v4_only.ipv6_enabled = false;
+  HappyEyeballs legacy{s.net, s.bgp, v4_only};
+  auto result2 = legacy.dial(a::uva(), a::princeton(), rng);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->attempts_started, 1);
+  EXPECT_EQ(result2->chosen, Transport::kIpv4);
+}
+
+}  // namespace
+}  // namespace sciera::endhost

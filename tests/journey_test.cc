@@ -1,0 +1,141 @@
+// The deployment journey, end to end — the whole paper in one test file.
+// A new institution (UFMS) comes online exactly the way Section 4
+// describes: the orchestrator runs the guided setup, a host bootstraps
+// with zero configuration, applications get native connectivity, the
+// operators' monitor watches it, an incident strikes and heals, and the
+// SIG carries the legacy hosts that are not SCION-aware yet.
+#include <gtest/gtest.h>
+
+#include "endhost/pan.h"
+#include "endhost/traceroute.h"
+#include "orchestrator/orchestrator.h"
+#include "sig/sig.h"
+#include "topology/sciera_net.h"
+
+namespace sciera {
+namespace {
+
+namespace a = topology::ases;
+
+class Journey : public ::testing::Test {
+ protected:
+  static controlplane::ScionNetwork& net() {
+    static controlplane::ScionNetwork network{topology::build_sciera()};
+    return network;
+  }
+};
+
+TEST_F(Journey, FullStackStory) {
+  auto& network = net();
+
+  // --- Act 1: the orchestrator onboards UFMS (Section 4.4). -----------------
+  orchestrator::Orchestrator orchestrator{network, a::ufms()};
+  const auto setup = orchestrator.run_setup();
+  ASSERT_TRUE(setup.succeeded());
+  ASSERT_NE(orchestrator.bootstrap_server(), nullptr);
+  EXPECT_TRUE(orchestrator.dashboard().all_healthy());
+
+  // --- Act 2: a student laptop joins with nothing installed (4.1/4.2). ------
+  endhost::HostEnvironment laptop_env;
+  laptop_env.net = &network;
+  laptop_env.address = {a::ufms(), 0x0A0000C8};
+  laptop_env.bootstrap_server = orchestrator.bootstrap_server();
+  laptop_env.network_env.mdns_responder_present = true;
+  auto laptop = endhost::PanContext::create(laptop_env, Rng{42});
+  ASSERT_TRUE(laptop.ok());
+  EXPECT_EQ((*laptop)->mode(), endhost::StackMode::kStandalone);
+  EXPECT_LT(to_ms((*laptop)->bootstrap_time()), 1000.0);
+
+  // --- Act 3: native connectivity to a peer on another continent. -----------
+  endhost::Daemon ovgu_daemon{network, a::ovgu()};
+  endhost::HostEnvironment peer_env;
+  peer_env.net = &network;
+  peer_env.address = {a::ovgu(), 0x0A0000C9};
+  peer_env.daemon = &ovgu_daemon;
+  auto peer = endhost::PanContext::create(peer_env, Rng{43});
+  ASSERT_TRUE(peer.ok());
+
+  int peer_received = 0;
+  endhost::PanSocket* peer_sock_ptr = nullptr;
+  auto peer_sock = endhost::PanSocket::open(
+      **peer, 4242,
+      [&](const dataplane::Address& src, std::uint16_t port,
+          const Bytes& data, SimTime) {
+        ++peer_received;
+        (void)peer_sock_ptr->send_to(src, port, data);
+      });
+  ASSERT_TRUE(peer_sock.ok());
+  peer_sock_ptr = peer_sock->get();
+
+  int laptop_received = 0;
+  auto laptop_sock = endhost::PanSocket::open(
+      **laptop, 0,
+      [&](const dataplane::Address&, std::uint16_t, const Bytes&, SimTime) {
+        ++laptop_received;
+      });
+  ASSERT_TRUE(laptop_sock.ok());
+  ASSERT_TRUE((*laptop_sock)
+                  ->send_to({a::ovgu(), 0x0A0000C9}, 4242,
+                            bytes_of("research data request"))
+                  .ok());
+  network.sim().run_for(3 * kSecond);
+  EXPECT_EQ(peer_received, 1);
+  EXPECT_EQ(laptop_received, 1);
+
+  // --- Act 4: an operator debugs the path with traceroute. ------------------
+  endhost::HostStack ops_stack{network, {a::ufms(), 0x0A0000CA}};
+  const auto paths = network.paths(a::ufms(), a::ovgu());
+  ASSERT_FALSE(paths.empty());
+  endhost::Traceroute traceroute{ops_stack};
+  const auto hops = traceroute.run({a::ovgu(), 0x0A0000C9}, paths.front());
+  ASSERT_EQ(hops.size(), paths.front().as_sequence.size());
+  EXPECT_TRUE(hops.back().is_destination);
+
+  // --- Act 5: an incident, the monitor alarm, and recovery (4.4). -----------
+  orchestrator::Monitor monitor{network, a::geant()};
+  network.set_link_up("rnp-ufms", false);
+  network.set_link_up("rnp-ufms-2", false);
+  (void)monitor.probe_all();
+  (void)monitor.probe_all();
+  const auto alerts = monitor.probe_all();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].affected, a::ufms());
+  // "Operators can then check the orchestrator's status page".
+  const auto dash = orchestrator.dashboard();
+  EXPECT_FALSE(dash.all_healthy());
+  // The circuit comes back; the alert clears and traffic flows again.
+  network.set_link_up("rnp-ufms", true);
+  network.set_link_up("rnp-ufms-2", true);
+  (void)monitor.probe_all();
+  EXPECT_EQ(monitor.open_alerts(), 0u);
+  ASSERT_TRUE((*laptop_sock)
+                  ->send_to({a::ovgu(), 0x0A0000C9}, 4242, bytes_of("again"))
+                  .ok());
+  network.sim().run_for(3 * kSecond);
+  EXPECT_EQ(peer_received, 2);
+
+  // --- Act 6: the legacy lab machines ride the SIG (Appendix B). ------------
+  std::vector<sig::IpPacket> lab_rx;
+  sig::ScionIpGateway campus_sig{network, {a::ufms(), 0x0A0000FE},
+                                 [&](const sig::IpPacket& packet, SimTime) {
+                                   lab_rx.push_back(packet);
+                                 }};
+  std::vector<sig::IpPacket> remote_rx;
+  sig::ScionIpGateway remote_sig{network, {a::ovgu(), 0x0A0000FE},
+                                 [&](const sig::IpPacket& packet, SimTime) {
+                                   remote_rx.push_back(packet);
+                                 }};
+  campus_sig.add_rule(sig::IpPrefix{0x0A640000, 16}, remote_sig.address());
+  remote_sig.add_rule(sig::IpPrefix{0x0A320000, 16}, campus_sig.address());
+  sig::IpPacket legacy;
+  legacy.src_ip = 0x0A320001;
+  legacy.dst_ip = 0x0A640001;
+  legacy.payload = bytes_of("legacy instrument readout");
+  ASSERT_TRUE(campus_sig.send_ip(legacy).ok());
+  network.sim().run_for(3 * kSecond);
+  ASSERT_EQ(remote_rx.size(), 1u);
+  EXPECT_EQ(remote_rx[0], legacy);
+}
+
+}  // namespace
+}  // namespace sciera

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "analysis/stats.h"
+#include "measure/campaign.h"
+#include "topology/sciera_net.h"
+
+namespace sciera::measure {
+namespace {
+
+namespace a = topology::ases;
+
+struct SharedNets {
+  controlplane::ScionNetwork net{topology::build_sciera()};
+  bgp::BgpNetwork bgp{net.topology()};
+};
+
+SharedNets& nets() {
+  static SharedNets shared;
+  return shared;
+}
+
+TEST(ThreePaths, SelectionFollowsDefinitions) {
+  auto& s = nets();
+  const auto paths = s.net.paths(a::uva(), a::ufms());
+  ASSERT_GE(paths.size(), 3u);
+  std::vector<const controlplane::Path*> usable;
+  for (const auto& path : paths) usable.push_back(&path);
+
+  std::map<std::string, Duration> probe_rtts;
+  // Make an arbitrary non-shortest path the measured-fastest.
+  const controlplane::Path* forced_fastest = usable.back();
+  for (const auto* path : usable) {
+    probe_rtts[path->fingerprint()] =
+        path == forced_fastest ? kMillisecond : kSecond;
+  }
+  const ThreePaths chosen = select_three_paths(usable, probe_rtts);
+  ASSERT_NE(chosen.shortest, nullptr);
+  ASSERT_NE(chosen.fastest, nullptr);
+  ASSERT_NE(chosen.disjoint, nullptr);
+  // Shortest has globally minimal hop count.
+  for (const auto* path : usable) {
+    EXPECT_LE(chosen.shortest->as_sequence.size(), path->as_sequence.size());
+  }
+  // Fastest follows the probe measurements.
+  EXPECT_EQ(chosen.fastest->fingerprint(), forced_fastest->fingerprint());
+  // Most-disjoint minimizes shared interfaces with shortest+fastest.
+  std::set<GlobalIfaceId> reference;
+  for (const auto* p : {chosen.shortest, chosen.fastest}) {
+    reference.insert(p->interfaces.begin(), p->interfaces.end());
+  }
+  auto shared_count = [&](const controlplane::Path* path) {
+    std::size_t shared = 0;
+    for (const auto& gid : path->interfaces) {
+      shared += reference.contains(gid) ? 1 : 0;
+    }
+    return shared;
+  };
+  for (const auto* path : usable) {
+    EXPECT_LE(shared_count(chosen.disjoint), shared_count(path));
+  }
+}
+
+TEST(ThreePaths, EmptyUsableSetYieldsNothing) {
+  const ThreePaths chosen = select_three_paths({}, {});
+  EXPECT_EQ(chosen.shortest, nullptr);
+  EXPECT_TRUE(chosen.all().empty());
+}
+
+TEST(Sampling, RttJitterIsMultiplicativeAndPositive) {
+  Rng rng{5};
+  const Duration base = 100 * kMillisecond;
+  double sum = 0;
+  Duration lo = INT64_MAX, hi = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const Duration sample = sample_rtt(base, 4, 0.02, rng);
+    sum += to_ms(sample);
+    lo = std::min(lo, sample);
+    hi = std::max(hi, sample);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 2.0);       // median-centered
+  EXPECT_GT(lo, 80 * kMillisecond);       // tight sigma
+  EXPECT_LT(hi, 130 * kMillisecond);
+  EXPECT_LT(lo, hi);
+}
+
+class CampaignFixture : public ::testing::Test {
+ protected:
+  static const CampaignResult& result() {
+    static const CampaignResult r = [] {
+      auto& s = nets();
+      CampaignOptions options;
+      options.duration = 20 * kDay;
+      options.interval = kHour;  // coarse for tests; benches go finer
+      options.samples_per_path = 4;
+      Campaign campaign{s.net, s.bgp, options};
+      return campaign.run();
+    }();
+    return r;
+  }
+};
+
+TEST_F(CampaignFixture, ProducesRecordsForAllPairsAndIntervals) {
+  const auto& r = result();
+  EXPECT_FALSE(r.intervals.empty());
+  EXPECT_EQ(r.intervals.size(), r.probes.size());
+  // 11 sources x (targets - self) pairs per interval tick.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  for (const auto& record : r.intervals) {
+    pairs.insert({record.src.packed(), record.dst.packed()});
+  }
+  EXPECT_GT(pairs.size(), 100u);
+  for (const auto& record : r.intervals) {
+    EXPECT_NE(record.src, record.dst);
+  }
+}
+
+TEST_F(CampaignFixture, ScionAndIpMostlyReachable) {
+  const auto& r = result();
+  std::size_t scion_ok = 0, ip_ok = 0;
+  for (const auto& record : r.intervals) {
+    scion_ok += record.scion_min_rtt.has_value();
+    ip_ok += record.ip_min_rtt.has_value();
+  }
+  EXPECT_GT(static_cast<double>(scion_ok), 0.95 * r.intervals.size());
+  EXPECT_GT(static_cast<double>(ip_ok), 0.95 * r.intervals.size());
+}
+
+TEST_F(CampaignFixture, RttsAreGloballyPlausible) {
+  const auto& r = result();
+  for (const auto& record : r.intervals) {
+    if (record.scion_min_rtt) {
+      EXPECT_GT(to_ms(*record.scion_min_rtt), 0.5);
+      EXPECT_LT(to_ms(*record.scion_min_rtt), 1500.0);
+    }
+    if (record.ip_min_rtt) {
+      EXPECT_LT(to_ms(*record.ip_min_rtt), 1500.0);
+    }
+  }
+}
+
+TEST_F(CampaignFixture, MedianScionBeatsIp) {
+  // The headline Figure 5 result: SCION's median min-RTT is lower, and the
+  // tail improvement is larger than the median improvement.
+  const auto dist = analysis::rtt_distributions(result());
+  EXPECT_LT(dist.scion_ms.median(), dist.ip_ms.median());
+  const double median_gain = 1.0 - dist.scion_ms.median() / dist.ip_ms.median();
+  const double p90_gain =
+      1.0 - dist.scion_ms.percentile(0.9) / dist.ip_ms.percentile(0.9);
+  EXPECT_GT(median_gain, 0.0);
+  EXPECT_GT(p90_gain, median_gain);
+}
+
+TEST_F(CampaignFixture, UfmsEquinixIsAnOutlier) {
+  // The SCION-only missing RNP<->BRIDGES VLAN forces SCION through GEANT
+  // while IP goes direct: that pair's ratio must sit far above the median.
+  const auto ratios = analysis::pair_ratios(result());
+  ASSERT_FALSE(ratios.empty());
+  double ufms_equinix = 0;
+  std::vector<double> all;
+  for (const auto& ratio : ratios) {
+    all.push_back(ratio.ratio);
+    if (ratio.src == a::ufms() && ratio.dst == a::equinix()) {
+      ufms_equinix = ratio.ratio;
+    }
+  }
+  ASSERT_GT(ufms_equinix, 0);
+  const analysis::Cdf cdf{all};
+  // One of the Figure 6 outlier sets: well above the bulk of the pairs.
+  EXPECT_GT(ufms_equinix, cdf.percentile(0.75));
+  EXPECT_GT(ufms_equinix, 1.1);
+}
+
+TEST_F(CampaignFixture, PathCountsDropDuringKreonetOutage) {
+  const auto& r = result();
+  // Daejeon <-> Singapore: the dj-hk outage (days 10..16.5) removes the
+  // short ring direction; active path count must dip in that window.
+  std::size_t before_max = 0, during_min = SIZE_MAX;
+  for (const auto& probe : r.probes) {
+    if (!(probe.src == a::kisti_dj() && probe.dst == a::kisti_sg())) continue;
+    const double day = static_cast<double>(probe.time) / kDay;
+    if (day < 8.0) before_max = std::max(before_max, probe.active_paths);
+    if (day > 10.5 && day < 16.0) {
+      during_min = std::min(during_min, probe.active_paths);
+    }
+  }
+  ASSERT_NE(during_min, SIZE_MAX);
+  EXPECT_LT(during_min, before_max);
+}
+
+TEST_F(CampaignFixture, CsvExportsParse) {
+  const auto& r = result();
+  const std::string intervals = r.intervals_csv();
+  const std::string probes = r.probes_csv();
+  EXPECT_NE(intervals.find("scion_min_rtt_ms"), std::string::npos);
+  EXPECT_NE(probes.find("active_paths"), std::string::npos);
+  // Row counts match (+1 header, +1 trailing newline split artifact).
+  const auto count_lines = [](const std::string& text) {
+    return static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+  };
+  EXPECT_EQ(count_lines(intervals), r.intervals.size() + 1);
+  EXPECT_EQ(count_lines(probes), r.probes.size() + 1);
+}
+
+TEST_F(CampaignFixture, LinkStateRestoredAfterRun) {
+  auto& s = nets();
+  // The campaign must leave the shared networks clean.
+  for (const auto& link : s.net.topology().links()) {
+    EXPECT_TRUE(s.net.link(link.id)->is_up()) << link.label;
+    EXPECT_TRUE(s.bgp.link_up(link.id)) << link.label;
+  }
+}
+
+TEST(CampaignIncidents, PaperScheduleIsWellFormed) {
+  const auto incidents = Campaign::paper_incidents();
+  EXPECT_GE(incidents.size(), 10u);
+  const topology::Topology topo = topology::build_sciera();
+  for (const auto& incident : incidents) {
+    EXPECT_LT(incident.from, incident.to) << incident.label;
+    for (const auto& label : incident.links) {
+      EXPECT_NE(topo.find_link_by_label(label), nullptr)
+          << incident.label << " references unknown link " << label;
+    }
+  }
+}
+
+
+TEST(CampaignDeterminism, SameSeedSameResult) {
+  auto& s = nets();
+  CampaignOptions options;
+  options.duration = 2 * kDay;
+  options.interval = kHour;
+  Campaign first{s.net, s.bgp, options};
+  const auto a1 = first.run();
+  Campaign second{s.net, s.bgp, options};
+  const auto a2 = second.run();
+  ASSERT_EQ(a1.intervals.size(), a2.intervals.size());
+  for (std::size_t i = 0; i < a1.intervals.size(); ++i) {
+    EXPECT_EQ(a1.intervals[i].scion_min_rtt, a2.intervals[i].scion_min_rtt);
+    EXPECT_EQ(a1.intervals[i].ip_min_rtt, a2.intervals[i].ip_min_rtt);
+  }
+  EXPECT_EQ(a1.probes_csv(), a2.probes_csv());
+}
+
+TEST(CampaignDeterminism, DifferentSeedDifferentSamples) {
+  auto& s = nets();
+  CampaignOptions options;
+  options.duration = kDay;
+  options.interval = kHour;
+  Campaign first{s.net, s.bgp, options};
+  const auto a1 = first.run();
+  options.seed = 999;
+  Campaign second{s.net, s.bgp, options};
+  const auto a2 = second.run();
+  ASSERT_EQ(a1.intervals.size(), a2.intervals.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a1.intervals.size(); ++i) {
+    any_diff |= a1.intervals[i].scion_min_rtt != a2.intervals[i].scion_min_rtt;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace sciera::measure
