@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_latency_inflation.dir/fig10a_latency_inflation.cc.o"
+  "CMakeFiles/fig10a_latency_inflation.dir/fig10a_latency_inflation.cc.o.d"
+  "fig10a_latency_inflation"
+  "fig10a_latency_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_latency_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

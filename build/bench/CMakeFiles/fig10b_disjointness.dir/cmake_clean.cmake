@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_disjointness.dir/fig10b_disjointness.cc.o"
+  "CMakeFiles/fig10b_disjointness.dir/fig10b_disjointness.cc.o.d"
+  "fig10b_disjointness"
+  "fig10b_disjointness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_disjointness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_link_failures.dir/fig10c_link_failures.cc.o"
+  "CMakeFiles/fig10c_link_failures.dir/fig10c_link_failures.cc.o.d"
+  "fig10c_link_failures"
+  "fig10c_link_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_link_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

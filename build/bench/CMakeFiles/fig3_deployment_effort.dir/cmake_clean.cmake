@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_deployment_effort.dir/fig3_deployment_effort.cc.o"
+  "CMakeFiles/fig3_deployment_effort.dir/fig3_deployment_effort.cc.o.d"
+  "fig3_deployment_effort"
+  "fig3_deployment_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_deployment_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_deployment_effort.
+# This may be replaced when dependencies are built.

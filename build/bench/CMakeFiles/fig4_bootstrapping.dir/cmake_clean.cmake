@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bootstrapping.dir/fig4_bootstrapping.cc.o"
+  "CMakeFiles/fig4_bootstrapping.dir/fig4_bootstrapping.cc.o.d"
+  "fig4_bootstrapping"
+  "fig4_bootstrapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bootstrapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

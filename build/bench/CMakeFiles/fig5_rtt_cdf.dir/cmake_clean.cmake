@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rtt_cdf.dir/fig5_rtt_cdf.cc.o"
+  "CMakeFiles/fig5_rtt_cdf.dir/fig5_rtt_cdf.cc.o.d"
+  "fig5_rtt_cdf"
+  "fig5_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

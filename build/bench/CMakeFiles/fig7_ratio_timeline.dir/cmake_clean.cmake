@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ratio_timeline.dir/fig7_ratio_timeline.cc.o"
+  "CMakeFiles/fig7_ratio_timeline.dir/fig7_ratio_timeline.cc.o.d"
+  "fig7_ratio_timeline"
+  "fig7_ratio_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ratio_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

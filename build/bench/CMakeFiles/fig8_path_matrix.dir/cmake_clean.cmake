@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_path_matrix.dir/fig8_path_matrix.cc.o"
+  "CMakeFiles/fig8_path_matrix.dir/fig8_path_matrix.cc.o.d"
+  "fig8_path_matrix"
+  "fig8_path_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_path_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_path_deviation.dir/fig9_path_deviation.cc.o"
+  "CMakeFiles/fig9_path_deviation.dir/fig9_path_deviation.cc.o.d"
+  "fig9_path_deviation"
+  "fig9_path_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_path_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_controlplane.dir/micro_controlplane.cc.o"
+  "CMakeFiles/micro_controlplane.dir/micro_controlplane.cc.o.d"
+  "micro_controlplane"
+  "micro_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

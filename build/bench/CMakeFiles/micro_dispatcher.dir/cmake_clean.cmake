@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dispatcher.dir/micro_dispatcher.cc.o"
+  "CMakeFiles/micro_dispatcher.dir/micro_dispatcher.cc.o.d"
+  "micro_dispatcher"
+  "micro_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_enablement.dir/sec52_enablement.cc.o"
+  "CMakeFiles/sec52_enablement.dir/sec52_enablement.cc.o.d"
+  "sec52_enablement"
+  "sec52_enablement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_enablement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

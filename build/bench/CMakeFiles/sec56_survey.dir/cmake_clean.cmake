@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_survey.dir/sec56_survey.cc.o"
+  "CMakeFiles/sec56_survey.dir/sec56_survey.cc.o.d"
+  "sec56_survey"
+  "sec56_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pops.dir/table1_pops.cc.o"
+  "CMakeFiles/table1_pops.dir/table1_pops.cc.o.d"
+  "table1_pops"
+  "table1_pops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_failover.dir/gaming_failover.cpp.o"
+  "CMakeFiles/gaming_failover.dir/gaming_failover.cpp.o.d"
+  "gaming_failover"
+  "gaming_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_routing.dir/green_routing.cpp.o"
+  "CMakeFiles/green_routing.dir/green_routing.cpp.o.d"
+  "green_routing"
+  "green_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/science_dmz.dir/science_dmz.cpp.o"
+  "CMakeFiles/science_dmz.dir/science_dmz.cpp.o.d"
+  "science_dmz"
+  "science_dmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/science_dmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

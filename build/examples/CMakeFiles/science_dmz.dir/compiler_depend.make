@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for science_dmz.
+# This may be replaced when dependencies are built.

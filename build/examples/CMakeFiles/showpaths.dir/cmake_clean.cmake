@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/showpaths.dir/showpaths.cpp.o"
+  "CMakeFiles/showpaths.dir/showpaths.cpp.o.d"
+  "showpaths"
+  "showpaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/showpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

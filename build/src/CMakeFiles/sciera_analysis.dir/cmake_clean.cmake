@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_analysis.dir/analysis/charts.cc.o"
+  "CMakeFiles/sciera_analysis.dir/analysis/charts.cc.o.d"
+  "CMakeFiles/sciera_analysis.dir/analysis/resilience.cc.o"
+  "CMakeFiles/sciera_analysis.dir/analysis/resilience.cc.o.d"
+  "CMakeFiles/sciera_analysis.dir/analysis/stats.cc.o"
+  "CMakeFiles/sciera_analysis.dir/analysis/stats.cc.o.d"
+  "libsciera_analysis.a"
+  "libsciera_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsciera_analysis.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_bgp.dir/bgp/bgp.cc.o"
+  "CMakeFiles/sciera_bgp.dir/bgp/bgp.cc.o.d"
+  "libsciera_bgp.a"
+  "libsciera_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_common.dir/common/buffer.cc.o"
+  "CMakeFiles/sciera_common.dir/common/buffer.cc.o.d"
+  "CMakeFiles/sciera_common.dir/common/isd_as.cc.o"
+  "CMakeFiles/sciera_common.dir/common/isd_as.cc.o.d"
+  "CMakeFiles/sciera_common.dir/common/log.cc.o"
+  "CMakeFiles/sciera_common.dir/common/log.cc.o.d"
+  "CMakeFiles/sciera_common.dir/common/rng.cc.o"
+  "CMakeFiles/sciera_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/sciera_common.dir/common/strings.cc.o"
+  "CMakeFiles/sciera_common.dir/common/strings.cc.o.d"
+  "libsciera_common.a"
+  "libsciera_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

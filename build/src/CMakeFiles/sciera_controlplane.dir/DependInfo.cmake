@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/beacon.cc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/beacon.cc.o" "gcc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/beacon.cc.o.d"
+  "/root/repo/src/controlplane/beaconing.cc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/beaconing.cc.o" "gcc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/beaconing.cc.o.d"
+  "/root/repo/src/controlplane/combinator.cc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/combinator.cc.o" "gcc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/combinator.cc.o.d"
+  "/root/repo/src/controlplane/control_plane.cc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/control_plane.cc.o" "gcc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/control_plane.cc.o.d"
+  "/root/repo/src/controlplane/path_server.cc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/path_server.cc.o" "gcc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/path_server.cc.o.d"
+  "/root/repo/src/controlplane/segment.cc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/segment.cc.o" "gcc" "src/CMakeFiles/sciera_controlplane.dir/controlplane/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_cppki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

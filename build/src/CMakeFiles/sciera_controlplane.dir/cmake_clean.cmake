@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_controlplane.dir/controlplane/beacon.cc.o"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/beacon.cc.o.d"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/beaconing.cc.o"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/beaconing.cc.o.d"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/combinator.cc.o"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/combinator.cc.o.d"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/control_plane.cc.o"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/control_plane.cc.o.d"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/path_server.cc.o"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/path_server.cc.o.d"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/segment.cc.o"
+  "CMakeFiles/sciera_controlplane.dir/controlplane/segment.cc.o.d"
+  "libsciera_controlplane.a"
+  "libsciera_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cppki/ca.cc" "src/CMakeFiles/sciera_cppki.dir/cppki/ca.cc.o" "gcc" "src/CMakeFiles/sciera_cppki.dir/cppki/ca.cc.o.d"
+  "/root/repo/src/cppki/certificate.cc" "src/CMakeFiles/sciera_cppki.dir/cppki/certificate.cc.o" "gcc" "src/CMakeFiles/sciera_cppki.dir/cppki/certificate.cc.o.d"
+  "/root/repo/src/cppki/trc.cc" "src/CMakeFiles/sciera_cppki.dir/cppki/trc.cc.o" "gcc" "src/CMakeFiles/sciera_cppki.dir/cppki/trc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

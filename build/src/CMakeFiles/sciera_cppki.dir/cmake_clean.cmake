@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_cppki.dir/cppki/ca.cc.o"
+  "CMakeFiles/sciera_cppki.dir/cppki/ca.cc.o.d"
+  "CMakeFiles/sciera_cppki.dir/cppki/certificate.cc.o"
+  "CMakeFiles/sciera_cppki.dir/cppki/certificate.cc.o.d"
+  "CMakeFiles/sciera_cppki.dir/cppki/trc.cc.o"
+  "CMakeFiles/sciera_cppki.dir/cppki/trc.cc.o.d"
+  "libsciera_cppki.a"
+  "libsciera_cppki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_cppki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

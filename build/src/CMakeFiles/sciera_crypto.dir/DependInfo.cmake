@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/sciera_crypto.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/sciera_crypto.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/cmac.cc" "src/CMakeFiles/sciera_crypto.dir/crypto/cmac.cc.o" "gcc" "src/CMakeFiles/sciera_crypto.dir/crypto/cmac.cc.o.d"
+  "/root/repo/src/crypto/ed25519.cc" "src/CMakeFiles/sciera_crypto.dir/crypto/ed25519.cc.o" "gcc" "src/CMakeFiles/sciera_crypto.dir/crypto/ed25519.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/sciera_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/sciera_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/sciera_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/sciera_crypto.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/sha512.cc" "src/CMakeFiles/sciera_crypto.dir/crypto/sha512.cc.o" "gcc" "src/CMakeFiles/sciera_crypto.dir/crypto/sha512.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_crypto.dir/crypto/aes128.cc.o"
+  "CMakeFiles/sciera_crypto.dir/crypto/aes128.cc.o.d"
+  "CMakeFiles/sciera_crypto.dir/crypto/cmac.cc.o"
+  "CMakeFiles/sciera_crypto.dir/crypto/cmac.cc.o.d"
+  "CMakeFiles/sciera_crypto.dir/crypto/ed25519.cc.o"
+  "CMakeFiles/sciera_crypto.dir/crypto/ed25519.cc.o.d"
+  "CMakeFiles/sciera_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/sciera_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/sciera_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/sciera_crypto.dir/crypto/sha256.cc.o.d"
+  "CMakeFiles/sciera_crypto.dir/crypto/sha512.cc.o"
+  "CMakeFiles/sciera_crypto.dir/crypto/sha512.cc.o.d"
+  "libsciera_crypto.a"
+  "libsciera_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

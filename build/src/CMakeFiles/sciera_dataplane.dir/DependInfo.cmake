@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/hopfield.cc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/hopfield.cc.o" "gcc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/hopfield.cc.o.d"
+  "/root/repo/src/dataplane/packet.cc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/packet.cc.o" "gcc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/packet.cc.o.d"
+  "/root/repo/src/dataplane/router.cc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/router.cc.o" "gcc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/router.cc.o.d"
+  "/root/repo/src/dataplane/scmp.cc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/scmp.cc.o" "gcc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/scmp.cc.o.d"
+  "/root/repo/src/dataplane/underlay.cc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/underlay.cc.o" "gcc" "src/CMakeFiles/sciera_dataplane.dir/dataplane/underlay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_dataplane.dir/dataplane/hopfield.cc.o"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/hopfield.cc.o.d"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/packet.cc.o"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/packet.cc.o.d"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/router.cc.o"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/router.cc.o.d"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/scmp.cc.o"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/scmp.cc.o.d"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/underlay.cc.o"
+  "CMakeFiles/sciera_dataplane.dir/dataplane/underlay.cc.o.d"
+  "libsciera_dataplane.a"
+  "libsciera_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_deploy.dir/deploy/effort.cc.o"
+  "CMakeFiles/sciera_deploy.dir/deploy/effort.cc.o.d"
+  "CMakeFiles/sciera_deploy.dir/deploy/survey.cc.o"
+  "CMakeFiles/sciera_deploy.dir/deploy/survey.cc.o.d"
+  "libsciera_deploy.a"
+  "libsciera_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/endhost/bootstrap_server.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/bootstrap_server.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/bootstrap_server.cc.o.d"
+  "/root/repo/src/endhost/bootstrapper.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/bootstrapper.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/bootstrapper.cc.o.d"
+  "/root/repo/src/endhost/daemon.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/daemon.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/daemon.cc.o.d"
+  "/root/repo/src/endhost/dispatcher.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/dispatcher.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/dispatcher.cc.o.d"
+  "/root/repo/src/endhost/happy_eyeballs.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/happy_eyeballs.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/happy_eyeballs.cc.o.d"
+  "/root/repo/src/endhost/hercules.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/hercules.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/hercules.cc.o.d"
+  "/root/repo/src/endhost/hints.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/hints.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/hints.cc.o.d"
+  "/root/repo/src/endhost/lightning_filter.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/lightning_filter.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/lightning_filter.cc.o.d"
+  "/root/repo/src/endhost/pan.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/pan.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/pan.cc.o.d"
+  "/root/repo/src/endhost/policy.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/policy.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/policy.cc.o.d"
+  "/root/repo/src/endhost/traceroute.cc" "src/CMakeFiles/sciera_endhost.dir/endhost/traceroute.cc.o" "gcc" "src/CMakeFiles/sciera_endhost.dir/endhost/traceroute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_cppki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

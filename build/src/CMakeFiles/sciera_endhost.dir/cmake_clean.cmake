@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_endhost.dir/endhost/bootstrap_server.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/bootstrap_server.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/bootstrapper.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/bootstrapper.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/daemon.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/daemon.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/dispatcher.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/dispatcher.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/happy_eyeballs.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/happy_eyeballs.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/hercules.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/hercules.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/hints.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/hints.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/lightning_filter.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/lightning_filter.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/pan.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/pan.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/policy.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/policy.cc.o.d"
+  "CMakeFiles/sciera_endhost.dir/endhost/traceroute.cc.o"
+  "CMakeFiles/sciera_endhost.dir/endhost/traceroute.cc.o.d"
+  "libsciera_endhost.a"
+  "libsciera_endhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_endhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_measure.dir/measure/campaign.cc.o"
+  "CMakeFiles/sciera_measure.dir/measure/campaign.cc.o.d"
+  "CMakeFiles/sciera_measure.dir/measure/multiping.cc.o"
+  "CMakeFiles/sciera_measure.dir/measure/multiping.cc.o.d"
+  "libsciera_measure.a"
+  "libsciera_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

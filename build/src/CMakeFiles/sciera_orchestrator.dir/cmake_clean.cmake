@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_orchestrator.dir/orchestrator/orchestrator.cc.o"
+  "CMakeFiles/sciera_orchestrator.dir/orchestrator/orchestrator.cc.o.d"
+  "libsciera_orchestrator.a"
+  "libsciera_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

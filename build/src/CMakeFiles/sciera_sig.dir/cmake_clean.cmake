@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_sig.dir/sig/sig.cc.o"
+  "CMakeFiles/sciera_sig.dir/sig/sig.cc.o.d"
+  "libsciera_sig.a"
+  "libsciera_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sciera_sig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/link.cc" "src/CMakeFiles/sciera_simnet.dir/simnet/link.cc.o" "gcc" "src/CMakeFiles/sciera_simnet.dir/simnet/link.cc.o.d"
+  "/root/repo/src/simnet/node.cc" "src/CMakeFiles/sciera_simnet.dir/simnet/node.cc.o" "gcc" "src/CMakeFiles/sciera_simnet.dir/simnet/node.cc.o.d"
+  "/root/repo/src/simnet/simulator.cc" "src/CMakeFiles/sciera_simnet.dir/simnet/simulator.cc.o" "gcc" "src/CMakeFiles/sciera_simnet.dir/simnet/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

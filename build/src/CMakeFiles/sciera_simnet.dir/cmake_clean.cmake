@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_simnet.dir/simnet/link.cc.o"
+  "CMakeFiles/sciera_simnet.dir/simnet/link.cc.o.d"
+  "CMakeFiles/sciera_simnet.dir/simnet/node.cc.o"
+  "CMakeFiles/sciera_simnet.dir/simnet/node.cc.o.d"
+  "CMakeFiles/sciera_simnet.dir/simnet/simulator.cc.o"
+  "CMakeFiles/sciera_simnet.dir/simnet/simulator.cc.o.d"
+  "libsciera_simnet.a"
+  "libsciera_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

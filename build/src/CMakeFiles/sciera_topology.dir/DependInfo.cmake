@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/parser.cc" "src/CMakeFiles/sciera_topology.dir/topology/parser.cc.o" "gcc" "src/CMakeFiles/sciera_topology.dir/topology/parser.cc.o.d"
+  "/root/repo/src/topology/sciera_net.cc" "src/CMakeFiles/sciera_topology.dir/topology/sciera_net.cc.o" "gcc" "src/CMakeFiles/sciera_topology.dir/topology/sciera_net.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/CMakeFiles/sciera_topology.dir/topology/topology.cc.o" "gcc" "src/CMakeFiles/sciera_topology.dir/topology/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sciera_topology.dir/topology/parser.cc.o"
+  "CMakeFiles/sciera_topology.dir/topology/parser.cc.o.d"
+  "CMakeFiles/sciera_topology.dir/topology/sciera_net.cc.o"
+  "CMakeFiles/sciera_topology.dir/topology/sciera_net.cc.o.d"
+  "CMakeFiles/sciera_topology.dir/topology/topology.cc.o"
+  "CMakeFiles/sciera_topology.dir/topology/topology.cc.o.d"
+  "libsciera_topology.a"
+  "libsciera_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sciera_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

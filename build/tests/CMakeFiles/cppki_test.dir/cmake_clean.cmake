@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cppki_test.dir/cppki_test.cc.o"
+  "CMakeFiles/cppki_test.dir/cppki_test.cc.o.d"
+  "cppki_test"
+  "cppki_test.pdb"
+  "cppki_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cppki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endhost_test.dir/endhost_test.cc.o"
+  "CMakeFiles/endhost_test.dir/endhost_test.cc.o.d"
+  "endhost_test"
+  "endhost_test.pdb"
+  "endhost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endhost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/happy_eyeballs_test.dir/happy_eyeballs_test.cc.o"
+  "CMakeFiles/happy_eyeballs_test.dir/happy_eyeballs_test.cc.o.d"
+  "happy_eyeballs_test"
+  "happy_eyeballs_test.pdb"
+  "happy_eyeballs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/happy_eyeballs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

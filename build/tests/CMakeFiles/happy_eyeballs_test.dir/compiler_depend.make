@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for happy_eyeballs_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journey_test.dir/journey_test.cc.o"
+  "CMakeFiles/journey_test.dir/journey_test.cc.o.d"
+  "journey_test"
+  "journey_test.pdb"
+  "journey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

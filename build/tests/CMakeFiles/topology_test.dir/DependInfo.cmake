@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology_test.cc" "tests/CMakeFiles/topology_test.dir/topology_test.cc.o" "gcc" "tests/CMakeFiles/topology_test.dir/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sciera_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_endhost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_cppki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sciera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+add_test([=[Journey.FullStackStory]=]  /root/repo/build/tests/journey_test [==[--gtest_filter=Journey.FullStackStory]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Journey.FullStackStory]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  journey_test_TESTS Journey.FullStackStory)
