@@ -1,0 +1,55 @@
+# Sanitizer wiring for the whole tree. Usage:
+#
+#   cmake -B build-asan -S . -DSCIERA_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DSCIERA_SANITIZE=thread
+#
+# SCIERA_SANITIZE is a semicolon- (or comma-) separated list drawn from
+# {address, undefined, leak, thread}. Flags are applied globally so every
+# target in src/, tests/, bench/, examples/ and tools/ is instrumented.
+# UBSan runs with -fno-sanitize-recover so any report fails the test that
+# triggered it. Suppression files live in tools/sanitizers/ and are wired
+# up by tools/run_checks.sh.
+
+set(SCIERA_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: list of address;undefined;leak;thread")
+
+if(SCIERA_SANITIZE)
+  string(REPLACE "," ";" _sciera_san_list "${SCIERA_SANITIZE}")
+  set(_sciera_san_names "")
+  foreach(_san IN LISTS _sciera_san_list)
+    string(STRIP "${_san}" _san)
+    if(NOT _san MATCHES "^(address|undefined|leak|thread)$")
+      message(FATAL_ERROR
+        "SCIERA_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected address, undefined, leak, or thread)")
+    endif()
+    list(APPEND _sciera_san_names "${_san}")
+  endforeach()
+
+  if("thread" IN_LIST _sciera_san_names AND
+     ("address" IN_LIST _sciera_san_names OR "leak" IN_LIST _sciera_san_names))
+    message(FATAL_ERROR
+      "SCIERA_SANITIZE: thread cannot be combined with address/leak")
+  endif()
+
+  list(JOIN _sciera_san_names "," _sciera_san_arg)
+  message(STATUS "SCIERA: sanitizers enabled: ${_sciera_san_arg}")
+
+  add_compile_options(
+    -fsanitize=${_sciera_san_arg}
+    -fno-omit-frame-pointer
+    -fno-optimize-sibling-calls
+    -g
+  )
+  add_link_options(-fsanitize=${_sciera_san_arg})
+
+  if("undefined" IN_LIST _sciera_san_names)
+    # Make every UBSan report fatal so instrumented tests fail loudly.
+    add_compile_options(-fno-sanitize-recover=undefined)
+  endif()
+endif()
+
+option(SCIERA_WERROR "Treat compiler warnings as errors" OFF)
+if(SCIERA_WERROR)
+  add_compile_options(-Werror)
+endif()

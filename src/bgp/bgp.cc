@@ -25,8 +25,8 @@ BgpNetwork::BgpNetwork(const topology::Topology& topo, Options options)
     : topo_(topo), options_(options) {
   link_state_.assign(topo_.links().size(), true);
   for (const auto& link : topo_.links()) {
-    Neighbor::Rel a_sees_b;
-    Neighbor::Rel b_sees_a;
+    Neighbor::Rel a_sees_b = Neighbor::Rel::kPeer;
+    Neighbor::Rel b_sees_a = Neighbor::Rel::kPeer;
     switch (link.type) {
       case LinkType::kCore:
         a_sees_b = b_sees_a = options_.core_full_transit

@@ -1,0 +1,65 @@
+#include "common/check.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace sciera {
+
+CheckRegistry& CheckRegistry::instance() {
+  static CheckRegistry registry;
+  return registry;
+}
+
+void CheckRegistry::record(std::string_view category) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counts_.find(category);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string{category}, 1);
+  } else {
+    ++it->second;
+  }
+}
+
+std::uint64_t CheckRegistry::count(std::string_view category) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counts_.find(category);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t CheckRegistry::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& [category, n] : counts_) sum += n;
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CheckRegistry::snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counts_.begin(), counts_.end()};
+}
+
+void CheckRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counts_.clear();
+}
+
+void count_violation(std::string_view category) {
+  CheckRegistry::instance().record(category);
+}
+
+namespace detail {
+
+void check_failed(std::string_view category, const char* expr,
+                  const char* file, int line) {
+  auto& registry = CheckRegistry::instance();
+  registry.record(category);
+  log_error("check") << "invariant violated [" << category << "] " << expr
+                     << " at " << file << ":" << line;
+  if (registry.fail_mode() == CheckFailMode::kAbort) std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace sciera

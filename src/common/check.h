@@ -1,0 +1,92 @@
+// Runtime invariant checking with per-category violation counters. The
+// macro family backs the correctness-tooling layer: load-bearing
+// invariants (event-queue monotonicity, MAC chains, TRC validity) are
+// guarded by SCIERA_CHECK / SCIERA_DCHECK, and every failure is recorded
+// in a process-wide registry so campaigns and tests can audit how often
+// each category fired. Expected, adversary-driven rejections (a bad MAC
+// on an incoming packet is not a program bug) are recorded with
+// count_violation() without any fatal side effect.
+//
+//   SCIERA_CHECK(cond, category)   always compiled in; on failure records
+//                                  the category and, in the default kAbort
+//                                  mode, aborts the process.
+//   SCIERA_DCHECK(cond, category)  same, but compiled out in NDEBUG builds
+//                                  (mirrors assert) — for per-event checks
+//                                  too hot for release forwarding paths.
+//   sciera::count_violation(cat)   non-fatal audit counter bump.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sciera {
+
+// What a failed SCIERA_CHECK does after recording its category. Tests flip
+// to kCount to observe counters without dying; production keeps kAbort so
+// a violated invariant can never silently corrupt an experiment.
+enum class CheckFailMode { kAbort, kCount };
+
+class CheckRegistry {
+ public:
+  static CheckRegistry& instance();
+
+  // Records one violation of `category` (thread-safe).
+  void record(std::string_view category);
+
+  [[nodiscard]] std::uint64_t count(std::string_view category) const;
+  [[nodiscard]] std::uint64_t total() const;
+  // Sorted (category, count) pairs — stable across runs for audit digests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const;
+  void reset();
+
+  void set_fail_mode(CheckFailMode mode) { fail_mode_ = mode; }
+  [[nodiscard]] CheckFailMode fail_mode() const { return fail_mode_; }
+
+ private:
+  CheckRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
+  CheckFailMode fail_mode_ = CheckFailMode::kAbort;
+};
+
+// Non-fatal audit counter: records that an expected-but-noteworthy
+// condition occurred (dropped MAC, rejected TRC, clamped schedule time).
+void count_violation(std::string_view category);
+
+namespace detail {
+// Records the failure and applies the registry's fail mode. Never inlined
+// into the (cold) failure branch's caller.
+void check_failed(std::string_view category, const char* expr,
+                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace sciera
+
+#define SCIERA_CHECK(cond, category)                                       \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::sciera::detail::check_failed(category, #cond, __FILE__, __LINE__); \
+    }                                                                      \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(SCIERA_FORCE_DCHECKS)
+#define SCIERA_DCHECK_IS_ON 1
+#else
+#define SCIERA_DCHECK_IS_ON 0
+#endif
+
+#if SCIERA_DCHECK_IS_ON
+#define SCIERA_DCHECK(cond, category) SCIERA_CHECK(cond, category)
+#else
+#define SCIERA_DCHECK(cond, category) \
+  do {                                \
+    if (false) {                      \
+      (void)(cond);                   \
+    }                                 \
+  } while (0)
+#endif

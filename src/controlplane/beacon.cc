@@ -1,5 +1,6 @@
 #include "controlplane/beacon.h"
 
+#include "common/check.h"
 #include "crypto/sha256.h"
 
 namespace sciera::controlplane {
@@ -82,6 +83,9 @@ Status verify_pcb(const Pcb& pcb, const KeyLookup& keys) {
     }
     const Bytes payload = entry.signing_payload(chain);
     if (!crypto::Ed25519::verify(*key, payload, entry.signature)) {
+      // Adversary-reachable (tampered beacons), so audited rather than
+      // fatal; the counter proves the signature chain did its job.
+      count_violation("controlplane.pcb_signature_rejected");
       return Error{Errc::kVerificationFailed,
                    "bad PCB entry signature from " + entry.ia.to_string()};
     }

@@ -1,5 +1,7 @@
 #include "controlplane/segment.h"
 
+#include "common/check.h"
+
 namespace sciera::controlplane {
 
 const char* seg_type_name(SegType type) {
@@ -12,6 +14,10 @@ const char* seg_type_name(SegType type) {
 }
 
 void SegmentStore::add(PathSegment segment) {
+  // A registered segment is always a materialized PCB: at least one entry,
+  // and a real origin AS. Beaconing can only produce such segments, so an
+  // empty one here means the registration pipeline corrupted it.
+  SCIERA_CHECK(!segment.pcb.entries.empty(), "controlplane.empty_segment");
   // Drop exact duplicates (same type and interface chain).
   const std::string fp = segment.fingerprint();
   for (const auto& existing : segments_) {

@@ -1,5 +1,7 @@
 #include "cppki/trc.h"
 
+#include "common/check.h"
+
 namespace sciera::cppki {
 
 Bytes Trc::signing_payload() const {
@@ -108,7 +110,11 @@ TrustStore::IsdChain* TrustStore::find(Isd isd) {
 }
 
 Status TrustStore::anchor(Trc trc) {
-  if (auto status = trc.verify_base(); !status.ok()) return status;
+  if (auto status = trc.verify_base(); !status.ok()) {
+    // Possibly adversarial input: audited, not fatal.
+    count_violation("cppki.trc_base_rejected");
+    return status;
+  }
   if (find(trc.isd) != nullptr) {
     return Error{Errc::kInvalidArgument,
                  "ISD " + std::to_string(trc.isd) + " already anchored"};
@@ -124,8 +130,13 @@ Status TrustStore::update(Trc trc) {
                  "no anchored TRC for ISD " + std::to_string(trc.isd)};
   }
   if (auto status = trc.verify_update(chain->trcs.back()); !status.ok()) {
+    count_violation("cppki.trc_update_rejected");
     return status;
   }
+  // The chain a verified update extends must itself stay well-formed:
+  // serials strictly increment from the anchored base.
+  SCIERA_DCHECK(trc.version.serial == chain->trcs.back().version.serial + 1,
+                "cppki.trc_chain_serial");
   chain->trcs.push_back(std::move(trc));
   return {};
 }

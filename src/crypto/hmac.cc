@@ -7,7 +7,7 @@ Sha256::Digest hmac_sha256(BytesView key, BytesView message) {
   if (key.size() > Sha256::kBlockSize) {
     const auto digest = Sha256::hash(key);
     std::memcpy(block_key.data(), digest.data(), digest.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(block_key.data(), key.data(), key.size());
   }
   std::array<std::uint8_t, Sha256::kBlockSize> ipad{};

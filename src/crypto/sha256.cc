@@ -32,6 +32,7 @@ const Tables& tables() {
 Sha256::Sha256() : state_(tables().h0) {}
 
 Sha256& Sha256::update(BytesView data) {
+  if (data.empty()) return *this;  // empty span may carry a null data()
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (pending_len_ > 0) {

@@ -30,6 +30,7 @@ const Tables& tables() {
 Sha512::Sha512() : state_(tables().h0) {}
 
 Sha512& Sha512::update(BytesView data) {
+  if (data.empty()) return *this;  // empty span may carry a null data()
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (pending_len_ > 0) {

@@ -1,5 +1,6 @@
 #include "dataplane/hopfield.h"
 
+#include "common/check.h"
 #include "crypto/hmac.h"
 
 namespace sciera::dataplane {
@@ -8,6 +9,7 @@ FwdKey derive_fwd_key(BytesView as_master_secret) {
   const auto digest =
       crypto::derive_key(as_master_secret, "scion-forwarding-key-v1");
   FwdKey key{};
+  SCIERA_CHECK(digest.size() >= key.size(), "dataplane.fwd_key_derivation");
   std::copy_n(digest.begin(), key.size(), key.begin());
   return key;
 }
@@ -38,9 +40,13 @@ Mac6 compute_hop_mac(const FwdKey& key, std::uint16_t beta,
 bool verify_hop_mac(const FwdKey& key, std::uint16_t beta,
                     std::uint32_t timestamp, const HopField& hop) {
   const Mac6 expected = compute_hop_mac(key, beta, timestamp, hop);
-  return crypto::constant_time_equal(
+  const bool ok = crypto::constant_time_equal(
       BytesView{expected.data(), expected.size()},
       BytesView{hop.mac.data(), hop.mac.size()});
+  // Adversary-driven, so non-fatal — but audited: campaigns compare this
+  // counter against router drop stats to prove the MAC chain held.
+  if (!ok) count_violation("dataplane.hop_mac_mismatch");
+  return ok;
 }
 
 std::uint16_t chain_beta(std::uint16_t beta, const Mac6& mac) {

@@ -22,12 +22,13 @@ std::size_t ScionPath::segment_of(std::size_t hf) const {
 }
 
 bool ScionPath::at_segment_end() const {
-  return curr_hf + 1 == segment_start(curr_inf) + seg_len[curr_inf];
+  return curr_hf + std::size_t{1} ==
+         segment_start(curr_inf) + seg_len[curr_inf];
 }
 
 void ScionPath::advance() {
   ++curr_hf;
-  if (curr_inf + 1 < info.size() &&
+  if (curr_inf + std::size_t{1} < info.size() &&
       curr_hf >= segment_start(curr_inf) + seg_len[curr_inf]) {
     ++curr_inf;
   }

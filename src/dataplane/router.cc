@@ -1,5 +1,6 @@
 #include "dataplane/router.h"
 
+#include "common/check.h"
 #include "common/log.h"
 
 namespace sciera::dataplane {
@@ -72,6 +73,11 @@ Result<IfaceId> BorderRouter::process_current_hop(ScionPacket& packet,
   if (path.at_end()) {
     return Error{Errc::kParseError, "path pointer past the end"};
   }
+  // Structural invariant validate() must have established before a packet
+  // reaches the forwarding engine; a violation means a packet bypassed
+  // validate() or advance() corrupted the info pointer.
+  SCIERA_DCHECK(path.curr_inf < path.num_segments(),
+                "dataplane.path_inf_bounds");
   InfoField& info = path.current_info();
   const HopField& hop = path.current_hop();
 
@@ -94,6 +100,7 @@ Result<IfaceId> BorderRouter::process_current_hop(ScionPacket& packet,
     const IfaceId expect_in = effective_ingress(info, hop);
     if (expect_in != 0 && expect_in != arrival_iface) {
       ++stats_.drop_bad_ingress;
+      count_violation("dataplane.bad_ingress");
       return Error{Errc::kVerificationFailed, "wrong ingress interface"};
     }
   }

@@ -1,28 +1,46 @@
 #include "simnet/simulator.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace sciera::simnet {
 
 void Simulator::at(SimTime when, Action action) {
-  assert(when >= now_);
-  queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(action)});
+  SCIERA_DCHECK(when >= now_, "simnet.schedule_in_past");
+  if (when < now_) {
+    // Release builds clamp instead of dying, but the clamp is audited so
+    // determinism sweeps can flag the offending component.
+    count_violation("simnet.schedule_in_past");
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(action)});
 }
 
 void Simulator::after(Duration delay, Action action) {
   at(now_ + (delay < 0 ? 0 : delay), std::move(action));
 }
 
+Simulator::Event Simulator::take_next() {
+  // priority_queue::top() is const; copying the function is cheap enough
+  // and keeps this strictly well-defined.
+  Event ev = queue_.top();
+  queue_.pop();
+  // Load-bearing invariant: simulated time never moves backwards. A
+  // violation here means the heap ordering or an event's timestamp was
+  // corrupted, which would silently reorder every downstream experiment.
+  SCIERA_CHECK(ev.when >= now_, "simnet.time_monotonic");
+  now_ = ev.when;
+  ++executed_;
+  digest_.fold(static_cast<std::uint64_t>(ev.when));
+  digest_.fold(ev.seq);
+  digest_.executed = executed_;
+  return ev;
+}
+
 void Simulator::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    // priority_queue::top() is const; move via const_cast is the standard
-    // idiom-free workaround, but copying the function is cheap enough and
-    // keeps this strictly well-defined.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ++executed_;
+    Event ev = take_next();
     ev.action();
   }
   if (now_ < deadline) now_ = deadline;
@@ -30,10 +48,7 @@ void Simulator::run_until(SimTime deadline) {
 
 void Simulator::run_all() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ++executed_;
+    Event ev = take_next();
     ev.action();
   }
 }

@@ -13,6 +13,26 @@
 
 namespace sciera::simnet {
 
+// Order-sensitive digest of everything a simulator has executed: every
+// (time, sequence-number) pair is folded into an FNV-1a style hash as the
+// event fires. Two runs of the same seeded scenario must produce identical
+// digests; a mismatch means hidden nondeterminism (iteration over
+// pointer-keyed containers, uninitialized memory, wall-clock leakage).
+struct ScheduleDigest {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::uint64_t executed = 0;
+
+  void fold(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xFF;
+      hash *= 0x100000001B3ULL;  // FNV-1a prime
+    }
+  }
+
+  friend bool operator==(const ScheduleDigest&, const ScheduleDigest&) =
+      default;
+};
+
 class Simulator {
  public:
   using Action = std::function<void()>;
@@ -33,6 +53,12 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  // Digest of the executed event schedule so far (see ScheduleDigest).
+  [[nodiscard]] const ScheduleDigest& schedule_digest() const {
+    return digest_;
+  }
+  [[nodiscard]] std::uint64_t schedule_hash() const { return digest_.hash; }
+
  private:
   struct Event {
     SimTime when;
@@ -46,10 +72,14 @@ class Simulator {
     }
   };
 
+  // Pops the next event, folds it into the digest, and advances time.
+  Event take_next();
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  ScheduleDigest digest_;
 };
 
 }  // namespace sciera::simnet

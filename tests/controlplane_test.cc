@@ -151,7 +151,9 @@ TEST_F(ScieraFixture, DisjointnessMetricBounds) {
       const double d = path_disjointness(paths[i], paths[j]);
       EXPECT_GE(d, 0.5);  // identical paths floor at 0.5 (union/total)
       EXPECT_LE(d, 1.0);
-      if (i == j) EXPECT_DOUBLE_EQ(d, 0.5);
+      if (i == j) {
+        EXPECT_DOUBLE_EQ(d, 0.5);
+      }
     }
   }
 }

@@ -132,6 +132,114 @@ TEST(RouterFuzz, RandomFramesAreDiscarded) {
   EXPECT_GT(router->stats().drop_malformed, 0u);
 }
 
+// Sanitizer-friendly corpus for the packet parser: each case targets a
+// specific bounds/validation path in src/dataplane/packet.cc, so an ASan/
+// UBSan run exercises exactly the arithmetic those paths perform.
+TEST(PacketCorpusFuzz, OversizedHopCountsRejected) {
+  // PathMeta sits at offset 36 (12-byte common + 24-byte address header).
+  // Rewrite it to claim maximal segments (3 x 63 hops): the hop-field loop
+  // must hit "truncated hop field", never read past the buffer.
+  Bytes bytes = valid_packet_bytes();
+  ASSERT_GT(bytes.size(), 40u);
+  const std::uint32_t meta = (63u << 12) | (63u << 6) | 63u;
+  for (int i = 0; i < 4; ++i) {
+    bytes[36 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(meta >> (24 - 8 * i));
+  }
+  const auto parsed = dataplane::ScionPacket::parse(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, Errc::kParseError);
+}
+
+TEST(PacketCorpusFuzz, SegLenGapRejected) {
+  // seg_len = {k, 0, k}: a zero-length middle segment must fail
+  // validate()'s "seg_len set for missing segment" rule even though the
+  // total byte count can look plausible.
+  Bytes bytes = valid_packet_bytes();
+  const std::uint32_t meta = (2u << 12) | (0u << 6) | 2u;
+  for (int i = 0; i < 4; ++i) {
+    bytes[36 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(meta >> (24 - 8 * i));
+  }
+  EXPECT_FALSE(dataplane::ScionPacket::parse(bytes).ok());
+}
+
+TEST(PacketCorpusFuzz, CurrPointersPastEndRejected) {
+  // curr_inf = 3 (no such segment) and curr_hf = 63: validate() must
+  // reject the pointers before any router dereferences them.
+  Bytes bytes = valid_packet_bytes();
+  bytes[36] = static_cast<std::uint8_t>((3u << 6) | 63u);
+  EXPECT_FALSE(dataplane::ScionPacket::parse(bytes).ok());
+}
+
+TEST(PacketCorpusFuzz, PayloadLengthOverrunRejected) {
+  // A payload_len larger than the remaining bytes (offset 8..11 of the
+  // common header) must fail the final bounds-checked read.
+  Bytes bytes = valid_packet_bytes();
+  bytes[8] = 0xFF;
+  bytes[9] = 0xFF;
+  EXPECT_FALSE(dataplane::ScionPacket::parse(bytes).ok());
+}
+
+TEST(PacketCorpusFuzz, TruncatedL4PayloadsRejected) {
+  // Every truncation of the L4 payload parsers, mirroring the packet-level
+  // sweep: SCMP echo and UDP datagrams.
+  const Bytes scmp = dataplane::make_echo_request(5, 9).serialize();
+  for (std::size_t cut = 0; cut < scmp.size(); ++cut) {
+    Bytes t(scmp.begin(), scmp.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(dataplane::ScmpMessage::parse(t).ok()) << "scmp cut=" << cut;
+  }
+  dataplane::UdpDatagram dg;
+  dg.src_port = 4242;
+  dg.dst_port = 53;
+  dg.data = bytes_of("sciera");
+  const Bytes udp = dg.serialize();
+  for (std::size_t cut = 0; cut < udp.size(); ++cut) {
+    Bytes t(udp.begin(), udp.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(dataplane::UdpDatagram::parse(t).ok()) << "udp cut=" << cut;
+  }
+}
+
+// Malformed-topology corpus for src/topology/parser.cc: every case must
+// come back as a parse error, never a crash or a partially built topology.
+TEST(TopologyCorpusFuzz, MalformedTopologiesRejected) {
+  const char* corpus[] = {
+      // 'as' declarations.
+      "as",                                    // missing ISD-AS
+      "as not-an-ia",                          // unparseable ISD-AS
+      "as 71-559 lat=abc",                     // non-numeric coordinate
+      "as 71-559 lon=12..5",                   // malformed double
+      "as 71-559 name=\"unterminated",         // unterminated quote
+      "as 99999999999999999999-1",             // ISD overflow
+      "as 71-559\nas 71-559",                  // duplicate AS
+      // 'link' declarations.
+      "link",                                  // nothing at all
+      "link l1 71-559",                        // missing peer + type
+      "as 71-559\nas 64-1\nlink l1 71-559 64-1 wormhole",  // bad type
+      "as 71-559\nas 64-1\nlink l1 71-559 64-1 core delay_us=ten",
+      "as 71-559\nas 64-1\nlink l1 71-559 64-1 core bw_mbps=1e3",
+      "as 71-559\nas 64-1\nlink l1 71-559 64-1 core ifaces=1",
+      "as 71-559\nas 64-1\nlink l1 71-559 64-1 core ifaces=1:2:3",
+      "as 71-559\nas 64-1\nlink l1 71-559 64-1 core ifaces=x:y",
+      "link l1 71-559 64-1 core",              // both ASes undeclared
+      "as 71-559\nlink l1 71-559 64-1 core",   // one AS undeclared
+  };
+  for (const char* text : corpus) {
+    const auto parsed = topology::parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(TopologyCorpusFuzz, ParserRoundTripsTheRealTopology) {
+  // The serializer and parser must agree on the deployed topology — the
+  // corpus above proves rejection, this proves acceptance.
+  const auto topo = topology::build_sciera();
+  const auto reparsed = topology::parse(topology::serialize(topo));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ases().size(), topo.ases().size());
+  EXPECT_EQ(reparsed->links().size(), topo.links().size());
+}
+
 // Tampered PCB entries never verify, for every entry and field class.
 TEST(PcbFuzz, EveryFieldMutationBreaksSignature) {
   auto& network = net();

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Correctness gate: builds the tree under ASan+UBSan with warnings as
+# errors and runs the full tier-1 ctest suite (which includes the
+# sciera_lint static checks and the simnet determinism audit). This is
+# what CI should run; it is slower than the plain build but catches
+# memory-safety bugs, UB, and lint violations in one pass.
+#
+# Usage: tools/run_checks.sh [build-dir]        (default: build-checks)
+#   SCIERA_SANITIZE=thread tools/run_checks.sh  to run the TSan flavor.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build-checks}"
+SANITIZE="${SCIERA_SANITIZE:-address;undefined}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+SUPP_DIR="$ROOT/tools/sanitizers"
+export ASAN_OPTIONS="suppressions=$SUPP_DIR/asan.supp:detect_stack_use_after_return=1:strict_string_checks=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="suppressions=$SUPP_DIR/ubsan.supp:print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
+export LSAN_OPTIONS="suppressions=$SUPP_DIR/lsan.supp:${LSAN_OPTIONS:-}"
+
+echo "== configure (sanitize: $SANITIZE, -Werror on) =="
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSCIERA_SANITIZE="$SANITIZE" \
+  -DSCIERA_WERROR=ON
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest (tier-1 suite under sanitizers, incl. lint + determinism) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== run_checks: all clean =="
