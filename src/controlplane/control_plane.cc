@@ -1,11 +1,25 @@
 #include "controlplane/control_plane.h"
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 
 namespace sciera::controlplane {
 
 ScionNetwork::ScionNetwork(topology::Topology topo, Options options)
     : topo_(std::move(topo)), options_(options), rng_(options.seed, "network") {
+  auto& registry = obs::MetricsRegistry::global();
+  metrics_label_ = registry.instance_label("network", "net");
+  const obs::Labels base{{"network", metrics_label_}};
+  beaconing_runs_ = &registry.counter("sciera_beaconing_runs_total", base);
+  const auto segs = [&](const char* type) {
+    obs::Labels labels = base;
+    labels.emplace_back("type", type);
+    return &registry.gauge("sciera_beaconing_segments", labels);
+  };
+  segments_up_ = segs("up");
+  segments_core_ = segs("core");
+  segments_down_ = segs("down");
+
   // --- PKI: one IsdPki per ISD, enrolling every member AS.
   for (Isd isd : topo_.isds()) {
     auto cores = topo_.core_ases(isd);
@@ -47,6 +61,7 @@ void ScionNetwork::build_data_plane() {
     cfg.encap_overhead_bytes = topology::encap_overhead(link_info.encap);
     auto link = std::make_unique<simnet::Link>(
         sim_, cfg, rng_.fork("link-" + link_info.label));
+    link->set_label(link_info.label);
     link->attach(0, routers_.at(link_info.a).get(), link_info.a_iface);
     link->attach(1, routers_.at(link_info.b).get(), link_info.b_iface);
     routers_.at(link_info.a)->attach_iface(link_info.a_iface, link.get(), 0);
@@ -65,6 +80,18 @@ void ScionNetwork::build_data_plane() {
 void ScionNetwork::run_beaconing() {
   segments_ = beacon_with(options_.beaconing);
   for (auto& [ia, service] : services_) service->flush_cache();
+  beaconing_runs_->inc();
+  segments_up_->set(static_cast<std::int64_t>(segments_.count(SegType::kUp)));
+  segments_core_->set(
+      static_cast<std::int64_t>(segments_.count(SegType::kCore)));
+  segments_down_->set(
+      static_cast<std::int64_t>(segments_.count(SegType::kDown)));
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kBeaconOriginated, sim_.now(), sim_.executed_events(),
+      metrics_label_, "beaconing sweep",
+      static_cast<std::int64_t>(segments_.count(SegType::kUp) +
+                                segments_.count(SegType::kCore) +
+                                segments_.count(SegType::kDown)));
 }
 
 SegmentStore ScionNetwork::beacon_with(const BeaconingOptions& options) const {

@@ -11,6 +11,7 @@
 #include "controlplane/beaconing.h"
 #include "controlplane/path_server.h"
 #include "dataplane/router.h"
+#include "obs/metrics.h"
 #include "topology/topology.h"
 
 namespace sciera::controlplane {
@@ -88,6 +89,11 @@ class ScionNetwork {
   SegmentStore segments_;
   std::unordered_map<IsdAs, std::unique_ptr<ControlService>> services_;
   std::map<std::pair<std::uint64_t, std::uint32_t>, HostHandler> hosts_;
+  std::string metrics_label_;
+  obs::Counter* beaconing_runs_ = nullptr;
+  obs::Gauge* segments_up_ = nullptr;
+  obs::Gauge* segments_core_ = nullptr;
+  obs::Gauge* segments_down_ = nullptr;
 };
 
 }  // namespace sciera::controlplane

@@ -1,5 +1,7 @@
 #include "controlplane/path_server.h"
 
+#include "obs/flight_recorder.h"
+
 namespace sciera::controlplane {
 
 ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
@@ -11,7 +13,18 @@ ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
       topo_(topo),
       combinator_(topo, store),
       trc_(local_trc),
-      config_(config) {}
+      config_(config) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"service", registry.instance_label("control_service", ia.to_string())}};
+  const auto cache = [&](const char* result) {
+    obs::Labels labels = base;
+    labels.emplace_back("result", result);
+    return &registry.counter("sciera_control_service_cache_total", labels);
+  };
+  cache_hits_ = cache("hit");
+  cache_misses_ = cache("miss");
+}
 
 Duration ControlService::cold_lookup_latency(IsdAs dst) const {
   // Local path server asks a core path server in its ISD, which may ask a
@@ -47,12 +60,18 @@ void ControlService::lookup_paths(
 
 const std::vector<Path>& ControlService::lookup_paths_now(IsdAs dst) {
   auto it = cache_.find(dst);
-  if (it != cache_.end() &&
-      sim_.now() - it->second.fetched_at < config_.cache_ttl) {
-    ++cache_hits_;
+  // Fresh iff age < ttl: an entry aged exactly cache_ttl is stale (the
+  // same boundary convention the daemon uses).
+  const bool hit = it != cache_.end() &&
+                   sim_.now() - it->second.fetched_at < config_.cache_ttl;
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kPathLookup, sim_.now(), sim_.executed_events(),
+      "cs-" + ia_.to_string(), dst.to_string() + (hit ? " hit" : " miss"));
+  if (hit) {
+    cache_hits_->inc();
     return it->second.paths;
   }
-  ++cache_misses_;
+  cache_misses_->inc();
   CacheEntry entry;
   entry.paths = combinator_.combine(ia_, dst);
   entry.fetched_at = sim_.now();

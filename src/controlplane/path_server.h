@@ -11,6 +11,7 @@
 
 #include "controlplane/combinator.h"
 #include "cppki/trc.h"
+#include "obs/metrics.h"
 #include "simnet/simulator.h"
 
 namespace sciera::controlplane {
@@ -20,6 +21,8 @@ class ControlService {
   struct Config {
     Duration intra_as_rtt = 600 * kMicrosecond;  // host <-> control service
     Duration processing = 200 * kMicrosecond;
+    // Cache freshness convention (shared with endhost::Daemon): an entry
+    // aged exactly cache_ttl is stale.
     Duration cache_ttl = 10 * kMinute;
   };
 
@@ -42,8 +45,13 @@ class ControlService {
   // Synchronous variant used by infrastructure tooling.
   [[nodiscard]] const std::vector<Path>& lookup_paths_now(IsdAs dst);
 
-  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+  // Thin reads of the registry-backed cache counters.
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_->value();
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return cache_misses_->value();
+  }
 
   void flush_cache() { cache_.clear(); }
 
@@ -62,8 +70,8 @@ class ControlService {
   const cppki::Trc* trc_;
   Config config_;
   std::unordered_map<IsdAs, CacheEntry> cache_;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
 };
 
 }  // namespace sciera::controlplane

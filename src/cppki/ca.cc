@@ -6,23 +6,34 @@ namespace sciera::cppki {
 
 CertificateAuthority::CertificateAuthority(IsdAs ca_as, crypto::KeyPair ca_key,
                                            Certificate ca_cert)
-    : ca_as_(ca_as), ca_key_(ca_key), ca_cert_(std::move(ca_cert)) {}
+    : ca_as_(ca_as), ca_key_(ca_key), ca_cert_(std::move(ca_cert)) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"ca", registry.instance_label("ca", ca_as_.to_string())}};
+  issued_ = &registry.counter("sciera_ca_issued_total", base);
+  renewed_ = &registry.counter("sciera_ca_renewed_total", base);
+  rejected_ = &registry.counter("sciera_ca_rejected_total", base);
+}
+
+CertificateAuthority::Stats CertificateAuthority::stats() const {
+  return Stats{issued_->value(), renewed_->value(), rejected_->value()};
+}
 
 Result<Certificate> CertificateAuthority::issue(
     IsdAs subject, const crypto::Ed25519::PublicKey& subject_key, SimTime now,
     Duration validity) {
   if (subject.isd() != ca_as_.isd()) {
-    ++stats_.rejected;
+    rejected_->inc();
     return Error{Errc::kInvalidArgument,
                  "CA for ISD " + std::to_string(ca_as_.isd()) +
                      " cannot certify " + subject.to_string()};
   }
   if (validity <= 0) {
-    ++stats_.rejected;
+    rejected_->inc();
     return Error{Errc::kInvalidArgument, "non-positive validity"};
   }
   if (!ca_cert_.covers(now)) {
-    ++stats_.rejected;
+    rejected_->inc();
     return Error{Errc::kExpired, "CA certificate expired"};
   }
   Certificate cert;
@@ -37,9 +48,9 @@ Result<Certificate> CertificateAuthority::issue(
 
   if (auto [it, inserted] = issued_to_.try_emplace(subject, 1); !inserted) {
     ++it->second;
-    ++stats_.renewed;
+    renewed_->inc();
   } else {
-    ++stats_.issued;
+    issued_->inc();
   }
   return cert;
 }

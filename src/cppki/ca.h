@@ -11,6 +11,7 @@
 
 #include "cppki/certificate.h"
 #include "cppki/trc.h"
+#include "obs/metrics.h"
 
 namespace sciera::cppki {
 
@@ -21,7 +22,7 @@ inline constexpr Duration kRenewalMargin = kDefaultAsCertValidity / 3;
 
 class CertificateAuthority {
  public:
-  struct Stats {
+  struct Stats {  // registry-backed snapshot
     std::uint64_t issued = 0;
     std::uint64_t renewed = 0;
     std::uint64_t rejected = 0;
@@ -40,7 +41,7 @@ class CertificateAuthority {
 
   [[nodiscard]] const Certificate& ca_certificate() const { return ca_cert_; }
   [[nodiscard]] IsdAs ca_as() const { return ca_as_; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
 
  private:
   IsdAs ca_as_;
@@ -48,7 +49,9 @@ class CertificateAuthority {
   Certificate ca_cert_;
   std::uint64_t next_serial_ = 1;
   std::unordered_map<IsdAs, std::uint64_t> issued_to_;
-  Stats stats_;
+  obs::Counter* issued_ = nullptr;
+  obs::Counter* renewed_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
 };
 
 // Verifies the full chain AS cert -> CA cert -> TRC root key.

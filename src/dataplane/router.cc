@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/strings.h"
+#include "obs/flight_recorder.h"
 
 namespace sciera::dataplane {
 namespace {
@@ -14,6 +16,20 @@ IfaceId effective_egress(const InfoField& info, const HopField& hop) {
   return info.construction_dir ? hop.cons_egress : hop.cons_ingress;
 }
 
+const char* scmp_type_name(ScmpType type) {
+  switch (type) {
+    case ScmpType::kDestinationUnreachable: return "dest_unreachable";
+    case ScmpType::kPacketTooBig: return "packet_too_big";
+    case ScmpType::kHopLimitExceeded: return "hop_limit_exceeded";
+    case ScmpType::kParameterProblem: return "parameter_problem";
+    case ScmpType::kExternalInterfaceDown: return "external_iface_down";
+    case ScmpType::kInternalConnectivityDown: return "internal_down";
+    case ScmpType::kEchoRequest: return "echo_request";
+    case ScmpType::kEchoReply: return "echo_reply";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 BorderRouter::BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
@@ -22,7 +38,42 @@ BorderRouter::BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
       sim_(sim),
       ia_(ia),
       fwd_key_(fwd_key),
-      config_(config) {}
+      config_(config) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"router", registry.instance_label("router", ia.to_string())}};
+  const auto counter = [&](const char* name) {
+    return &registry.counter(name, base);
+  };
+  const auto dropped = [&](const char* reason) {
+    obs::Labels labels = base;
+    labels.emplace_back("reason", reason);
+    return &registry.counter("sciera_router_dropped_total", labels);
+  };
+  metrics_.forwarded = counter("sciera_router_forwarded_total");
+  metrics_.delivered = counter("sciera_router_delivered_total");
+  metrics_.injected = counter("sciera_router_injected_total");
+  metrics_.echo_replies = counter("sciera_router_echo_replies_total");
+  metrics_.scmp_errors_sent = counter("sciera_router_scmp_errors_total");
+  metrics_.drop_mac = dropped("mac");
+  metrics_.drop_expired = dropped("expired");
+  metrics_.drop_bad_ingress = dropped("bad_ingress");
+  metrics_.drop_no_route = dropped("no_route");
+  metrics_.drop_malformed = dropped("malformed");
+}
+
+BorderRouter::Stats BorderRouter::stats() const {
+  return Stats{metrics_.forwarded->value(),
+               metrics_.delivered->value(),
+               metrics_.injected->value(),
+               metrics_.echo_replies->value(),
+               metrics_.drop_mac->value(),
+               metrics_.drop_expired->value(),
+               metrics_.drop_bad_ingress->value(),
+               metrics_.drop_no_route->value(),
+               metrics_.drop_malformed->value(),
+               metrics_.scmp_errors_sent->value()};
+}
 
 void BorderRouter::attach_iface(IfaceId iface, simnet::Link* link, int side) {
   ifaces_[iface] = IfaceBinding{link, side};
@@ -39,12 +90,12 @@ Status BorderRouter::inject(const ScionPacket& packet) {
       return Error{Errc::kInvalidArgument,
                    "empty path can only reach the local AS"};
     }
-    ++stats_.injected;
+    metrics_.injected->inc();
     deliver_local(packet);
     return {};
   }
   if (auto status = packet.path.validate(); !status.ok()) return status;
-  ++stats_.injected;
+  metrics_.injected->inc();
   process(packet, /*arrival_iface=*/0, /*from_local=*/true);
   return {};
 }
@@ -53,12 +104,12 @@ void BorderRouter::receive(const simnet::MessagePtr& message,
                            const simnet::Arrival& arrival) {
   const auto* frame = dynamic_cast<const UnderlayFrame*>(message.get());
   if (frame == nullptr) {
-    ++stats_.drop_malformed;
+    metrics_.drop_malformed->inc();
     return;
   }
   auto packet = ScionPacket::parse(frame->scion_bytes);
   if (!packet) {
-    ++stats_.drop_malformed;
+    metrics_.drop_malformed->inc();
     log_debug("router") << name() << " drops malformed packet: "
                         << packet.error().to_string();
     return;
@@ -89,17 +140,17 @@ Result<IfaceId> BorderRouter::process_current_hop(ScionPacket& packet,
   const std::uint16_t beta = info.seg_id;
 
   if (hop_expired(hop, info.timestamp, now_unix())) {
-    ++stats_.drop_expired;
+    metrics_.drop_expired->inc();
     return Error{Errc::kExpired, "hop field expired"};
   }
   if (!verify_hop_mac(fwd_key_, beta, info.timestamp, hop)) {
-    ++stats_.drop_mac;
+    metrics_.drop_mac->inc();
     return Error{Errc::kVerificationFailed, "hop field MAC mismatch"};
   }
   if (!from_local) {
     const IfaceId expect_in = effective_ingress(info, hop);
     if (expect_in != 0 && expect_in != arrival_iface) {
-      ++stats_.drop_bad_ingress;
+      metrics_.drop_bad_ingress->inc();
       count_violation("dataplane.bad_ingress");
       return Error{Errc::kVerificationFailed, "wrong ingress interface"};
     }
@@ -147,7 +198,7 @@ void BorderRouter::process(ScionPacket packet, IfaceId arrival_iface,
     if (*egress == 0 || last_hop) {
       // End of path: must be addressed to this AS.
       if (packet.dst.ia != ia_) {
-        ++stats_.drop_no_route;
+        metrics_.drop_no_route->inc();
         return;
       }
       if (config_.answer_scmp_echo && packet.next_hdr == kProtoScmp) {
@@ -172,7 +223,7 @@ void BorderRouter::process(ScionPacket packet, IfaceId arrival_iface,
           seq = msg->sequence;
         }
       }
-      ++stats_.scmp_errors_sent;
+      metrics_.scmp_errors_sent->inc();
       // Position the pointer past this AS's hop as forward() would have.
       ScionPacket expired = packet;
       expired.path.advance();
@@ -187,7 +238,7 @@ void BorderRouter::process(ScionPacket packet, IfaceId arrival_iface,
 }
 
 void BorderRouter::deliver_local(ScionPacket packet) {
-  ++stats_.delivered;
+  metrics_.delivered->inc();
   if (!local_delivery_) return;
   auto delivery = local_delivery_;
   sim_.after(config_.intra_as_delay,
@@ -199,23 +250,26 @@ void BorderRouter::deliver_local(ScionPacket packet) {
 void BorderRouter::forward(ScionPacket packet, IfaceId egress) {
   const auto it = ifaces_.find(egress);
   if (it == ifaces_.end()) {
-    ++stats_.drop_no_route;
+    metrics_.drop_no_route->inc();
     return;
   }
   if (!it->second.link->is_up()) {
     // Data-plane failure: tell the source (SCMP ExternalInterfaceDown).
-    ++stats_.scmp_errors_sent;
+    metrics_.scmp_errors_sent->inc();
     send_scmp_error(packet, make_external_iface_down(ia_, egress));
     return;
   }
   auto serialized = packet.serialize();
   if (!serialized) {
-    ++stats_.drop_malformed;
+    metrics_.drop_malformed->inc();
     return;
   }
   auto frame = std::make_shared<UnderlayFrame>();
   frame->scion_bytes = std::move(serialized).value();
-  ++stats_.forwarded;
+  metrics_.forwarded->inc();
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kPacketHop, sim_.now(), sim_.executed_events(), name(),
+      strformat("egress=%u", static_cast<unsigned>(egress)));
   it->second.link->send(it->second.side, frame);
 }
 
@@ -224,7 +278,7 @@ void BorderRouter::answer_echo(const ScionPacket& request) {
   if (!msg) return;
   ScionPacket reply = reverse_packet(request);
   reply.payload = make_echo_reply(msg.value()).serialize();
-  ++stats_.echo_replies;
+  metrics_.echo_replies->inc();
   // The reply's first hop names this AS; process it as a local injection.
   process(std::move(reply), /*arrival_iface=*/0, /*from_local=*/true);
 }
@@ -239,6 +293,9 @@ void BorderRouter::send_scmp_error(const ScionPacket& offending,
       return;
     }
   }
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kScmpEmitted, sim_.now(), sim_.executed_events(), name(),
+      scmp_type_name(error.type));
   ScionPacket reply = reverse_packet(offending);
   // The offending packet's pointer already advanced past this AS's hop;
   // position the reverse pointer on this AS's hop so the reply starts here.

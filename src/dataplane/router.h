@@ -15,6 +15,7 @@
 #include "dataplane/packet.h"
 #include "dataplane/scmp.h"
 #include "dataplane/underlay.h"
+#include "obs/metrics.h"
 #include "simnet/link.h"
 #include "simnet/simulator.h"
 
@@ -32,7 +33,7 @@ class BorderRouter final : public simnet::Node {
     bool answer_scmp_echo = true;
   };
 
-  struct Stats {
+  struct Stats {  // registry-backed snapshot
     std::uint64_t forwarded = 0;
     std::uint64_t delivered = 0;
     std::uint64_t injected = 0;
@@ -51,7 +52,7 @@ class BorderRouter final : public simnet::Node {
       : BorderRouter(sim, ia, fwd_key, Config{}) {}
 
   [[nodiscard]] IsdAs isd_as() const { return ia_; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] const FwdKey& fwd_key() const { return fwd_key_; }
 
   // Wires a local interface id to one side of a link.
@@ -89,13 +90,28 @@ class BorderRouter final : public simnet::Node {
   void answer_echo(const ScionPacket& request);
   [[nodiscard]] std::uint32_t now_unix() const;
 
+  // Registry cells, registered eagerly at construction under a per-router
+  // instance label derived from the ISD-AS.
+  struct Metrics {
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* injected = nullptr;
+    obs::Counter* echo_replies = nullptr;
+    obs::Counter* drop_mac = nullptr;
+    obs::Counter* drop_expired = nullptr;
+    obs::Counter* drop_bad_ingress = nullptr;
+    obs::Counter* drop_no_route = nullptr;
+    obs::Counter* drop_malformed = nullptr;
+    obs::Counter* scmp_errors_sent = nullptr;
+  };
+
   simnet::Simulator& sim_;
   IsdAs ia_;
   FwdKey fwd_key_;
   Config config_;
   std::unordered_map<IfaceId, IfaceBinding> ifaces_;
   LocalDelivery local_delivery_;
-  Stats stats_;
+  Metrics metrics_;
 };
 
 // Reverses a packet in place for the return direction (echo replies, SCMP

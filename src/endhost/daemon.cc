@@ -1,10 +1,25 @@
 #include "endhost/daemon.h"
 
+#include "obs/flight_recorder.h"
+
 namespace sciera::endhost {
 
 Daemon::Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config)
     : net_(net), ia_(ia), config_(config),
-      service_(net.control_service(ia)) {}
+      service_(net.control_service(ia)) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"daemon", registry.instance_label("daemon", ia.to_string())}};
+  lookups_ = &registry.counter("sciera_daemon_lookups_total", base);
+  const auto cache = [&](const char* result) {
+    obs::Labels labels = base;
+    labels.emplace_back("result", result);
+    return &registry.counter("sciera_daemon_cache_total", labels);
+  };
+  cache_hits_ = cache("hit");
+  cache_misses_ = cache("miss");
+  quarantine_size_ = &registry.gauge("sciera_daemon_quarantined", base);
+}
 
 std::vector<controlplane::Path> Daemon::filter_alive(
     std::vector<controlplane::Path> paths) const {
@@ -14,11 +29,29 @@ std::vector<controlplane::Path> Daemon::filter_alive(
   return paths;
 }
 
+void Daemon::prune_quarantine() {
+  const SimTime now = net_.sim().now();
+  std::erase_if(down_until_,
+                [now](const auto& entry) { return now >= entry.second; });
+  quarantine_size_->set(static_cast<std::int64_t>(down_until_.size()));
+}
+
 std::vector<controlplane::Path> Daemon::paths(IsdAs dst) {
-  ++lookups_;
+  prune_quarantine();
+  lookups_->inc();
   auto it = cache_.find(dst);
-  if (it == cache_.end() ||
-      net_.sim().now() - it->second.fetched_at > config_.path_cache_ttl) {
+  // Fresh iff age < ttl: an entry aged exactly path_cache_ttl is stale.
+  const bool hit =
+      it != cache_.end() &&
+      net_.sim().now() - it->second.fetched_at < config_.path_cache_ttl;
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kPathLookup, net_.sim().now(),
+      net_.sim().executed_events(), "daemon-" + ia_.to_string(),
+      dst.to_string() + (hit ? " hit" : " miss"));
+  if (hit) {
+    cache_hits_->inc();
+  } else {
+    cache_misses_->inc();
     CacheEntry entry;
     entry.paths = service_->lookup_paths_now(dst);
     entry.fetched_at = net_.sim().now();
@@ -29,7 +62,8 @@ std::vector<controlplane::Path> Daemon::paths(IsdAs dst) {
 
 void Daemon::paths_async(
     IsdAs dst, std::function<void(std::vector<controlplane::Path>)> cb) {
-  ++lookups_;
+  prune_quarantine();
+  lookups_->inc();
   service_->lookup_paths(
       dst, [this, cb = std::move(cb)](
                const std::vector<controlplane::Path>& paths) {
@@ -43,7 +77,12 @@ const cppki::Trc* Daemon::trc(Isd isd) const {
 }
 
 void Daemon::report_path_down(const std::string& fingerprint) {
+  prune_quarantine();
   down_until_[fingerprint] = net_.sim().now() + config_.down_path_penalty;
+  quarantine_size_->set(static_cast<std::int64_t>(down_until_.size()));
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kPathDown, net_.sim().now(),
+      net_.sim().executed_events(), "daemon-" + ia_.to_string(), fingerprint);
 }
 
 bool Daemon::path_alive(const controlplane::Path& path) const {

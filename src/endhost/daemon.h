@@ -8,12 +8,15 @@
 #include <unordered_map>
 
 #include "controlplane/control_plane.h"
+#include "obs/metrics.h"
 
 namespace sciera::endhost {
 
 class Daemon {
  public:
   struct Config {
+    // An entry aged exactly path_cache_ttl is stale (the same boundary
+    // convention as ControlService::Config::cache_ttl).
     Duration path_cache_ttl = 5 * kMinute;
     Duration down_path_penalty = 90 * kSecond;
   };
@@ -38,7 +41,17 @@ class Daemon {
   void report_path_down(const std::string& fingerprint);
   [[nodiscard]] bool path_alive(const controlplane::Path& path) const;
 
-  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  // Thin reads of the registry-backed counters.
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_->value(); }
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_->value();
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return cache_misses_->value();
+  }
+  // Currently quarantined fingerprints (expired entries are pruned on
+  // every lookup and report, so this cannot grow without bound).
+  [[nodiscard]] std::size_t quarantined() const { return down_until_.size(); }
   void flush_cache() { cache_.clear(); }
 
  private:
@@ -49,6 +62,8 @@ class Daemon {
 
   [[nodiscard]] std::vector<controlplane::Path> filter_alive(
       std::vector<controlplane::Path> paths) const;
+  // Erases quarantine entries whose penalty has elapsed.
+  void prune_quarantine();
 
   controlplane::ScionNetwork& net_;
   IsdAs ia_;
@@ -56,7 +71,10 @@ class Daemon {
   controlplane::ControlService* service_;
   std::unordered_map<IsdAs, CacheEntry> cache_;
   std::map<std::string, SimTime> down_until_;
-  std::uint64_t lookups_ = 0;
+  obs::Counter* lookups_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Gauge* quarantine_size_ = nullptr;
 };
 
 }  // namespace sciera::endhost

@@ -5,11 +5,27 @@ namespace sciera::endhost {
 HostStack::HostStack(controlplane::ScionNetwork& net, dataplane::Address addr,
                      Config config)
     : net_(net), addr_(addr), config_(config) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"host", registry.instance_label("host", addr.to_string())}};
+  delivered_ = &registry.counter("sciera_host_delivered_total", base);
+  const auto dropped = [&](const char* reason) {
+    obs::Labels labels = base;
+    labels.emplace_back("reason", reason);
+    return &registry.counter("sciera_host_dropped_total", labels);
+  };
+  dropped_no_port_ = dropped("no_port");
+  dropped_overload_ = dropped("overload");
   const auto status = net_.register_host(
       addr_, [this](const dataplane::ScionPacket& packet, SimTime arrival) {
         on_local_delivery(packet, arrival);
       });
   (void)status;
+}
+
+HostStack::Stats HostStack::stats() const {
+  return Stats{delivered_->value(), dropped_no_port_->value(),
+               dropped_overload_->value()};
 }
 
 HostStack::~HostStack() { net_.unregister_host(addr_); }
@@ -62,12 +78,12 @@ void HostStack::on_local_delivery(const dataplane::ScionPacket& packet,
   if (packet.next_hdr != dataplane::kProtoUdp) return;
   auto datagram = dataplane::UdpDatagram::parse(packet.payload);
   if (!datagram) {
-    ++stats_.dropped_no_port;
+    dropped_no_port_->inc();
     return;
   }
   const auto it = ports_.find(datagram->dst_port);
   if (it == ports_.end()) {
-    ++stats_.dropped_no_port;
+    dropped_no_port_->inc();
     return;
   }
 
@@ -75,7 +91,7 @@ void HostStack::on_local_delivery(const dataplane::ScionPacket& packet,
   if (config_.mode == HostMode::kDispatcher) {
     const auto queued = dispatcher_delay(arrival);
     if (!queued) {
-      ++stats_.dropped_overload;
+      dropped_overload_->inc();
       return;
     }
     extra += *queued;
@@ -84,7 +100,7 @@ void HostStack::on_local_delivery(const dataplane::ScionPacket& packet,
                                    config_.dispatcherless_pps);
   }
 
-  ++stats_.delivered;
+  delivered_->inc();
   Receiver& receiver = it->second;
   auto dg = std::move(datagram).value();
   net_.sim().after(extra, [receiver, packet, dg, &sim = net_.sim()] {

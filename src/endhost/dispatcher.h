@@ -18,6 +18,7 @@
 
 #include "controlplane/control_plane.h"
 #include "dataplane/packet.h"
+#include "obs/metrics.h"
 
 namespace sciera::endhost {
 
@@ -37,7 +38,7 @@ class HostStack {
     Duration local_hop = 30 * kMicrosecond;
   };
 
-  struct Stats {
+  struct Stats {  // registry-backed snapshot
     std::uint64_t delivered = 0;
     std::uint64_t dropped_no_port = 0;
     std::uint64_t dropped_overload = 0;
@@ -57,7 +58,7 @@ class HostStack {
 
   [[nodiscard]] const dataplane::Address& address() const { return addr_; }
   [[nodiscard]] HostMode mode() const { return config_.mode; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] controlplane::ScionNetwork& network() { return net_; }
 
   // Binds a UDP port; fails if taken. Port 0 picks an ephemeral port.
@@ -90,7 +91,9 @@ class HostStack {
   ScmpReceiver scmp_receiver_;
   std::uint16_t next_ephemeral_ = 32768;
   SimTime dispatcher_free_at_ = 0;
-  Stats stats_;
+  obs::Counter* delivered_ = nullptr;
+  obs::Counter* dropped_no_port_ = nullptr;
+  obs::Counter* dropped_overload_ = nullptr;
 };
 
 }  // namespace sciera::endhost

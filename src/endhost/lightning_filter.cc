@@ -8,7 +8,25 @@ namespace sciera::endhost {
 
 LightningFilter::LightningFilter(BytesView filter_secret, Config config)
     : secret_(filter_secret.begin(), filter_secret.end()),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"filter", registry.instance_label("lightning_filter", "lf")}};
+  accepted_ = &registry.counter("sciera_filter_accepted_total", base);
+  const auto dropped = [&](const char* reason) {
+    obs::Labels labels = base;
+    labels.emplace_back("reason", reason);
+    return &registry.counter("sciera_filter_dropped_total", labels);
+  };
+  dropped_rule_ = dropped("rule");
+  dropped_auth_ = dropped("auth");
+  dropped_rate_ = dropped("rate");
+}
+
+LightningFilter::Stats LightningFilter::stats() const {
+  return Stats{accepted_->value(), dropped_rule_->value(),
+               dropped_auth_->value(), dropped_rate_->value()};
+}
 
 crypto::Aes128::Key LightningFilter::key_for(IsdAs src) const {
   Writer w;
@@ -35,13 +53,13 @@ LightningFilter::Verdict LightningFilter::check(
       std::find(config_.allowed_sources.begin(),
                 config_.allowed_sources.end(),
                 packet.src.ia) == config_.allowed_sources.end()) {
-    ++stats_.dropped_rule;
+    dropped_rule_->inc();
     return Verdict::kDropRule;
   }
   // Authentication: payload must end with a valid 16-byte CMAC.
   if (config_.require_auth) {
     if (packet.payload.size() < 16) {
-      ++stats_.dropped_auth;
+      dropped_auth_->inc();
       return Verdict::kDropAuth;
     }
     const BytesView body{packet.payload.data(), packet.payload.size() - 16};
@@ -49,7 +67,7 @@ LightningFilter::Verdict LightningFilter::check(
                         16};
     const crypto::AesCmac cmac{key_for(packet.src.ia)};
     if (!cmac.verify(body, tag)) {
-      ++stats_.dropped_auth;
+      dropped_auth_->inc();
       return Verdict::kDropAuth;
     }
   }
@@ -62,12 +80,12 @@ LightningFilter::Verdict LightningFilter::check(
                              bucket.tokens + elapsed * config_.rate_pps);
     bucket.last = now;
     if (bucket.tokens < 1.0) {
-      ++stats_.dropped_rate;
+      dropped_rate_->inc();
       return Verdict::kDropRate;
     }
     bucket.tokens -= 1.0;
   }
-  ++stats_.accepted;
+  accepted_->inc();
   return Verdict::kAccept;
 }
 

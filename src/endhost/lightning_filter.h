@@ -12,6 +12,7 @@
 #include "common/time.h"
 #include "crypto/cmac.h"
 #include "dataplane/packet.h"
+#include "obs/metrics.h"
 
 namespace sciera::endhost {
 
@@ -34,7 +35,7 @@ class LightningFilter {
   LightningFilter(BytesView filter_secret)
       : LightningFilter(filter_secret, Config{}) {}
 
-  struct Stats {
+  struct Stats {  // registry-backed snapshot
     std::uint64_t accepted = 0;
     std::uint64_t dropped_rule = 0;
     std::uint64_t dropped_auth = 0;
@@ -51,7 +52,7 @@ class LightningFilter {
   // Checks one packet whose payload ends with a 16-byte authenticator.
   Verdict check(const dataplane::ScionPacket& packet, SimTime now);
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
 
   // Aggregate filtering throughput in bit/s for a packet size, with or
   // without RSS spreading flows across cores (the Section 4.8 contrast).
@@ -66,7 +67,10 @@ class LightningFilter {
 
   Bytes secret_;
   Config config_;
-  Stats stats_;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* dropped_rule_ = nullptr;
+  obs::Counter* dropped_auth_ = nullptr;
+  obs::Counter* dropped_rate_ = nullptr;
   std::map<std::uint64_t, Bucket> buckets_;
 };
 

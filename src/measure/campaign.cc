@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "topology/sciera_net.h"
 
 namespace sciera::measure {
@@ -31,6 +32,30 @@ std::size_t shared_ifaces(const std::vector<GlobalIfaceId>& a,
 Campaign::Campaign(controlplane::ScionNetwork& net, bgp::BgpNetwork& bgp,
                    CampaignOptions options)
     : net_(net), bgp_(bgp), options_(options) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"campaign", registry.instance_label("campaign", "multiping")}};
+  metrics_.intervals = &registry.counter("sciera_campaign_intervals_total", base);
+  metrics_.link_events =
+      &registry.counter("sciera_campaign_link_events_total", base);
+  metrics_.reselections =
+      &registry.counter("sciera_campaign_reselections_total", base);
+  const auto probes = [&](const char* proto) {
+    obs::Labels labels = base;
+    labels.emplace_back("proto", proto);
+    return &registry.counter("sciera_campaign_probes_total", labels);
+  };
+  metrics_.scion_probes = probes("scion");
+  metrics_.ip_probes = probes("ip");
+  const std::vector<std::int64_t> ms_bounds{25,  50,  75,  100, 150,
+                                            200, 300, 500, 800};
+  const auto rtt = [&](const char* proto) {
+    obs::Labels labels = base;
+    labels.emplace_back("proto", proto);
+    return &registry.histogram("sciera_campaign_min_rtt_ms", ms_bounds, labels);
+  };
+  metrics_.scion_rtt_ms = rtt("scion");
+  metrics_.ip_rtt_ms = rtt("ip");
   incidents_ = paper_incidents();
   sources_ = topology::measurement_ases();
   // Targets: every SCIERA participant — "note that we also send ping
@@ -114,6 +139,7 @@ void Campaign::apply_link_event(const std::string& label, bool scion_up,
     scion_link_up_[info->id] = scion_up;
     net_.set_link_up(label, scion_up);  // data plane follows
     ++link_epoch_;
+    metrics_.link_events->inc();
   }
   if (bgp_.link_up(info->id) != ip_up) {
     bgp_.set_link_up(info->id, ip_up);
@@ -176,6 +202,7 @@ void Campaign::reselect(Pair& pair, Rng& rng) {
   }
   pair.sel_disjoint = best_disjoint;
   pair.selection_valid = true;
+  metrics_.reselections->inc();
 }
 
 CampaignResult Campaign::run() {
@@ -289,6 +316,11 @@ CampaignResult Campaign::run() {
       ++next_event;
     }
 
+    // Registry snapshot before the burst: the per-burst trace event carries
+    // the delta in probes sent across all pairs this tick.
+    const std::uint64_t burst_base =
+        metrics_.scion_probes->value() + metrics_.ip_probes->value();
+
     for (auto& pair : pairs_) {
       if (pair.usable_epoch != link_epoch_) refresh_usable(pair);
       const bool reselect_now =
@@ -301,6 +333,10 @@ CampaignResult Campaign::run() {
       record.dst = pair.dst;
       record.scion_sent = options_.pings_per_interval;
       record.ip_sent = options_.pings_per_interval;
+      metrics_.intervals->inc();
+      metrics_.scion_probes->inc(
+          static_cast<std::uint64_t>(record.scion_sent));
+      metrics_.ip_probes->inc(static_cast<std::uint64_t>(record.ip_sent));
 
       if (pair.selection_valid) {
         const std::size_t chosen[3] = {pair.sel_shortest, pair.sel_fastest,
@@ -324,6 +360,8 @@ CampaignResult Campaign::run() {
         if (best != INT64_MAX) {
           record.scion_min_rtt = best;
           record.scion_ok = record.scion_sent;  // losses are per-sample
+          metrics_.scion_rtt_ms->observe(
+              static_cast<std::int64_t>(to_ms(best)));
         }
       } else {
         record.scion_ok = 0;
@@ -357,6 +395,7 @@ CampaignResult Campaign::run() {
         if (best != INT64_MAX) {
           record.ip_min_rtt = best;
           record.ip_ok = record.ip_sent;
+          metrics_.ip_rtt_ms->observe(static_cast<std::int64_t>(to_ms(best)));
         }
       }
 
@@ -364,6 +403,13 @@ CampaignResult Campaign::run() {
       result.probes.push_back(
           PathProbeRecord{now, pair.src, pair.dst, pair.usable.size()});
     }
+
+    obs::FlightRecorder::global().record(
+        obs::TraceType::kProbeBurst, now, static_cast<std::uint64_t>(tick),
+        "campaign",
+        strformat("tick=%d pairs=%zu", tick, pairs_.size()),
+        static_cast<std::int64_t>(metrics_.scion_probes->value() +
+                                  metrics_.ip_probes->value() - burst_base));
   }
   result.pair_paths = pair_paths_;
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "measure/multiping.h"
+#include "obs/metrics.h"
 
 namespace sciera::measure {
 
@@ -133,6 +134,16 @@ class Campaign {
   void refresh_usable(Pair& pair);
   void reselect(Pair& pair, Rng& rng);
 
+  struct Metrics {
+    obs::Counter* intervals = nullptr;
+    obs::Counter* link_events = nullptr;
+    obs::Counter* reselections = nullptr;
+    obs::Counter* scion_probes = nullptr;
+    obs::Counter* ip_probes = nullptr;
+    obs::Histogram* scion_rtt_ms = nullptr;
+    obs::Histogram* ip_rtt_ms = nullptr;
+  };
+
   controlplane::ScionNetwork& net_;
   bgp::BgpNetwork& bgp_;
   CampaignOptions options_;
@@ -143,6 +154,7 @@ class Campaign {
   std::uint64_t link_epoch_ = 0;
   std::vector<PairPaths> pair_paths_;
   std::vector<Pair> pairs_;
+  Metrics metrics_;
 };
 
 }  // namespace sciera::measure

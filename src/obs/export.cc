@@ -1,0 +1,193 @@
+#include "obs/export.h"
+
+#include "common/strings.h"
+
+namespace sciera::obs {
+namespace {
+
+// Escapes per the Prometheus exposition rules for label values (also a
+// valid JSON string body for the characters we emit).
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// {label="value",...} with an optional extra label appended (used for the
+// histogram "le" label). Empty label sets render as nothing.
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += std::string{extra_key} + "=\"" + std::string{extra_value} + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += escape(k);
+    out += "\":\"";
+    out += escape(v);
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string export_text(const MetricsRegistry& registry) {
+  const auto samples = registry.snapshot();
+  std::string out;
+  std::string current_family;
+  for (const auto& sample : samples) {
+    if (sample.name != current_family) {
+      current_family = sample.name;
+      out += "# TYPE " + sample.name + " " +
+             metric_type_name(sample.type) + "\n";
+    }
+    switch (sample.type) {
+      case MetricType::kCounter:
+        out += sample.name + label_block(sample.labels) +
+               strformat(" %llu\n",
+                         static_cast<unsigned long long>(sample.counter_value));
+        break;
+      case MetricType::kGauge:
+        out += sample.name + label_block(sample.labels) +
+               strformat(" %lld\n",
+                         static_cast<long long>(sample.gauge_value));
+        break;
+      case MetricType::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+          cumulative += sample.buckets[i];
+          out += sample.name + "_bucket" +
+                 label_block(sample.labels, "le",
+                             std::to_string(sample.bounds[i])) +
+                 strformat(" %llu\n",
+                           static_cast<unsigned long long>(cumulative));
+        }
+        cumulative += sample.buckets.empty() ? 0 : sample.buckets.back();
+        out += sample.name + "_bucket" +
+               label_block(sample.labels, "le", "+Inf") +
+               strformat(" %llu\n",
+                         static_cast<unsigned long long>(cumulative));
+        out += sample.name + "_sum" + label_block(sample.labels) +
+               strformat(" %lld\n", static_cast<long long>(sample.sum));
+        out += sample.name + "_count" + label_block(sample.labels) +
+               strformat(" %llu\n",
+                         static_cast<unsigned long long>(sample.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string export_json(const MetricsRegistry& registry) {
+  const auto samples = registry.snapshot();
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& sample : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + escape(sample.name) + "\",\"type\":\"" +
+           metric_type_name(sample.type) + "\",\"labels\":" +
+           json_labels(sample.labels);
+    switch (sample.type) {
+      case MetricType::kCounter:
+        out += strformat(",\"value\":%llu",
+                         static_cast<unsigned long long>(sample.counter_value));
+        break;
+      case MetricType::kGauge:
+        out += strformat(",\"value\":%lld",
+                         static_cast<long long>(sample.gauge_value));
+        break;
+      case MetricType::kHistogram: {
+        out += ",\"bounds\":[";
+        for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+          if (i != 0) out += ",";
+          out += std::to_string(sample.bounds[i]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (i != 0) out += ",";
+          out += std::to_string(sample.buckets[i]);
+        }
+        out += strformat("],\"sum\":%lld,\"count\":%llu",
+                         static_cast<long long>(sample.sum),
+                         static_cast<unsigned long long>(sample.count));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string export_trace_text(const FlightRecorder& recorder) {
+  std::string out = strformat(
+      "# flight recorder: %llu recorded, %llu overwritten, capacity %zu\n",
+      static_cast<unsigned long long>(recorder.recorded()),
+      static_cast<unsigned long long>(recorder.overwritten()),
+      recorder.capacity());
+  for (const auto& event : recorder.snapshot()) {
+    out += strformat("%08llu t=%lld %s %s",
+                     static_cast<unsigned long long>(event.seq),
+                     static_cast<long long>(event.time),
+                     trace_type_name(event.type), event.subject.c_str());
+    if (!event.detail.empty()) out += " " + event.detail;
+    if (event.value != 0) {
+      out += strformat(" v=%lld", static_cast<long long>(event.value));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string export_trace_json(const FlightRecorder& recorder) {
+  std::string out = strformat(
+      "{\"recorded\":%llu,\"overwritten\":%llu,\"events\":[",
+      static_cast<unsigned long long>(recorder.recorded()),
+      static_cast<unsigned long long>(recorder.overwritten()));
+  bool first = true;
+  for (const auto& event : recorder.snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += strformat(
+        "{\"seq\":%llu,\"time\":%lld,\"type\":\"%s\",\"subject\":\"%s\","
+        "\"detail\":\"%s\",\"value\":%lld}",
+        static_cast<unsigned long long>(event.seq),
+        static_cast<long long>(event.time), trace_type_name(event.type),
+        escape(event.subject).c_str(), escape(event.detail).c_str(),
+        static_cast<long long>(event.value));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sciera::obs

@@ -1,0 +1,28 @@
+// Exporters for the observability layer: Prometheus-exposition-style text
+// and JSON for metric snapshots, plus text/JSON renderings of the flight
+// recorder's trace ring. All output is fully determined by the snapshot
+// contents (sorted series, integer values) — byte-identical across
+// same-seed runs.
+#pragma once
+
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace sciera::obs {
+
+// Prometheus exposition format: one `# TYPE` line per family, then
+// `name{label="value"} value` samples; histograms expand to cumulative
+// `_bucket{le=...}` samples plus `_sum` and `_count`.
+[[nodiscard]] std::string export_text(const MetricsRegistry& registry);
+
+[[nodiscard]] std::string export_json(const MetricsRegistry& registry);
+
+// One line per retained event: seq, sim time (ns), type, subject, detail,
+// value — oldest first.
+[[nodiscard]] std::string export_trace_text(const FlightRecorder& recorder);
+
+[[nodiscard]] std::string export_trace_json(const FlightRecorder& recorder);
+
+}  // namespace sciera::obs

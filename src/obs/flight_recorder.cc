@@ -1,0 +1,69 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace sciera::obs {
+
+const char* trace_type_name(TraceType type) {
+  switch (type) {
+    case TraceType::kPacketHop: return "packet_hop";
+    case TraceType::kPacketDrop: return "packet_drop";
+    case TraceType::kScmpEmitted: return "scmp_emitted";
+    case TraceType::kBeaconOriginated: return "beacon_originated";
+    case TraceType::kPathLookup: return "path_lookup";
+    case TraceType::kPathDown: return "path_down";
+    case TraceType::kLinkTransition: return "link_transition";
+    case TraceType::kProbeBurst: return "probe_burst";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(TraceType type, SimTime time, std::uint64_t seq,
+                            std::string subject, std::string detail,
+                            std::int64_t value) {
+  TraceEvent event{type, time, seq, std::move(subject), std::move(detail),
+                   value};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  // Before the first wrap the ring is in order from slot 0; afterwards the
+  // oldest retained event sits at next_.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::size_t FlightRecorder::size() const { return ring_.size(); }
+
+std::uint64_t FlightRecorder::overwritten() const {
+  return recorded_ - ring_.size();
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace sciera::obs

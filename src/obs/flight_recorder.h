@@ -1,0 +1,75 @@
+// Sim-time flight recorder: a bounded ring buffer of typed trace events
+// (packet hops, SCMP emissions, beacon originations, path lookups, link
+// transitions, probe bursts). Events carry the simulation time and the
+// Simulator's executed-event sequence number at record time, so the
+// exported trace has a deterministic total order: same seed, same
+// construction order => byte-identical export.
+//
+// The recorder deliberately has no dependency on simnet — callers pass
+// (time, seq) explicitly, which also lets analytic (non-simulated) code
+// like the measurement campaign record its own tick-indexed events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sciera::obs {
+
+enum class TraceType : std::uint8_t {
+  kPacketHop,         // border router forwarded a packet out an interface
+  kPacketDrop,        // in-flight delivery cancelled (e.g. circuit cut)
+  kScmpEmitted,       // router originated an SCMP message
+  kBeaconOriginated,  // a beaconing sweep installed fresh segments
+  kPathLookup,        // daemon / control-service path lookup (hit or miss)
+  kPathDown,          // SCMP feedback quarantined a path fingerprint
+  kLinkTransition,    // link admin state flipped up/down
+  kProbeBurst,        // measurement campaign finished one probe interval
+};
+
+[[nodiscard]] const char* trace_type_name(TraceType type);
+
+struct TraceEvent {
+  TraceType type = TraceType::kPacketHop;
+  SimTime time = 0;       // simulation time of the event
+  std::uint64_t seq = 0;  // Simulator::executed_events() at record time
+  std::string subject;    // emitting component ("br-71-225", link label, ...)
+  std::string detail;     // free-form context ("egress=3", "hit", ...)
+  std::int64_t value = 0; // optional numeric payload
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit FlightRecorder(std::size_t capacity);
+  FlightRecorder() : FlightRecorder(kDefaultCapacity) {}
+
+  // The process-wide recorder the instrumented components feed.
+  static FlightRecorder& global();
+
+  void record(TraceType type, SimTime time, std::uint64_t seq,
+              std::string subject, std::string detail = {},
+              std::int64_t value = 0);
+
+  // Retained events, oldest first (at most capacity()).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  // Total events ever recorded / evicted by the ring bound.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // ring slot the next event lands in
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace sciera::obs

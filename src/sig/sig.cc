@@ -37,6 +37,18 @@ ScionIpGateway::ScionIpGateway(controlplane::ScionNetwork& net,
       stack_(net, addr),
       daemon_(net, addr.ia),
       delivery_(std::move(delivery)) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{
+      {"sig", registry.instance_label("sig", addr.to_string())}};
+  encapsulated_ = &registry.counter("sciera_sig_encapsulated_total", base);
+  decapsulated_ = &registry.counter("sciera_sig_decapsulated_total", base);
+  const auto dropped = [&](const char* reason) {
+    obs::Labels labels = base;
+    labels.emplace_back("reason", reason);
+    return &registry.counter("sciera_sig_dropped_total", labels);
+  };
+  no_rule_ = dropped("no_rule");
+  send_failures_ = dropped("send_failure");
   (void)stack_.bind(kSigPort,
                     [this](const dataplane::ScionPacket& packet,
                            const dataplane::UdpDatagram& datagram,
@@ -58,7 +70,7 @@ Status ScionIpGateway::send_ip(const IpPacket& packet) {
     }
   }
   if (remote == nullptr) {
-    ++stats_.no_rule;
+    no_rule_->inc();
     return Error{Errc::kNotFound, "no SIG traffic rule for destination"};
   }
 
@@ -71,7 +83,7 @@ Status ScionIpGateway::send_ip(const IpPacket& packet) {
       return !net_.path_usable(path);
     });
     if (paths.empty()) {
-      ++stats_.send_failures;
+      send_failures_->inc();
       return Error{Errc::kUnreachable,
                    "no usable path to remote SIG " + remote->to_string()};
     }
@@ -86,11 +98,16 @@ Status ScionIpGateway::send_ip(const IpPacket& packet) {
   tunnel.payload = datagram.serialize();
   const auto status = stack_.send(std::move(tunnel));
   if (!status.ok()) {
-    ++stats_.send_failures;
+    send_failures_->inc();
     return status;
   }
-  ++stats_.encapsulated;
+  encapsulated_->inc();
   return {};
+}
+
+ScionIpGateway::Stats ScionIpGateway::stats() const {
+  return Stats{encapsulated_->value(), decapsulated_->value(),
+               no_rule_->value(), send_failures_->value()};
 }
 
 void ScionIpGateway::on_tunnel_packet(const dataplane::ScionPacket&,
@@ -98,7 +115,7 @@ void ScionIpGateway::on_tunnel_packet(const dataplane::ScionPacket&,
                                       SimTime arrival) {
   auto packet = IpPacket::parse(datagram.data);
   if (!packet) return;
-  ++stats_.decapsulated;
+  decapsulated_->inc();
   if (delivery_) delivery_(packet.value(), arrival);
 }
 

@@ -44,7 +44,7 @@ struct IpPrefix {
 
 class ScionIpGateway {
  public:
-  struct Stats {
+  struct Stats {  // registry-backed snapshot
     std::uint64_t encapsulated = 0;
     std::uint64_t decapsulated = 0;
     std::uint64_t no_rule = 0;
@@ -68,7 +68,7 @@ class ScionIpGateway {
   // Entry point from the legacy LAN side.
   Status send_ip(const IpPacket& packet);
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] const dataplane::Address& address() const {
     return stack_.address();
   }
@@ -86,7 +86,10 @@ class ScionIpGateway {
   endhost::PathPolicy policy_;
   IpDelivery delivery_;
   std::vector<std::pair<IpPrefix, dataplane::Address>> rules_;
-  Stats stats_;
+  obs::Counter* encapsulated_ = nullptr;
+  obs::Counter* decapsulated_ = nullptr;
+  obs::Counter* no_rule_ = nullptr;
+  obs::Counter* send_failures_ = nullptr;
 };
 
 }  // namespace sciera::sig

@@ -3,11 +3,55 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flight_recorder.h"
+
 namespace sciera::simnet {
 
 void Link::attach(int side, Node* node, IfaceId local_iface) {
   assert(side == 0 || side == 1);
   ends_[static_cast<std::size_t>(side)] = End{node, local_iface, 0};
+}
+
+void Link::set_label(std::string label) { label_ = std::move(label); }
+
+const std::string& Link::display_name() const {
+  static const std::string kUnnamed = "link";
+  return label_.empty() ? kUnnamed : label_;
+}
+
+Link::Metrics& Link::metrics() const {
+  if (metrics_.delivered == nullptr) {
+    auto& registry = obs::MetricsRegistry::global();
+    const obs::Labels base{
+        {"link", registry.instance_label("link", display_name())}};
+    metrics_.delivered = &registry.counter("sciera_link_delivered_total", base);
+    const auto dropped = [&](const char* reason) {
+      obs::Labels labels = base;
+      labels.emplace_back("reason", reason);
+      return &registry.counter("sciera_link_dropped_total", labels);
+    };
+    metrics_.dropped_down = dropped("down");
+    metrics_.dropped_loss = dropped("loss");
+    metrics_.dropped_queue = dropped("queue");
+  }
+  return metrics_;
+}
+
+Link::Stats Link::stats() const {
+  const Metrics& m = metrics();
+  return Stats{m.delivered->value(), m.dropped_down->value(),
+               m.dropped_loss->value(), m.dropped_queue->value()};
+}
+
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  // Cutting the circuit invalidates everything on the wire: deliveries
+  // scheduled under an older epoch are dropped when they fire.
+  if (!up) ++down_epoch_;
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kLinkTransition, sim_.now(), sim_.executed_events(),
+      display_name(), up ? "up" : "down");
 }
 
 void Link::send(int from_side, const MessagePtr& message) {
@@ -17,11 +61,11 @@ void Link::send(int from_side, const MessagePtr& message) {
   assert(tx.node != nullptr && rx.node != nullptr);
 
   if (!up_) {
-    ++stats_.dropped_down;
+    metrics().dropped_down->inc();
     return;
   }
   if (config_.loss_probability > 0 && rng_.chance(config_.loss_probability)) {
-    ++stats_.dropped_loss;
+    metrics().dropped_loss->inc();
     return;
   }
 
@@ -36,7 +80,7 @@ void Link::send(int from_side, const MessagePtr& message) {
       ? static_cast<std::size_t>((start - now) / std::max<Duration>(serialization, 1))
       : 0;
   if (queued_ahead > config_.queue_capacity) {
-    ++stats_.dropped_queue;
+    metrics().dropped_queue->inc();
     return;
   }
   tx.tx_free_at = start + serialization;
@@ -51,8 +95,18 @@ void Link::send(int from_side, const MessagePtr& message) {
   Node* receiver = rx.node;
   Link* self = this;
   const IfaceId rx_iface = rx.iface;
-  sim_.at(deliver_at, [receiver, message, self, rx_iface, deliver_at] {
-    ++self->stats_.delivered;
+  const std::uint64_t epoch = down_epoch_;
+  sim_.at(deliver_at, [receiver, message, self, rx_iface, deliver_at, epoch] {
+    // A down transition after the frame entered the circuit cancels the
+    // delivery, even if the link is administratively up again by now.
+    if (!self->up_ || epoch != self->down_epoch_) {
+      self->metrics().dropped_down->inc();
+      obs::FlightRecorder::global().record(
+          obs::TraceType::kPacketDrop, self->sim_.now(),
+          self->sim_.executed_events(), self->display_name(), "cut-in-flight");
+      return;
+    }
+    self->metrics().delivered->inc();
     receiver->receive(message, Arrival{self, rx_iface, deliver_at});
   });
 }

@@ -6,8 +6,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "simnet/node.h"
 #include "simnet/simulator.h"
 
@@ -29,7 +31,7 @@ struct LinkConfig {
 
 class Link {
  public:
-  struct Stats {
+  struct Stats {  // registry-backed snapshot
     std::uint64_t delivered = 0;
     std::uint64_t dropped_down = 0;
     std::uint64_t dropped_loss = 0;
@@ -43,14 +45,23 @@ class Link {
   // with its own interface id.
   void attach(int side, Node* node, IfaceId local_iface);
 
+  // Names the link's metric series after the topology label. Must be set
+  // before the first send (once the series is registered the name sticks);
+  // unnamed links register as "link", "link#2", ...
+  void set_label(std::string label);
+  [[nodiscard]] const std::string& label() const { return label_; }
+
   // Sends from endpoint `from_side` to the opposite endpoint.
   void send(int from_side, const MessagePtr& message);
 
-  void set_up(bool up) { up_ = up; }
+  // Admin state. Taking the link down also cancels every frame currently
+  // serialized or propagating on the circuit (counted as dropped_down):
+  // cutting an L2 circuit loses what is on the wire.
+  void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
 
   [[nodiscard]] const LinkConfig& config() const { return config_; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] Node* peer_of(int side) const { return ends_[side ^ 1].node; }
   [[nodiscard]] IfaceId iface_of(int side) const {
     return ends_[static_cast<std::size_t>(side)].iface;
@@ -64,12 +75,27 @@ class Link {
     SimTime tx_free_at = 0;
   };
 
+  // Registry cells, registered lazily on first use so test-created links
+  // without a topology label still get a unique instance name.
+  struct Metrics {
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped_down = nullptr;
+    obs::Counter* dropped_loss = nullptr;
+    obs::Counter* dropped_queue = nullptr;
+  };
+  Metrics& metrics() const;
+  [[nodiscard]] const std::string& display_name() const;
+
   Simulator& sim_;
   LinkConfig config_;
   Rng rng_;
   std::array<End, 2> ends_{};
-  Stats stats_;
+  std::string label_;
+  mutable Metrics metrics_;
   bool up_ = true;
+  // Bumped on every up->down transition; deliveries scheduled before the
+  // cut carry the epoch they were sent under and are dropped on mismatch.
+  std::uint64_t down_epoch_ = 0;
 };
 
 }  // namespace sciera::simnet

@@ -405,6 +405,27 @@ TEST_F(ScieraFixture, ControlServiceCachesLookups) {
   EXPECT_GE(cs->cache_hits(), 1u);
 }
 
+// Regression: ControlService treated an entry aged exactly cache_ttl as
+// stale while the daemon treated it as fresh. The shared convention is
+// "stale at age >= ttl" — this pins the control-service side.
+TEST_F(ScieraFixture, ControlServiceCacheEntryAgedExactlyTtlIsStale) {
+  auto& net = ScieraFixture::net();
+  auto* cs = net.control_service(a::ufms());
+  ASSERT_NE(cs, nullptr);
+  cs->flush_cache();
+  const auto misses0 = cs->cache_misses();
+  const auto hits0 = cs->cache_hits();
+  (void)cs->lookup_paths_now(a::uva());
+  EXPECT_EQ(cs->cache_misses() - misses0, 1u);
+  (void)cs->lookup_paths_now(a::uva());
+  EXPECT_EQ(cs->cache_hits() - hits0, 1u);
+  // Exactly the TTL later the entry must be refetched, not served.
+  net.sim().run_for(ControlService::Config{}.cache_ttl);
+  (void)cs->lookup_paths_now(a::uva());
+  EXPECT_EQ(cs->cache_misses() - misses0, 2u);
+  EXPECT_EQ(cs->cache_hits() - hits0, 1u);
+}
+
 TEST_F(ScieraFixture, TrcAvailableFromControlService) {
   auto& net = ScieraFixture::net();
   auto* cs = net.control_service(a::uva());

@@ -298,6 +298,109 @@ TEST(Pan, InteractivePathSelectionPins) {
   EXPECT_EQ(after->fingerprint(), options[0].fingerprint());
 }
 
+// --- Daemon cache and path liveness ------------------------------------------
+
+// Regression: the daemon used to treat an entry aged exactly
+// path_cache_ttl as fresh (`age > ttl` to expire) while the control
+// service already treated it as stale — the two stacks disagreed at the
+// boundary. Unified convention: stale at age >= ttl.
+TEST(Daemon, CacheEntryAgedExactlyTtlIsStale) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::uva()};
+  (void)daemon.paths(a::ovgu());
+  EXPECT_EQ(daemon.cache_misses(), 1u);
+  (void)daemon.paths(a::ovgu());
+  EXPECT_EQ(daemon.cache_hits(), 1u);
+  EXPECT_EQ(daemon.lookups(), 2u);
+  // Advance the sim clock by exactly the TTL: no longer a hit.
+  net.sim().run_for(Daemon::Config{}.path_cache_ttl);
+  (void)daemon.paths(a::ovgu());
+  EXPECT_EQ(daemon.cache_misses(), 2u);
+  EXPECT_EQ(daemon.cache_hits(), 1u);
+}
+
+// Regression: down_until_ grew without bound — every SCMP report left an
+// entry behind forever. Expired entries are pruned on lookups and reports.
+TEST(Daemon, QuarantineMapIsPrunedAndBounded) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::uva()};
+  for (int i = 0; i < 100; ++i) {
+    daemon.report_path_down("fp-" + std::to_string(i));
+  }
+  EXPECT_EQ(daemon.quarantined(), 100u);
+  net.sim().run_for(Daemon::Config{}.down_path_penalty);
+  // The next report prunes all 100 expired entries before inserting.
+  daemon.report_path_down("fp-fresh");
+  EXPECT_EQ(daemon.quarantined(), 1u);
+  // And lookups prune too: once fp-fresh expires the map is empty.
+  net.sim().run_for(Daemon::Config{}.down_path_penalty);
+  (void)daemon.paths(a::ovgu());
+  EXPECT_EQ(daemon.quarantined(), 0u);
+}
+
+// End-to-end failover: a mid-path link dies, the border router answers
+// the next packet with SCMP ExternalInterfaceDown, the daemon quarantines
+// the path (excluded from paths()), and it reappears once
+// down_path_penalty elapses on the sim clock.
+TEST(Pan, ScmpFailoverQuarantinesPathAndRecovers) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::uva()};
+  HostEnvironment env;
+  env.net = &net;
+  env.address = {a::uva(), 0x0A020210};
+  env.daemon = &daemon;
+  auto ctx = PanContext::create(env, Rng{20});
+  ASSERT_TRUE(ctx.ok());
+  auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
+  ASSERT_TRUE(sock.ok());
+
+  const auto first = (*sock)->current_path(a::ovgu());
+  ASSERT_TRUE(first.ok());
+  const std::string fp = first->fingerprint();
+  ASSERT_GT(first->links.size(), 1u);
+
+  // The data-plane feedback loop: SCMP errors quarantine the active path.
+  int scmp_errors = 0;
+  (*ctx)->stack().set_scmp_receiver(
+      [&](const dataplane::ScionPacket&, const dataplane::ScmpMessage& m,
+          SimTime) {
+        if (m.is_error()) {
+          ++scmp_errors;
+          (*ctx)->report_path_down(fp);
+        }
+      });
+
+  // Cut the path's second link; the packet sent just before the cut
+  // reaches the failed egress just after and triggers the SCMP error.
+  simnet::Link* cut = net.link(first->links[1]);
+  ASSERT_NE(cut, nullptr);
+  net.sim().after(10 * kMillisecond, [cut] { cut->set_up(false); });
+  net.sim().after(9500 * kMicrosecond, [&] {
+    (void)(*sock)->send_to({a::ovgu(), 0x0A020211}, 8888, bytes_of("probe"));
+  });
+  net.sim().run_for(3 * kSecond);
+  EXPECT_EQ(scmp_errors, 1);
+  EXPECT_EQ(daemon.quarantined(), 1u);
+
+  // paths() excludes the quarantined fingerprint; failover picks another.
+  for (const auto& path : daemon.paths(a::ovgu())) {
+    EXPECT_NE(path.fingerprint(), fp);
+  }
+  const auto failover = (*sock)->current_path(a::ovgu());
+  ASSERT_TRUE(failover.ok());
+  EXPECT_NE(failover->fingerprint(), fp);
+
+  // The circuit heals and the penalty elapses: the path reappears.
+  cut->set_up(true);
+  net.sim().run_for(Daemon::Config{}.down_path_penalty);
+  bool reappeared = false;
+  for (const auto& path : daemon.paths(a::ovgu())) {
+    reappeared = reappeared || path.fingerprint() == fp;
+  }
+  EXPECT_TRUE(reappeared);
+  EXPECT_EQ(daemon.quarantined(), 0u);
+}
+
 // --- Policies -----------------------------------------------------------------------
 
 TEST(Policy, GeofencingExcludesIsd) {

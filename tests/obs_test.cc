@@ -1,0 +1,235 @@
+// The observability layer: registry semantics (cell identity, label
+// canonicalization, histogram bucketing), flight-recorder ring behaviour,
+// exporter formats, and the determinism contract — the same seed must
+// export a byte-identical snapshot, verified alongside the simnet
+// schedule-digest auditor.
+#include <gtest/gtest.h>
+
+#include "endhost/dispatcher.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "simnet/audit.h"
+#include "topology/sciera_net.h"
+
+namespace sciera {
+namespace {
+
+namespace a = topology::ases;
+
+using obs::FlightRecorder;
+using obs::Labels;
+using obs::MetricsRegistry;
+using obs::TraceType;
+
+TEST(MetricsRegistryTest, SameKeyReturnsSameCell) {
+  MetricsRegistry registry;
+  auto& c1 = registry.counter("requests_total", {{"svc", "a"}});
+  auto& c2 = registry.counter("requests_total", {{"svc", "a"}});
+  EXPECT_EQ(&c1, &c2);
+  c1.inc();
+  c2.inc(2);
+  EXPECT_EQ(c1.value(), 3u);
+  EXPECT_EQ(registry.series(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  auto& c1 = registry.counter("x", {{"b", "2"}, {"a", "1"}});
+  auto& c2 = registry.counter("x", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&c1, &c2);
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  const Labels expected{{"a", "1"}, {"b", "2"}};
+  EXPECT_EQ(samples[0].labels, expected);
+}
+
+TEST(MetricsRegistryTest, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry registry;
+  auto& c1 = registry.counter("x", {{"svc", "a"}});
+  auto& c2 = registry.counter("x", {{"svc", "b"}});
+  EXPECT_NE(&c1, &c2);
+  EXPECT_EQ(registry.series(), 2u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  auto& g = registry.gauge("depth");
+  g.set(5);
+  g.add(-7);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesAreInclusive) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("rtt_ms", {10, 20, 50});
+  h.observe(9);    // bucket 0
+  h.observe(10);   // bucket 0 (le semantics: 10 <= 10)
+  h.observe(11);   // bucket 1
+  h.observe(50);   // bucket 2
+  h.observe(51);   // overflow
+  h.observe(-3);   // bucket 0
+  EXPECT_EQ(h.bucket(0), 3u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 9 + 10 + 11 + 50 + 51 - 3);
+}
+
+TEST(MetricsRegistryTest, InstanceLabelsAreUniquePerKind) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.instance_label("link", "geant-bridges"), "geant-bridges");
+  EXPECT_EQ(registry.instance_label("link", "geant-bridges"),
+            "geant-bridges#2");
+  EXPECT_EQ(registry.instance_label("link", "geant-bridges"),
+            "geant-bridges#3");
+  // A different kind has its own namespace.
+  EXPECT_EQ(registry.instance_label("router", "geant-bridges"),
+            "geant-bridges");
+}
+
+TEST(MetricsRegistryTest, ZeroAllKeepsHandlesValid) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("events_total");
+  auto& g = registry.gauge("depth");
+  auto& h = registry.histogram("size", {1, 2});
+  c.inc(7);
+  g.set(3);
+  h.observe(1);
+  registry.zero_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  c.inc();  // handle still live
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.counter("b_total");
+  registry.counter("a_total", {{"k", "2"}});
+  registry.counter("a_total", {{"k", "1"}});
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a_total");
+  EXPECT_EQ(samples[0].labels[0].second, "1");
+  EXPECT_EQ(samples[1].name, "a_total");
+  EXPECT_EQ(samples[1].labels[0].second, "2");
+  EXPECT_EQ(samples[2].name, "b_total");
+}
+
+TEST(MetricsExportTest, TextFormatIsPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", {{"svc", "a"}}).inc(3);
+  registry.gauge("depth").set(-2);
+  auto& h = registry.histogram("rtt_ms", {10, 20});
+  h.observe(5);
+  h.observe(15);
+  h.observe(99);
+  const std::string text = obs::export_text(registry);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{svc=\"a\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("depth -2\n"), std::string::npos);
+  // Histogram buckets are cumulative in the exposition.
+  EXPECT_NE(text.find("rtt_ms_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("rtt_ms_bucket{le=\"20\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("rtt_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rtt_ms_sum 119\n"), std::string::npos);
+  EXPECT_NE(text.find("rtt_ms_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsExportTest, JsonEscapesAndRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("total", {{"path", "a\"b\\c"}}).inc();
+  const std::string json = obs::export_json(registry);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(FlightRecorderTest, RingIsBoundedAndKeepsNewest) {
+  FlightRecorder recorder{4};
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(TraceType::kPacketHop, i * 100, static_cast<unsigned>(i),
+                    "br", "egress=1");
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.overwritten(), 6u);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the four newest events in recording order.
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().seq, 9u);
+  EXPECT_EQ(events.back().time, 900);
+}
+
+TEST(FlightRecorderTest, ClearEmptiesTheRing) {
+  FlightRecorder recorder{4};
+  recorder.record(TraceType::kLinkTransition, 1, 1, "link", "down");
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRecorderTest, TraceExportCarriesAllFields) {
+  FlightRecorder recorder{8};
+  recorder.record(TraceType::kScmpEmitted, 42, 7, "br-71-225",
+                  "external_iface_down", 5);
+  const std::string text = obs::export_trace_text(recorder);
+  EXPECT_NE(text.find("scmp_emitted"), std::string::npos);
+  EXPECT_NE(text.find("br-71-225"), std::string::npos);
+  EXPECT_NE(text.find("external_iface_down"), std::string::npos);
+  const std::string json = obs::export_trace_json(recorder);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"time\":42"), std::string::npos);
+}
+
+// The tentpole contract: a seeded scenario exports a byte-identical
+// metrics + trace snapshot on replay, and the schedule digest agrees.
+// Uses the global registry/recorder the instrumented components feed, so
+// each run resets them — safe here because the scenario constructs (and
+// destroys) every registered component within the callback.
+TEST(ObsDeterminismTest, SameSeedExportsIdenticalSnapshot) {
+  std::vector<std::string> exports;
+  const auto scenario = [&]() -> simnet::ScheduleDigest {
+    MetricsRegistry::global().reset();
+    FlightRecorder::global().clear();
+    controlplane::ScionNetwork network{topology::build_sciera()};
+    endhost::HostStack sender{network, {a::uva(), 0x0A000001}};
+    endhost::HostStack receiver{network, {a::ovgu(), 0x0A000002}};
+    (void)receiver.bind(4242, [](const dataplane::ScionPacket&,
+                                 const dataplane::UdpDatagram&, SimTime) {});
+    const auto paths = network.paths(a::uva(), a::ovgu());
+    EXPECT_FALSE(paths.empty());
+    for (int i = 0; i < 3; ++i) {
+      dataplane::ScionPacket packet;
+      packet.dst = {a::ovgu(), 0x0A000002};
+      packet.next_hdr = dataplane::kProtoUdp;
+      packet.path = paths.front().dataplane_path;
+      dataplane::UdpDatagram datagram;
+      datagram.src_port = 9999;
+      datagram.dst_port = 4242;
+      datagram.data = bytes_of("probe");
+      packet.payload = datagram.serialize();
+      (void)sender.send(packet);
+      network.sim().run_for(kSecond);
+    }
+    network.set_link_up(network.topology().links().front().label, false);
+    network.sim().run_for(kSecond);
+    exports.push_back(obs::export_text(MetricsRegistry::global()) +
+                      obs::export_trace_text(FlightRecorder::global()));
+    return network.sim().schedule_digest();
+  };
+  const auto report = simnet::audit_determinism(scenario);
+  EXPECT_TRUE(report.deterministic()) << report.to_string();
+  ASSERT_EQ(exports.size(), 2u);
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_NE(exports[0].find("sciera_link_delivered_total"), std::string::npos);
+  EXPECT_NE(exports[0].find("link_transition"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sciera

@@ -127,6 +127,79 @@ TEST(Link, DownLinkDropsTraffic) {
   EXPECT_EQ(b.arrivals.size(), 1u);
 }
 
+// Regression: set_up(false) used to drop only at send time — a frame
+// already on the wire would still be delivered after the circuit died.
+// A down transition must cancel in-flight deliveries.
+TEST(Link, DownTransitionCancelsInFlightDeliveries) {
+  Simulator sim;
+  Sink a{"a"}, b{"b"};
+  LinkConfig cfg;
+  cfg.propagation_delay = 10 * kMillisecond;
+  Link link{sim, cfg, Rng{1}};
+  link.attach(0, &a, 1);
+  link.attach(1, &b, 1);
+
+  link.send(0, std::make_shared<TestMessage>(100));
+  // The failure hits mid-flight: after the send, before the delivery.
+  sim.after(5 * kMillisecond, [&] { link.set_up(false); });
+  sim.run_all();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(link.stats().dropped_down, 1u);
+  EXPECT_EQ(link.stats().delivered, 0u);
+}
+
+// A frame sent before a down/up flap is lost even though the link is up
+// again at its scheduled delivery time: the circuit it was riding died.
+TEST(Link, FlapDuringFlightStillDropsTheFrame) {
+  Simulator sim;
+  Sink a{"a"}, b{"b"};
+  LinkConfig cfg;
+  cfg.propagation_delay = 10 * kMillisecond;
+  Link link{sim, cfg, Rng{1}};
+  link.attach(0, &a, 1);
+  link.attach(1, &b, 1);
+
+  link.send(0, std::make_shared<TestMessage>(100));
+  sim.after(2 * kMillisecond, [&] { link.set_up(false); });
+  sim.after(4 * kMillisecond, [&] { link.set_up(true); });
+  link.send(0, std::make_shared<TestMessage>(100));  // also pre-flap
+  sim.run_all();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(link.stats().dropped_down, 2u);
+
+  // Traffic sent after the link recovered flows normally.
+  link.send(0, std::make_shared<TestMessage>(100));
+  sim.run_all();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(link.stats().delivered, 1u);
+}
+
+// A scheduled mid-flight failure replays deterministically (the drop is
+// part of the audited event schedule, not a wall-clock race).
+TEST(Link, MidFlightFailureScheduleIsDeterministic) {
+  const auto scenario = [] {
+    Simulator sim;
+    Sink a{"a"}, b{"b"};
+    LinkConfig cfg;
+    cfg.propagation_delay = 10 * kMillisecond;
+    Link link{sim, cfg, Rng{3}};
+    link.attach(0, &a, 1);
+    link.attach(1, &b, 1);
+    for (int i = 0; i < 5; ++i) {
+      sim.at(i * kMillisecond, [&link, i] {
+        link.send(0, std::make_shared<TestMessage>(200, i));
+      });
+    }
+    sim.at(7 * kMillisecond, [&] { link.set_up(false); });
+    sim.run_all();
+    EXPECT_EQ(link.stats().dropped_down, 5u);
+    return sim.schedule_digest();
+  };
+  const auto first = scenario();
+  const auto second = scenario();
+  EXPECT_EQ(first, second);
+}
+
 TEST(Link, LossProbabilityDropsStatistically) {
   Simulator sim;
   Sink a{"a"}, b{"b"};

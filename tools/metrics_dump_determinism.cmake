@@ -1,0 +1,34 @@
+# Runs sciera_metrics_dump twice in separate processes and requires the
+# dumps to be byte-identical — the observability layer's determinism
+# contract (ISSUE: same seed => identical exported snapshot). Separate
+# processes matter: instance-label allocation is per-process, so an
+# in-process rerun would shift "#N" suffixes instead of testing replay.
+#
+# Expected variables: BIN (dump binary), OUT_DIR (scratch dir),
+# SCENARIO (scenario name).
+if(NOT DEFINED BIN OR NOT DEFINED OUT_DIR OR NOT DEFINED SCENARIO)
+  message(FATAL_ERROR "BIN, OUT_DIR and SCENARIO must be defined")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(first "${OUT_DIR}/${SCENARIO}-run1.txt")
+set(second "${OUT_DIR}/${SCENARIO}-run2.txt")
+
+foreach(out IN ITEMS "${first}" "${second}")
+  execute_process(
+    COMMAND "${BIN}" "${SCENARIO}" --both
+    OUTPUT_FILE "${out}"
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "sciera_metrics_dump ${SCENARIO} failed: ${status}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${first}" "${second}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "sciera_metrics_dump '${SCENARIO}' output differs between two "
+          "same-seed runs (${first} vs ${second})")
+endif()

@@ -15,6 +15,12 @@
 //                      leaks into every includer)
 //   own-header-first   foo.cc's first #include is its own header foo.h
 //                      (IWYU-style: proves each header is self-contained)
+//   adhoc-stats        no ad-hoc `struct Stats` under src/ outside
+//                      src/obs/: components report through the metrics
+//                      registry. A legacy-shaped snapshot struct whose
+//                      values are read back from the registry is allowed
+//                      when marked `// registry-backed snapshot` on the
+//                      declaring line
 //
 // Comments and string/char literals are stripped before matching, so
 // documentation may mention banned names freely.
@@ -256,6 +262,19 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
         line.text.find("using namespace") != std::string::npos) {
       report.add(rel, line.number, "using-namespace",
                  "'using namespace' in a header leaks into every includer");
+    }
+    // Ad-hoc per-component stats structs fragment observability: metrics
+    // belong in the obs registry. The marker comment (checked on the raw
+    // line — comments are stripped from .text) exempts legacy-shaped
+    // snapshot structs that are thin reads over registry cells.
+    if (rel_str.starts_with("src/") && !rel_str.starts_with("src/obs/") &&
+        contains_word(line.text, "struct") &&
+        contains_word(line.text, "Stats") &&
+        line.raw.find("registry-backed snapshot") == std::string::npos) {
+      report.add(rel, line.number, "adhoc-stats",
+                 "ad-hoc 'struct Stats' outside src/obs/ — report through "
+                 "obs::MetricsRegistry (mark registry-backed snapshot "
+                 "structs with '// registry-backed snapshot')");
     }
   }
 
