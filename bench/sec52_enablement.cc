@@ -41,17 +41,16 @@ int main() {
   Daemon daemon_client{world.net, a::ovgu()};
   Daemon daemon_server{world.net, a::sidn()};
 
-  HostEnvironment client_env;
-  client_env.net = &world.net;
-  client_env.address = {a::ovgu(), 0x0A000001};
-  client_env.daemon = &daemon_client;
-  HostEnvironment server_env;
-  server_env.net = &world.net;
-  server_env.address = {a::sidn(), 0x0A000002};
-  server_env.daemon = &daemon_server;
-
-  auto client_ctx = PanContext::create(client_env, Rng{1});
-  auto server_ctx = PanContext::create(server_env, Rng{2});
+  auto client_ctx = PanContext::Builder{}
+                        .net(world.net)
+                        .address({a::ovgu(), 0x0A000001})
+                        .daemon(daemon_client)
+                        .build(Rng{1});
+  auto server_ctx = PanContext::Builder{}
+                        .net(world.net)
+                        .address({a::sidn(), 0x0A000002})
+                        .daemon(daemon_server)
+                        .build(Rng{2});
   if (!client_ctx.ok() || !server_ctx.ok()) return 1;
 
   int requests_served = 0;

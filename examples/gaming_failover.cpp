@@ -20,17 +20,16 @@ int main() {
   Daemon player_daemon{net, a::korea_univ()};
   Daemon server_daemon{net, a::geant()};
 
-  HostEnvironment player_env;
-  player_env.net = &net;
-  player_env.address = {a::korea_univ(), 0x0A0000AA};
-  player_env.daemon = &player_daemon;
-  HostEnvironment server_env;
-  server_env.net = &net;
-  server_env.address = {a::geant(), 0x0A0000BB};
-  server_env.daemon = &server_daemon;
-
-  auto player_ctx = PanContext::create(player_env, Rng{11});
-  auto server_ctx = PanContext::create(server_env, Rng{12});
+  auto player_ctx = PanContext::Builder{}
+                        .net(net)
+                        .address({a::korea_univ(), 0x0A0000AA})
+                        .daemon(player_daemon)
+                        .build(Rng{11});
+  auto server_ctx = PanContext::Builder{}
+                        .net(net)
+                        .address({a::geant(), 0x0A0000BB})
+                        .daemon(server_daemon)
+                        .build(Rng{12});
 
   // Game server: echoes every input as a state update.
   PanSocket* server_ptr = nullptr;
@@ -58,6 +57,9 @@ int main() {
   const auto options = (*player_ctx)->paths(a::geant(), lowest_latency_policy());
   std::printf("path options: %zu; playing on: %s\n\n", options.size(),
               options.front().to_string().c_str());
+  // Pin the winner; the send receipts reveal when the library has to
+  // substitute another path after the cable cut.
+  (void)(*player)->select_path(a::geant(), 0);
 
   // 30 ticks, one every 100 ms; cut the cable after tick 10.
   const auto* first_link =
@@ -76,9 +78,14 @@ int main() {
                    static_cast<std::uint8_t>(seq >> 8)};
     input.insert(input.end(), {'m', 'o', 'v', 'e'});
     sent[seq] = net.sim().now();
-    const auto status = (*player)->send_to({a::geant(), 0x0A0000BB}, 27015,
-                                           input);
-    if (!status.ok()) ++lost_in_flight;
+    const auto receipt = (*player)->send_to({a::geant(), 0x0A0000BB}, 27015,
+                                            input);
+    if (!receipt.ok()) {
+      ++lost_in_flight;
+    } else if (receipt->failover) {
+      std::printf("   tick %2d rerouted onto %s\n", tick,
+                  receipt->path_fingerprint.c_str());
+    }
     ++seq;
     net.sim().run_for(100 * kMillisecond);
   }

@@ -30,17 +30,17 @@ int main() {
       a::ovgu(), local_topology_view(net.topology(), a::ovgu()), *creds,
       trcs};
 
-  HostEnvironment env;
-  env.net = &net;
-  env.address = {a::ovgu(), 0x0A00002A};
-  env.bootstrap_server = &bootstrap_server;
-  auto ctx = PanContext::create(env, Rng{2025});
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::ovgu(), 0x0A00002A})
+                 .bootstrap_server(bootstrap_server)
+                 .build(Rng{2025});
   if (!ctx.ok()) {
     std::printf("bootstrap failed: %s\n", ctx.error().to_string().c_str());
     return 1;
   }
   std::printf("host %s bootstrapped in %s mode, %.1f ms\n\n",
-              env.address.to_string().c_str(),
+              (*ctx)->local_address().to_string().c_str(),
               stack_mode_name((*ctx)->mode()),
               to_ms((*ctx)->bootstrap_time()));
 
@@ -54,11 +54,11 @@ int main() {
 
   // 4. A server at UFMS and a message round trip over the drop-in socket.
   Daemon ufms_daemon{net, a::ufms()};
-  HostEnvironment server_env;
-  server_env.net = &net;
-  server_env.address = {a::ufms(), 0x0A000001};
-  server_env.daemon = &ufms_daemon;
-  auto server_ctx = PanContext::create(server_env, Rng{7});
+  auto server_ctx = PanContext::Builder{}
+                        .net(net)
+                        .address({a::ufms(), 0x0A000001})
+                        .daemon(ufms_daemon)
+                        .build(Rng{7});
   PanSocket* server_ptr = nullptr;
   auto server = PanSocket::open(
       **server_ctx, 7777,
@@ -83,8 +83,13 @@ int main() {
 
   std::printf("\nsending over SCIERA (Magdeburg -> Campo Grande)...\n");
   sent_at = net.sim().now();
-  (void)(*client)->send_to({a::ufms(), 0x0A000001}, 7777,
-                           bytes_of("hello from Magdeburg"));
+  auto receipt = (*client)->send_to({a::ufms(), 0x0A000001}, 7777,
+                                    bytes_of("hello from Magdeburg"));
+  if (receipt.ok()) {
+    std::printf("  queued %zu bytes in %s mode, path %s\n",
+                receipt->bytes_queued, stack_mode_name(receipt->mode),
+                receipt->path_fingerprint.c_str());
+  }
   net.sim().run_for(3 * kSecond);
 
   std::printf("\ndone.\n");

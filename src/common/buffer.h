@@ -23,6 +23,12 @@ using BytesView = std::span<const std::uint8_t>;
 // Serializer appending big-endian fields to an owned buffer.
 class Writer {
  public:
+  Writer() = default;
+  // Adopts `reuse` as the output buffer: contents are discarded but the
+  // allocation is kept, so pooled buffers (dataplane::FramePool) serialize
+  // without a fresh heap allocation. Retrieve it back with take().
+  explicit Writer(Bytes reuse) : buf_(std::move(reuse)) { buf_.clear(); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
     buf_.push_back(static_cast<std::uint8_t>(v >> 8));

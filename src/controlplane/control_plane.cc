@@ -6,9 +6,13 @@
 namespace sciera::controlplane {
 
 ScionNetwork::ScionNetwork(topology::Topology topo, Options options)
-    : topo_(std::move(topo)), options_(options), rng_(options.seed, "network") {
+    : topo_(std::move(topo)),
+      options_(options),
+      sim_(options.scheduler),
+      rng_(options.seed, "network") {
   auto& registry = obs::MetricsRegistry::global();
   metrics_label_ = registry.instance_label("network", "net");
+  sim_.enable_metrics(metrics_label_);
   const obs::Labels base{{"network", metrics_label_}};
   beaconing_runs_ = &registry.counter("sciera_beaconing_runs_total", base);
   const auto segs = [&](const char* type) {

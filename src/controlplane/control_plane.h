@@ -12,6 +12,7 @@
 #include "controlplane/path_server.h"
 #include "dataplane/router.h"
 #include "obs/metrics.h"
+#include "simnet/simulator.h"
 #include "topology/topology.h"
 
 namespace sciera::controlplane {
@@ -25,6 +26,10 @@ class ScionNetwork {
     double link_jitter_sigma = 0.015;
     double link_loss_probability = 0.0;
     Duration trc_validity = 365 * kDay;
+    // Event-scheduler backend for the network's simulator. The calendar
+    // queue is the production default; kBinaryHeap exists for equivalence
+    // testing and as the referee for the ordering contract.
+    simnet::SchedulerConfig scheduler{};
   };
 
   ScionNetwork(topology::Topology topo, Options options);

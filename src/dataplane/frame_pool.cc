@@ -1,0 +1,65 @@
+#include "dataplane/frame_pool.h"
+
+#include "obs/metrics.h"
+
+namespace sciera::dataplane {
+
+FramePool& FramePool::global() {
+  static FramePool pool;
+  return pool;
+}
+
+std::shared_ptr<UnderlayFrame> FramePool::acquire() {
+  ++stats_.acquired;
+  ++stats_.outstanding;
+  UnderlayFrame* frame = nullptr;
+  if (free_list_.empty()) {
+    ++stats_.allocated;
+    frame = new UnderlayFrame;
+  } else {
+    ++stats_.reused;
+    frame = free_list_.back().release();
+    free_list_.pop_back();
+    --stats_.pooled;
+  }
+  // The deleter routes the frame back here instead of freeing it. The
+  // pool is a process-lifetime singleton (or outlives every frame in
+  // tests), so capturing `this` is safe.
+  return std::shared_ptr<UnderlayFrame>(
+      frame, [this](UnderlayFrame* released) { release(released); });
+}
+
+void FramePool::release(UnderlayFrame* frame) {
+  --stats_.outstanding;
+  if (free_list_.size() >= config_.max_pooled) {
+    delete frame;
+    return;
+  }
+  // Scrub the frame for its next life, keeping the buffer's allocation.
+  frame->scion_bytes.clear();
+  frame->src_ip = 0;
+  frame->dst_ip = 0;
+  frame->src_port = kDispatcherPort;
+  frame->dst_port = kDispatcherPort;
+  free_list_.emplace_back(frame);
+  ++stats_.pooled;
+}
+
+void FramePool::trim() {
+  stats_.pooled -= static_cast<std::int64_t>(free_list_.size());
+  free_list_.clear();
+}
+
+void FramePool::publish_metrics() const {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.gauge("sciera_frame_pool_acquired")
+      .set(static_cast<std::int64_t>(stats_.acquired));
+  registry.gauge("sciera_frame_pool_allocated")
+      .set(static_cast<std::int64_t>(stats_.allocated));
+  registry.gauge("sciera_frame_pool_reused")
+      .set(static_cast<std::int64_t>(stats_.reused));
+  registry.gauge("sciera_frame_pool_outstanding").set(stats_.outstanding);
+  registry.gauge("sciera_frame_pool_pooled").set(stats_.pooled);
+}
+
+}  // namespace sciera::dataplane

@@ -1,0 +1,70 @@
+// Recycling arena for underlay frames. Every hop of every packet used to
+// heap-allocate a fresh UnderlayFrame plus its serialized-bytes vector and
+// free both when the last receiver dropped the message; at campaign scale
+// that is the dominant allocation source of the whole simulator. The pool
+// keeps released frames (with their byte buffers' capacity intact) on a
+// free list, so steady-state forwarding runs allocation-free: acquire()
+// pops a warm frame, ScionPacket::serialize_into() reuses its buffer, and
+// the shared_ptr deleter returns it when the delivery completes.
+//
+// Single-threaded by design, like the simulator it feeds. Determinism is
+// unaffected: recycling changes *where* a frame lives, never what the
+// schedule does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dataplane/underlay.h"
+
+namespace sciera::dataplane {
+
+class FramePool {
+ public:
+  struct Config {
+    // Frames kept warm beyond this are freed instead of pooled, bounding
+    // the arena after a burst.
+    std::size_t max_pooled = 4096;
+  };
+
+  struct Stats {  // registry-backed snapshot (mirrored by publish_metrics)
+    std::uint64_t acquired = 0;   // total acquire() calls
+    std::uint64_t allocated = 0;  // acquires that hit the allocator
+    std::uint64_t reused = 0;     // acquires served from the free list
+    std::int64_t outstanding = 0;  // acquired and not yet released
+    std::int64_t pooled = 0;       // currently on the free list
+  };
+
+  explicit FramePool(Config config) : config_(config) {}
+  FramePool() : FramePool(Config{}) {}
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  // The process-wide pool the forwarding plane draws from.
+  static FramePool& global();
+
+  // Returns a zeroed frame whose scion_bytes keeps the capacity of its
+  // previous life. Released back to the pool automatically when the last
+  // shared_ptr owner drops.
+  [[nodiscard]] std::shared_ptr<UnderlayFrame> acquire();
+
+  [[nodiscard]] Stats stats() const { return stats_; }
+  // Drops every pooled frame (tests; bounds memory after huge runs).
+  void trim();
+
+  // Copies the current stats into sciera_frame_pool_* registry gauges.
+  // On-demand rather than live: the process-wide pool outlives registry
+  // resets (tests reset the registry between audited runs), so the pool
+  // keeps its own counters and exporters publish a snapshot when asked.
+  void publish_metrics() const;
+
+ private:
+  void release(UnderlayFrame* frame);
+
+  Config config_;
+  std::vector<std::unique_ptr<UnderlayFrame>> free_list_;
+  Stats stats_;
+};
+
+}  // namespace sciera::dataplane

@@ -176,10 +176,16 @@ std::string Address::to_string() const {
 }
 
 Result<Bytes> ScionPacket::serialize() const {
+  Bytes out;
+  if (auto status = serialize_into(out); !status.ok()) return status.error();
+  return out;
+}
+
+Status ScionPacket::serialize_into(Bytes& out) const {
   if (path_type == PathType::kScion) {
-    if (auto status = path.validate(); !status.ok()) return status.error();
+    if (auto status = path.validate(); !status.ok()) return status;
   }
-  Writer w;
+  Writer w{std::move(out)};
   // Common header (12 bytes): version(4b)|tc(8b)|flowid(20b), next_hdr,
   // hop_limit, path_type, payload_len, reserved.
   std::uint32_t vtf = (static_cast<std::uint32_t>(traffic_class) << 20) |
@@ -197,7 +203,8 @@ Result<Bytes> ScionPacket::serialize() const {
   w.u32(src.host);
   if (path_type == PathType::kScion) path.serialize(w);
   w.raw(payload);
-  return std::move(w).take();
+  out = std::move(w).take();
+  return {};
 }
 
 Result<ScionPacket> ScionPacket::parse(BytesView bytes) {

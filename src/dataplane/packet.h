@@ -111,6 +111,10 @@ struct ScionPacket {
   Bytes payload;
 
   [[nodiscard]] Result<Bytes> serialize() const;
+  // Serializes into `out`, reusing its allocation (contents replaced).
+  // This is the hot-path form: pooled frame buffers round-trip through
+  // here without a per-hop heap allocation.
+  [[nodiscard]] Status serialize_into(Bytes& out) const;
   static Result<ScionPacket> parse(BytesView bytes);
 
   [[nodiscard]] std::size_t wire_size() const;

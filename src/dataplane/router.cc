@@ -1,6 +1,7 @@
 #include "dataplane/router.h"
 
 #include "common/check.h"
+#include "dataplane/frame_pool.h"
 #include "common/log.h"
 #include "common/strings.h"
 #include "obs/flight_recorder.h"
@@ -259,13 +260,11 @@ void BorderRouter::forward(ScionPacket packet, IfaceId egress) {
     send_scmp_error(packet, make_external_iface_down(ia_, egress));
     return;
   }
-  auto serialized = packet.serialize();
-  if (!serialized) {
+  auto frame = FramePool::global().acquire();
+  if (auto status = packet.serialize_into(frame->scion_bytes); !status.ok()) {
     metrics_.drop_malformed->inc();
     return;
   }
-  auto frame = std::make_shared<UnderlayFrame>();
-  frame->scion_bytes = std::move(serialized).value();
   metrics_.forwarded->inc();
   obs::FlightRecorder::global().record(
       obs::TraceType::kPacketHop, sim_.now(), sim_.executed_events(), name(),

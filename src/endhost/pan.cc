@@ -17,10 +17,31 @@ PanContext::PanContext(HostEnvironment env, StackMode mode)
                                        env_.stack_config);
 }
 
+Result<std::unique_ptr<PanContext>> PanContext::Builder::build(Rng rng) {
+  return PanContext::create_validated(std::move(env_), std::move(rng));
+}
+
 Result<std::unique_ptr<PanContext>> PanContext::create(HostEnvironment env,
                                                        Rng rng) {
+  // Deprecated shim: same validation as the Builder so legacy call sites
+  // cannot sneak an invalid environment past it either.
+  return create_validated(std::move(env), std::move(rng));
+}
+
+Result<std::unique_ptr<PanContext>> PanContext::create_validated(
+    HostEnvironment env, Rng rng) {
   if (env.net == nullptr) {
     return Error{Errc::kInvalidArgument, "no network in host environment"};
+  }
+  if (env.net->topology().find_as(env.address.ia) == nullptr) {
+    return Error{Errc::kInvalidArgument,
+                 "host address " + env.address.to_string() +
+                     " names an AS outside the topology"};
+  }
+  if (env.daemon != nullptr && env.daemon->isd_as() != env.address.ia) {
+    return Error{Errc::kInvalidArgument,
+                 "daemon serves " + env.daemon->isd_as().to_string() +
+                     " but host address is in " + env.address.ia.to_string()};
   }
   // Automatic fallback chain (Section 4.2.1).
   StackMode mode;
@@ -71,6 +92,18 @@ void PanContext::report_path_down(const std::string& fingerprint) {
   } else {
     down_until_[fingerprint] = env_.net->sim().now() + 90 * kSecond;
   }
+  // A pinned path must not survive its own down report: otherwise the pin
+  // silently resurrects the dead path as soon as its link flaps back up,
+  // overriding the liveness table the report just updated.
+  for (PanSocket* socket : sockets_) socket->unpin_fingerprint(fingerprint);
+}
+
+void PanContext::register_socket(PanSocket* socket) {
+  sockets_.push_back(socket);
+}
+
+void PanContext::unregister_socket(PanSocket* socket) {
+  std::erase(sockets_, socket);
 }
 
 Result<Duration> PanContext::handle_network_change(Rng& rng) {
@@ -113,10 +146,15 @@ Result<std::unique_ptr<PanSocket>> PanSocket::open(PanContext& ctx,
         handler(packet.src, datagram.src_port, datagram.data, arrival);
       });
   if (!bound) return bound.error();
-  return std::unique_ptr<PanSocket>(new PanSocket(ctx, bound.value()));
+  auto socket = std::unique_ptr<PanSocket>(new PanSocket(ctx, bound.value()));
+  ctx.register_socket(socket.get());
+  return socket;
 }
 
-PanSocket::~PanSocket() { ctx_.stack().unbind(port_); }
+PanSocket::~PanSocket() {
+  ctx_.unregister_socket(this);
+  ctx_.stack().unbind(port_);
+}
 
 Status PanSocket::select_path(IsdAs dst, std::size_t index) {
   const auto options = ctx_.paths(dst, policy_);
@@ -129,10 +167,10 @@ Status PanSocket::select_path(IsdAs dst, std::size_t index) {
   return {};
 }
 
-Result<controlplane::Path> PanSocket::current_path(IsdAs dst) {
+Result<PanSocket::ResolvedPath> PanSocket::resolve_path(IsdAs dst) {
   const auto pin = pinned_.find(dst);
   if (pin != pinned_.end() && ctx_.network().path_usable(pin->second)) {
-    return pin->second;
+    return ResolvedPath{pin->second, false};
   }
   auto options = ctx_.paths(dst, policy_);
   std::erase_if(options, [this](const controlplane::Path& path) {
@@ -141,38 +179,51 @@ Result<controlplane::Path> PanSocket::current_path(IsdAs dst) {
   if (options.empty()) {
     return Error{Errc::kUnreachable, "no usable path to " + dst.to_string()};
   }
-  return options.front();
+  // A substitution only counts as failover when a pin existed and was
+  // skipped; the everyday no-pin case is just path selection.
+  return ResolvedPath{options.front(), pin != pinned_.end()};
 }
 
-Status PanSocket::send_to(const dataplane::Address& dst,
-                          std::uint16_t dst_port, BytesView data) {
-  if (dst.ia == ctx_.local_address().ia) {
-    // Intra-AS: empty path, plain IP underlay.
-    dataplane::ScionPacket packet;
-    packet.path_type = dataplane::PathType::kEmpty;
-    packet.dst = dst;
-    packet.next_hdr = dataplane::kProtoUdp;
-    dataplane::UdpDatagram datagram;
-    datagram.src_port = port_;
-    datagram.dst_port = dst_port;
-    datagram.data = Bytes{data.begin(), data.end()};
-    packet.payload = datagram.serialize();
-    ++sent_;
-    return ctx_.stack().send(std::move(packet));
-  }
-  auto path = current_path(dst.ia);
-  if (!path) return path.error();
+Result<controlplane::Path> PanSocket::current_path(IsdAs dst) {
+  auto resolved = resolve_path(dst);
+  if (!resolved) return resolved.error();
+  return std::move(resolved->path);
+}
+
+void PanSocket::unpin_fingerprint(const std::string& fingerprint) {
+  std::erase_if(pinned_, [&fingerprint](const auto& entry) {
+    return entry.second.fingerprint() == fingerprint;
+  });
+}
+
+Result<SendReceipt> PanSocket::send_to(const dataplane::Address& dst,
+                                       std::uint16_t dst_port, BytesView data) {
+  SendReceipt receipt;
+  receipt.mode = ctx_.mode();
   dataplane::ScionPacket packet;
   packet.dst = dst;
   packet.next_hdr = dataplane::kProtoUdp;
-  packet.path = path->dataplane_path;
+  if (dst.ia == ctx_.local_address().ia) {
+    // Intra-AS: empty path, plain IP underlay.
+    packet.path_type = dataplane::PathType::kEmpty;
+  } else {
+    auto resolved = resolve_path(dst.ia);
+    if (!resolved) return resolved.error();
+    receipt.path_fingerprint = resolved->path.fingerprint();
+    receipt.failover = resolved->failover;
+    packet.path = std::move(resolved->path.dataplane_path);
+  }
   dataplane::UdpDatagram datagram;
   datagram.src_port = port_;
   datagram.dst_port = dst_port;
   datagram.data = Bytes{data.begin(), data.end()};
   packet.payload = datagram.serialize();
+  receipt.bytes_queued = packet.wire_size();
   ++sent_;
-  return ctx_.stack().send(std::move(packet));
+  if (auto status = ctx_.stack().send(std::move(packet)); !status.ok()) {
+    return status.error();
+  }
+  return receipt;
 }
 
 }  // namespace sciera::endhost

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "endhost/bootstrapper.h"
 #include "endhost/daemon.h"
@@ -27,7 +28,11 @@ enum class StackMode {
 
 [[nodiscard]] const char* stack_mode_name(StackMode mode);
 
-// Everything the library can probe on the host it runs on.
+// DEPRECATED: raw environment struct, superseded by PanContext::Builder.
+// Nothing validates the pointers in here, which is how a daemon for the
+// wrong AS once reached the data plane. Construction sites outside the
+// library are flagged by sciera_lint (deprecated-api); the struct remains
+// for one PR as a migration shim.
 struct HostEnvironment {
   controlplane::ScionNetwork* net = nullptr;
   dataplane::Address address;
@@ -39,11 +44,62 @@ struct HostEnvironment {
   HostStack::Config stack_config;
 };
 
+class PanSocket;
+
 class PanContext {
  public:
-  // Resolves the mode and (in standalone mode) performs the in-app
-  // bootstrap. "There is no need to explicitly choose a mode of
-  // operation" — the fallback chain is automatic.
+  // Validated construction: the only supported way to stand up a PAN
+  // stack. Rejects a missing network, an address whose AS is not in the
+  // topology, and a daemon serving a different AS than the address —
+  // failures that the raw HostEnvironment shim let through silently.
+  //
+  //   auto ctx = PanContext::Builder{}
+  //                  .net(network)
+  //                  .address({ia, host})
+  //                  .daemon(daemon)
+  //                  .build(Rng{seed});
+  class Builder {
+   public:
+    Builder& net(controlplane::ScionNetwork& net) {
+      env_.net = &net;
+      return *this;
+    }
+    Builder& address(const dataplane::Address& address) {
+      env_.address = address;
+      return *this;
+    }
+    Builder& daemon(Daemon& daemon) {
+      env_.daemon = &daemon;
+      return *this;
+    }
+    Builder& bootstrapper_state(const BootstrapResult& state) {
+      env_.bootstrapper_state = &state;
+      return *this;
+    }
+    Builder& bootstrap_server(const BootstrapServer& server) {
+      env_.bootstrap_server = &server;
+      return *this;
+    }
+    Builder& network_env(NetworkEnvironment network_env) {
+      env_.network_env = std::move(network_env);
+      return *this;
+    }
+    Builder& os(OsProfile os) {
+      env_.os = os;
+      return *this;
+    }
+    Builder& stack_config(HostStack::Config config) {
+      env_.stack_config = config;
+      return *this;
+    }
+    [[nodiscard]] Result<std::unique_ptr<PanContext>> build(Rng rng);
+
+   private:
+    HostEnvironment env_;
+  };
+
+  // DEPRECATED: unvalidated shim over Builder, kept for one PR so external
+  // call sites can migrate. sciera_lint flags new uses (deprecated-api).
   static Result<std::unique_ptr<PanContext>> create(HostEnvironment env,
                                                     Rng rng);
 
@@ -60,7 +116,9 @@ class PanContext {
   [[nodiscard]] std::vector<controlplane::Path> paths(
       IsdAs dst, const PathPolicy& policy = PathPolicy{});
 
-  // Data-plane failure feedback propagated from sockets.
+  // Data-plane failure feedback propagated from sockets. Also un-pins the
+  // path on every socket of this context that had it selected — a pinned
+  // path must not survive its own down report.
   void report_path_down(const std::string& fingerprint);
 
   // Network-change handling (Section 4.2.1: standalone mode re-bootstraps
@@ -68,7 +126,13 @@ class PanContext {
   Result<Duration> handle_network_change(Rng& rng);
 
  private:
+  friend class PanSocket;
   PanContext(HostEnvironment env, StackMode mode);
+  static Result<std::unique_ptr<PanContext>> create_validated(
+      HostEnvironment env, Rng rng);
+
+  void register_socket(PanSocket* socket);
+  void unregister_socket(PanSocket* socket);
 
   HostEnvironment env_;
   StackMode mode_;
@@ -78,6 +142,20 @@ class PanContext {
   // Standalone/bootstrapper modes keep a private liveness table (no shared
   // daemon cache — the cost called out in Section 4.2.1).
   std::map<std::string, SimTime> down_until_;
+  // Open sockets, so down reports can invalidate their pinned paths.
+  std::vector<PanSocket*> sockets_;
+};
+
+// What a send actually did: which path carried the datagram, which stack
+// mode served it, and whether the library had to substitute a different
+// path for a pinned-but-unusable one. Applications that care about path
+// stability (the gaming case study) read `failover`; everyone else can
+// ignore the receipt.
+struct SendReceipt {
+  std::string path_fingerprint;  // empty for intra-AS (empty-path) sends
+  StackMode mode = StackMode::kStandalone;
+  std::size_t bytes_queued = 0;  // wire size handed to the host stack
+  bool failover = false;         // pinned path was down; substitute used
 };
 
 // A drop-in UDP-style socket (Section 4.2.2): mirrors sendto/recvfrom
@@ -107,13 +185,24 @@ class PanSocket {
   // The path the next send to dst would use.
   [[nodiscard]] Result<controlplane::Path> current_path(IsdAs dst);
 
-  Status send_to(const dataplane::Address& dst, std::uint16_t dst_port,
-                 BytesView data);
+  // Queues `data` toward dst and reports what was done with it (path
+  // fingerprint, stack mode, bytes queued, failover substitution).
+  Result<SendReceipt> send_to(const dataplane::Address& dst,
+                              std::uint16_t dst_port, BytesView data);
 
   [[nodiscard]] std::uint64_t sent() const { return sent_; }
 
  private:
+  friend class PanContext;
   PanSocket(PanContext& ctx, std::uint16_t port);
+
+  struct ResolvedPath {
+    controlplane::Path path;
+    bool failover = false;  // pinned path skipped as unusable
+  };
+  [[nodiscard]] Result<ResolvedPath> resolve_path(IsdAs dst);
+  // Drops any pinned path with this fingerprint (down-report feedback).
+  void unpin_fingerprint(const std::string& fingerprint);
 
   PanContext& ctx_;
   std::uint16_t port_;

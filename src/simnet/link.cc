@@ -9,7 +9,10 @@ namespace sciera::simnet {
 
 void Link::attach(int side, Node* node, IfaceId local_iface) {
   assert(side == 0 || side == 1);
-  ends_[static_cast<std::size_t>(side)] = End{node, local_iface, 0};
+  End& end = ends_[static_cast<std::size_t>(side)];
+  end = End{};
+  end.node = node;
+  end.iface = local_iface;
 }
 
 void Link::set_label(std::string label) { label_ = std::move(label); }
@@ -92,23 +95,38 @@ void Link::send(int from_side, const MessagePtr& message) {
   }
 
   const SimTime deliver_at = tx.tx_free_at + delay;
-  Node* receiver = rx.node;
-  Link* self = this;
-  const IfaceId rx_iface = rx.iface;
-  const std::uint64_t epoch = down_epoch_;
-  sim_.at(deliver_at, [receiver, message, self, rx_iface, deliver_at, epoch] {
+  // Same-tick batching: frames due at the same instant on this direction
+  // ride one scheduler event. The epoch is captured per frame — a down
+  // transition can land between two sends of the same tick.
+  const int to_side = from_side ^ 1;
+  auto [batch, is_new] = rx.batches.try_emplace(deliver_at);
+  batch->second.push_back(Pending{message, down_epoch_});
+  if (is_new) {
+    sim_.at(deliver_at, [this, to_side, deliver_at] {
+      deliver_batch(to_side, deliver_at);
+    });
+  }
+}
+
+void Link::deliver_batch(int to_side, SimTime deliver_at) {
+  End& rx = ends_[static_cast<std::size_t>(to_side)];
+  const auto it = rx.batches.find(deliver_at);
+  if (it == rx.batches.end()) return;
+  std::vector<Pending> items = std::move(it->second);
+  rx.batches.erase(it);
+  for (Pending& item : items) {
     // A down transition after the frame entered the circuit cancels the
     // delivery, even if the link is administratively up again by now.
-    if (!self->up_ || epoch != self->down_epoch_) {
-      self->metrics().dropped_down->inc();
+    if (!up_ || item.epoch != down_epoch_) {
+      metrics().dropped_down->inc();
       obs::FlightRecorder::global().record(
-          obs::TraceType::kPacketDrop, self->sim_.now(),
-          self->sim_.executed_events(), self->display_name(), "cut-in-flight");
-      return;
+          obs::TraceType::kPacketDrop, sim_.now(), sim_.executed_events(),
+          display_name(), "cut-in-flight");
+      continue;
     }
-    self->metrics().delivered->inc();
-    receiver->receive(message, Arrival{self, rx_iface, deliver_at});
-  });
+    metrics().delivered->inc();
+    rx.node->receive(item.message, Arrival{this, rx.iface, deliver_at});
+  }
 }
 
 }  // namespace sciera::simnet

@@ -6,7 +6,9 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "obs/metrics.h"
@@ -68,12 +70,26 @@ class Link {
   }
 
  private:
+  // One frame waiting for its delivery tick, with the down-epoch it was
+  // sent under (dropped on mismatch when the tick fires).
+  struct Pending {
+    MessagePtr message;
+    std::uint64_t epoch = 0;
+  };
+
   struct End {
     Node* node = nullptr;
     IfaceId iface = 0;
     // Time the serializer for this direction becomes free.
     SimTime tx_free_at = 0;
+    // Same-tick delivery batching: frames due at the same instant share
+    // one scheduler event instead of one event each. Keyed by delivery
+    // time; the simulator event for a key fires exactly once.
+    std::map<SimTime, std::vector<Pending>> batches;
   };
+
+  // Fires every frame batched for `deliver_at` toward endpoint `to_side`.
+  void deliver_batch(int to_side, SimTime deliver_at);
 
   // Registry cells, registered lazily on first use so test-created links
   // without a topology label still get a unique instance name.

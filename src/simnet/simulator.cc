@@ -1,10 +1,174 @@
 #include "simnet/simulator.h"
 
+#include <algorithm>
+#include <bit>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace sciera::simnet {
+
+namespace obs_cells {
+// Registry cells for one metrics-enabled simulator (see enable_metrics).
+struct SimulatorGauges {
+  obs::Gauge* pending = nullptr;
+  obs::Gauge* executed = nullptr;
+  obs::Gauge* overflow = nullptr;
+};
+}  // namespace obs_cells
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBinaryHeap: return "binary-heap";
+    case SchedulerKind::kCalendarQueue: return "calendar-queue";
+  }
+  return "?";
+}
+
+Simulator::Simulator(SchedulerConfig config) : config_(config) {
+  if (config_.kind == SchedulerKind::kCalendarQueue) {
+    SCIERA_CHECK(config_.bucket_width > 0 &&
+                     (config_.bucket_width & (config_.bucket_width - 1)) == 0,
+                 "simnet.scheduler_config");
+    SCIERA_CHECK(config_.bucket_count >= 2 &&
+                     (config_.bucket_count & (config_.bucket_count - 1)) == 0,
+                 "simnet.scheduler_config");
+    width_shift_ =
+        std::countr_zero(static_cast<std::uint64_t>(config_.bucket_width));
+    buckets_.resize(config_.bucket_count);
+    near_end_ = wheel_start_ + config_.bucket_width;
+    horizon_end_ = wheel_start_ +
+                   config_.bucket_width *
+                       static_cast<Duration>(config_.bucket_count);
+  }
+}
+
+Simulator::~Simulator() { delete gauges_; }
+
+void Simulator::enable_metrics(const std::string& label) {
+  if (gauges_ != nullptr) return;
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels base{{"sim", registry.instance_label("sim", label)},
+                         {"scheduler", scheduler_kind_name(config_.kind)}};
+  gauges_ = new obs_cells::SimulatorGauges{
+      &registry.gauge("sciera_sim_pending_events", base),
+      &registry.gauge("sciera_sim_executed_events", base),
+      &registry.gauge("sciera_sim_overflow_events", base)};
+  update_gauges();
+}
+
+void Simulator::update_gauges() {
+  if (gauges_ == nullptr) return;
+  gauges_->pending->set(static_cast<std::int64_t>(size_));
+  gauges_->executed->set(static_cast<std::int64_t>(executed_));
+  gauges_->overflow->set(static_cast<std::int64_t>(far_.size()));
+}
+
+std::size_t Simulator::bucket_index(SimTime when) const {
+  const auto offset =
+      static_cast<std::uint64_t>(when - wheel_start_) >> width_shift_;
+  return (cursor_ + offset) & (config_.bucket_count - 1);
+}
+
+void Simulator::push(Event event) {
+  ++size_;
+  if (config_.kind == SchedulerKind::kBinaryHeap) {
+    heap_.push(std::move(event));
+    return;
+  }
+  // The cursor bucket (and anything the wheel already rotated past, which
+  // can only be times >= now_ after a deadline jump) goes straight into
+  // the near heap; in-horizon times into their bucket; the rest overflows.
+  if (event.when < near_end_) {
+    near_.push_back(std::move(event));
+    std::push_heap(near_.begin(), near_.end(), Later{});
+  } else if (event.when < horizon_end_) {
+    buckets_[bucket_index(event.when)].push_back(std::move(event));
+    ++buckets_occupied_;
+  } else {
+    far_.push(std::move(event));
+  }
+}
+
+void Simulator::advance_cursor() {
+  cursor_ = (cursor_ + 1) & (config_.bucket_count - 1);
+  wheel_start_ += config_.bucket_width;
+  near_end_ += config_.bucket_width;
+  horizon_end_ += config_.bucket_width;
+  auto& slot = buckets_[cursor_];
+  if (!slot.empty()) {
+    buckets_occupied_ -= slot.size();
+    if (near_.empty()) {
+      // The common case (prepare_next only rotates once near_ drains):
+      // adopt the whole slot by swap and heapify in O(n). The vectors'
+      // capacities circulate between the slot and the near heap, so the
+      // steady state allocates nothing.
+      std::swap(near_, slot);
+      std::make_heap(near_.begin(), near_.end(), Later{});
+    } else {
+      for (auto& event : slot) {
+        near_.push_back(std::move(event));
+        std::push_heap(near_.begin(), near_.end(), Later{});
+      }
+      slot.clear();
+    }
+  }
+  // The rotation uncovered one bucket of new horizon; migrate overflow
+  // events that now fit into the wheel.
+  while (!far_.empty() && far_.top().when < horizon_end_) {
+    Event event = std::move(const_cast<Event&>(far_.top()));
+    far_.pop();
+    if (event.when < near_end_) {
+      near_.push_back(std::move(event));
+      std::push_heap(near_.begin(), near_.end(), Later{});
+    } else {
+      buckets_[bucket_index(event.when)].push_back(std::move(event));
+      ++buckets_occupied_;
+    }
+  }
+}
+
+void Simulator::jump_to_far() {
+  // Nothing lives in the wheel: rather than rotating bucket by bucket
+  // through empty time (a 20-day campaign at 10-minute probe intervals
+  // would touch billions of empty slots), teleport the wheel to the
+  // earliest overflow event.
+  SCIERA_DCHECK(!far_.empty(), "simnet.scheduler_jump_empty");
+  const SimTime t = far_.top().when;
+  wheel_start_ = t & ~(config_.bucket_width - 1);
+  near_end_ = wheel_start_ + config_.bucket_width;
+  horizon_end_ = wheel_start_ +
+                 config_.bucket_width *
+                     static_cast<Duration>(config_.bucket_count);
+  while (!far_.empty() && far_.top().when < horizon_end_) {
+    Event event = std::move(const_cast<Event&>(far_.top()));
+    far_.pop();
+    if (event.when < near_end_) {
+      near_.push_back(std::move(event));
+      std::push_heap(near_.begin(), near_.end(), Later{});
+    } else {
+      buckets_[bucket_index(event.when)].push_back(std::move(event));
+      ++buckets_occupied_;
+    }
+  }
+}
+
+bool Simulator::prepare_next() {
+  if (config_.kind == SchedulerKind::kBinaryHeap) return !heap_.empty();
+  if (size_ == 0) return false;
+  while (near_.empty()) {
+    if (buckets_occupied_ == 0) jump_to_far();
+    if (near_.empty()) advance_cursor();
+  }
+  return true;
+}
+
+SimTime Simulator::peek_next_time() {
+  return config_.kind == SchedulerKind::kBinaryHeap ? heap_.top().when
+                                                    : near_.front().when;
+}
 
 void Simulator::at(SimTime when, Action action) {
   SCIERA_DCHECK(when >= now_, "simnet.schedule_in_past");
@@ -14,7 +178,7 @@ void Simulator::at(SimTime when, Action action) {
     count_violation("simnet.schedule_in_past");
     when = now_;
   }
-  queue_.push(Event{when, next_seq_++, std::move(action)});
+  push(Event{when, next_seq_++, std::move(action)});
 }
 
 void Simulator::after(Duration delay, Action action) {
@@ -22,13 +186,22 @@ void Simulator::after(Duration delay, Action action) {
 }
 
 Simulator::Event Simulator::take_next() {
-  // priority_queue::top() is const; copying the function is cheap enough
-  // and keeps this strictly well-defined.
-  Event ev = queue_.top();
-  queue_.pop();
+  Event ev;
+  if (config_.kind == SchedulerKind::kBinaryHeap) {
+    // priority_queue::top() is const; moving through const_cast is fine
+    // here because pop() discards the moved-from element immediately.
+    ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+  } else {
+    std::pop_heap(near_.begin(), near_.end(), Later{});
+    ev = std::move(near_.back());
+    near_.pop_back();
+  }
+  --size_;
   // Load-bearing invariant: simulated time never moves backwards. A
-  // violation here means the heap ordering or an event's timestamp was
-  // corrupted, which would silently reorder every downstream experiment.
+  // violation here means the scheduler ordering or an event's timestamp
+  // was corrupted, which would silently reorder every downstream
+  // experiment.
   SCIERA_CHECK(ev.when >= now_, "simnet.time_monotonic");
   now_ = ev.when;
   ++executed_;
@@ -39,18 +212,20 @@ Simulator::Event Simulator::take_next() {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  while (prepare_next() && peek_next_time() <= deadline) {
     Event ev = take_next();
     ev.action();
   }
   if (now_ < deadline) now_ = deadline;
+  update_gauges();
 }
 
 void Simulator::run_all() {
-  while (!queue_.empty()) {
+  while (prepare_next()) {
     Event ev = take_next();
     ev.action();
   }
+  update_gauges();
 }
 
 }  // namespace sciera::simnet

@@ -2,6 +2,24 @@
 // the physical SCIERA network: links with real propagation delays and
 // failure schedules, and deterministic event ordering so every experiment
 // replays exactly from its seed.
+//
+// Two interchangeable scheduler backends implement the same ordering
+// contract — events fire in strict (time, insertion-sequence) order:
+//
+//   kBinaryHeap     the classic std::priority_queue, O(log n) per op.
+//                   Kept as the reference implementation and baseline for
+//                   the sciera_bench perf trajectory.
+//   kCalendarQueue  a calendar queue / timer wheel: near-future events
+//                   land in fixed-width time buckets (O(1) amortized
+//                   schedule/pop), far-future events wait in an overflow
+//                   heap and migrate into the wheel as it rotates. This is
+//                   the default: campaign-scale workloads schedule
+//                   millions of near-future events where heap comparisons
+//                   dominate.
+//
+// The equivalence is audited, not assumed: the same seeded scenario must
+// produce an identical ScheduleDigest under both backends
+// (tests/simcore_test.cc, tools/sciera_bench).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +30,10 @@
 #include "common/time.h"
 
 namespace sciera::simnet {
+
+namespace obs_cells {
+struct SimulatorGauges;
+}  // namespace obs_cells
 
 // Order-sensitive digest of everything a simulator has executed: every
 // (time, sequence-number) pair is folded into an FNV-1a style hash as the
@@ -33,11 +55,35 @@ struct ScheduleDigest {
       default;
 };
 
+enum class SchedulerKind : std::uint8_t { kBinaryHeap, kCalendarQueue };
+
+[[nodiscard]] const char* scheduler_kind_name(SchedulerKind kind);
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kCalendarQueue;
+  // Calendar-queue geometry. The wheel covers bucket_width * bucket_count
+  // of simulated time ahead of the cursor; anything beyond waits in the
+  // overflow heap. Defaults suit the SCIERA hot path (link serialization
+  // in microseconds, propagation in low milliseconds): ~65.5us x 2048
+  // buckets = a ~134ms horizon. Both values must be powers of two — the
+  // per-push bucket mapping then compiles to shift+mask instead of a
+  // 64-bit division.
+  Duration bucket_width = Duration{1} << 16;  // 65.536us in ns units
+  std::size_t bucket_count = 2048;
+};
+
 class Simulator {
  public:
   using Action = std::function<void()>;
 
+  Simulator() : Simulator(SchedulerConfig{}) {}
+  explicit Simulator(SchedulerConfig config);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SchedulerKind scheduler_kind() const { return config_.kind; }
 
   // Schedules an action at an absolute time (>= now).
   void at(SimTime when, Action action);
@@ -50,7 +96,7 @@ class Simulator {
   // Runs until the queue drains completely.
   void run_all();
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return size_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   // Digest of the executed event schedule so far (see ScheduleDigest).
@@ -58,6 +104,12 @@ class Simulator {
     return digest_;
   }
   [[nodiscard]] std::uint64_t schedule_hash() const { return digest_.hash; }
+
+  // Publishes pending/executed/overflow depths as obs gauges under the
+  // given instance label. Off by default: unit tests create thousands of
+  // short-lived simulators and must not flood the registry. ScionNetwork
+  // enables this for its simulator.
+  void enable_metrics(const std::string& label);
 
  private:
   struct Event {
@@ -71,15 +123,49 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  using EventHeap = std::priority_queue<Event, std::vector<Event>, Later>;
 
+  void push(Event event);
+  // True when at least one event is pending; positions the calendar cursor
+  // so that peek_/pop_ see the earliest event.
+  [[nodiscard]] bool prepare_next();
+  [[nodiscard]] SimTime peek_next_time();
   // Pops the next event, folds it into the digest, and advances time.
   Event take_next();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Calendar-queue internals (config_.kind == kCalendarQueue).
+  [[nodiscard]] std::size_t bucket_index(SimTime when) const;
+  void advance_cursor();
+  void jump_to_far();
+  void update_gauges();
+
+  SchedulerConfig config_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t size_ = 0;
   ScheduleDigest digest_;
+
+  // kBinaryHeap backend.
+  EventHeap heap_;
+
+  // kCalendarQueue backend: `near_` holds the cursor bucket's events as a
+  // manual (when, seq) min-heap (std::push_heap/pop_heap over a plain
+  // vector, so a whole drained bucket can be adopted via swap + O(n)
+  // make_heap and bucket capacities recycle instead of reallocating);
+  // `buckets_` hold unordered events within the wheel horizon; `far_`
+  // holds everything past the horizon.
+  std::vector<Event> near_;
+  std::vector<std::vector<Event>> buckets_;
+  std::size_t buckets_occupied_ = 0;  // events currently in buckets_
+  EventHeap far_;
+  std::size_t cursor_ = 0;
+  int width_shift_ = 0;        // log2(bucket_width); widths are powers of two
+  SimTime wheel_start_ = 0;    // start time of the cursor bucket
+  SimTime near_end_ = 0;       // wheel_start_ + bucket_width
+  SimTime horizon_end_ = 0;    // wheel_start_ + width * count
+
+  obs_cells::SimulatorGauges* gauges_ = nullptr;  // owned, null when disabled
 };
 
 }  // namespace sciera::simnet

@@ -1,0 +1,81 @@
+#include "workload/workload.h"
+
+namespace sciera::workload {
+
+namespace {
+constexpr std::uint16_t kWorkloadPort = 40000;
+}  // namespace
+
+TrafficMatrix::TrafficMatrix(controlplane::ScionNetwork& net,
+                             WorkloadConfig config)
+    : net_(net), config_(config), rng_(config.seed, "workload") {}
+
+TrafficMatrix::~TrafficMatrix() = default;
+
+Status TrafficMatrix::launch() {
+  const auto& ases = net_.topology().ases();
+  if (ases.empty()) {
+    return Error{Errc::kInvalidArgument, "workload needs a topology with ASes"};
+  }
+  if (config_.hosts < 2) {
+    return Error{Errc::kInvalidArgument, "workload needs at least two hosts"};
+  }
+  payload_.assign(config_.payload_bytes, 0xA5);
+
+  hosts_.reserve(config_.hosts);
+  for (std::size_t i = 0; i < config_.hosts; ++i) {
+    Host host;
+    host.address = {ases[i % ases.size()].ia,
+                    static_cast<std::uint32_t>(0x0B000000 + i)};
+    host.daemon = std::make_unique<endhost::Daemon>(net_, host.address.ia);
+    auto ctx = endhost::PanContext::Builder{}
+                   .net(net_)
+                   .address(host.address)
+                   .daemon(*host.daemon)
+                   .build(rng_.fork("host-" + std::to_string(i)));
+    if (!ctx) return ctx.error();
+    host.ctx = std::move(ctx).value();
+    auto socket = endhost::PanSocket::open(
+        *host.ctx, kWorkloadPort,
+        [this](const dataplane::Address&, std::uint16_t, const Bytes&,
+               SimTime) { ++report_.packets_delivered; });
+    if (!socket) return socket.error();
+    host.socket = std::move(socket).value();
+    hosts_.push_back(std::move(host));
+  }
+
+  flows_.reserve(config_.flows);
+  for (std::size_t i = 0; i < config_.flows; ++i) {
+    Flow flow;
+    flow.src = rng_.next_below(hosts_.size());
+    flow.dst = rng_.next_below(hosts_.size() - 1);
+    if (flow.dst >= flow.src) ++flow.dst;  // never self-talk
+    flows_.push_back(flow);
+  }
+  for (const Flow& flow : flows_) schedule_flow(flow);
+  return {};
+}
+
+void TrafficMatrix::schedule_flow(const Flow& flow) {
+  auto& sim = net_.sim();
+  endhost::PanSocket* socket = hosts_[flow.src].socket.get();
+  const dataplane::Address to = hosts_[flow.dst].address;
+  SimTime t = sim.now() +
+              static_cast<Duration>(rng_.uniform(
+                  0.0, static_cast<double>(config_.start_window)));
+  for (std::size_t k = 0; k < config_.packets_per_flow; ++k) {
+    t += 1 + static_cast<Duration>(rng_.exponential(
+                 static_cast<double>(config_.mean_interval)));
+    sim.at(t, [this, socket, to] {
+      auto receipt = socket->send_to(to, kWorkloadPort, payload_);
+      if (!receipt.ok()) {
+        ++report_.send_failures;
+        return;
+      }
+      ++report_.packets_sent;
+      if (receipt->failover) ++report_.failover_sends;
+    });
+  }
+}
+
+}  // namespace sciera::workload

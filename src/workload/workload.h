@@ -1,0 +1,78 @@
+// Synthetic many-flow workload generator: attaches a fleet of PAN hosts
+// across the topology and schedules a randomized traffic matrix on the
+// network's simulator. This is the macro load the sciera_bench harness
+// drives through both scheduler backends — it has to be deterministic for
+// a given seed so the heap-vs-calendar digest comparison is meaningful,
+// which is why every random draw comes from one forked Rng stream and no
+// container iteration order leaks into the schedule.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "controlplane/control_plane.h"
+#include "endhost/pan.h"
+
+namespace sciera::workload {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 0x10AD;
+  // Hosts are spread round-robin over the topology's ASes.
+  std::size_t hosts = 16;
+  // Flows pick (src, dst) host pairs; dst is always a different host.
+  std::size_t flows = 64;
+  std::size_t packets_per_flow = 20;
+  std::size_t payload_bytes = 256;
+  // Exponential inter-packet spacing within a flow.
+  Duration mean_interval = 5 * kMillisecond;
+  // Flow starts are spread uniformly over this window.
+  Duration start_window = 50 * kMillisecond;
+};
+
+struct WorkloadReport {  // registry-backed snapshot
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t send_failures = 0;
+  std::uint64_t failover_sends = 0;  // receipts flagged failover
+};
+
+// Builds the host fleet and schedules the whole traffic matrix up front;
+// the caller then drives net.sim() (run_for/run_all) and reads report().
+class TrafficMatrix {
+ public:
+  TrafficMatrix(controlplane::ScionNetwork& net, WorkloadConfig config);
+  ~TrafficMatrix();
+  TrafficMatrix(const TrafficMatrix&) = delete;
+  TrafficMatrix& operator=(const TrafficMatrix&) = delete;
+
+  // Attaches hosts (PAN contexts + sockets) and schedules every flow's
+  // sends on the network's simulator.
+  [[nodiscard]] Status launch();
+
+  [[nodiscard]] const WorkloadReport& report() const { return report_; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+ private:
+  struct Host {
+    dataplane::Address address;
+    std::unique_ptr<endhost::Daemon> daemon;
+    std::unique_ptr<endhost::PanContext> ctx;
+    std::unique_ptr<endhost::PanSocket> socket;
+  };
+  struct Flow {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+  };
+
+  void schedule_flow(const Flow& flow);
+
+  controlplane::ScionNetwork& net_;
+  WorkloadConfig config_;
+  Rng rng_;
+  std::vector<Host> hosts_;
+  std::vector<Flow> flows_;
+  Bytes payload_;
+  WorkloadReport report_;
+};
+
+}  // namespace sciera::workload

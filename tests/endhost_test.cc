@@ -5,6 +5,8 @@
 // and LightningFilter authentication.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "endhost/bootstrapper.h"
 #include "endhost/hercules.h"
 #include "endhost/hints.h"
@@ -162,11 +164,11 @@ TEST(Bootstrap, FailsWhenNoMechanismAvailable) {
 TEST(Pan, DaemonModeSelectedWhenDaemonPresent) {
   auto& net = shared_net();
   Daemon daemon{net, a::uva()};
-  HostEnvironment env;
-  env.net = &net;
-  env.address = {a::uva(), 0x0A010101};
-  env.daemon = &daemon;
-  auto ctx = PanContext::create(env, Rng{1});
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A010101})
+                 .daemon(daemon)
+                 .build(Rng{1});
   ASSERT_TRUE(ctx.ok());
   EXPECT_EQ((*ctx)->mode(), StackMode::kDaemonDependent);
   EXPECT_EQ((*ctx)->bootstrap_time(), 0);
@@ -180,11 +182,11 @@ TEST(Pan, BootstrapperModeWhenStatePresent) {
   Rng rng{6};
   auto boot = bootstrapper.run(*server, rng, net.sim().now());
   ASSERT_TRUE(boot.ok());
-  HostEnvironment env;
-  env.net = &net;
-  env.address = {a::uva(), 0x0A010102};
-  env.bootstrapper_state = &boot.value();
-  auto ctx = PanContext::create(env, Rng{2});
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A010102})
+                 .bootstrapper_state(boot.value())
+                 .build(Rng{2});
   ASSERT_TRUE(ctx.ok());
   EXPECT_EQ((*ctx)->mode(), StackMode::kBootstrapperDependent);
 }
@@ -192,11 +194,11 @@ TEST(Pan, BootstrapperModeWhenStatePresent) {
 TEST(Pan, StandaloneModeBootstrapsItself) {
   auto& net = shared_net();
   const auto server = make_server(net, a::uva());
-  HostEnvironment env;
-  env.net = &net;
-  env.address = {a::uva(), 0x0A010103};
-  env.bootstrap_server = server.get();
-  auto ctx = PanContext::create(env, Rng{3});
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A010103})
+                 .bootstrap_server(*server)
+                 .build(Rng{3});
   ASSERT_TRUE(ctx.ok()) << ctx.error().to_string();
   EXPECT_EQ((*ctx)->mode(), StackMode::kStandalone);
   EXPECT_GT((*ctx)->bootstrap_time(), 0);
@@ -209,10 +211,50 @@ TEST(Pan, StandaloneModeBootstrapsItself) {
 
 TEST(Pan, StandaloneWithoutServerFails) {
   auto& net = shared_net();
-  HostEnvironment env;
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A010104})
+                 .build(Rng{4});
+  EXPECT_FALSE(ctx.ok());
+}
+
+TEST(Pan, BuilderRejectsMissingNetwork) {
+  auto ctx = PanContext::Builder{}.address({a::uva(), 1}).build(Rng{5});
+  ASSERT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.error().code, Errc::kInvalidArgument);
+}
+
+TEST(Pan, BuilderRejectsAddressOutsideTopology) {
+  auto& net = shared_net();
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({IsdAs{99, As{0xDEAD}}, 1})
+                 .build(Rng{5});
+  ASSERT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.error().code, Errc::kInvalidArgument);
+}
+
+TEST(Pan, BuilderRejectsDaemonForOtherAs) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::ovgu()};
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A010105})
+                 .daemon(daemon)
+                 .build(Rng{6});
+  ASSERT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.error().code, Errc::kInvalidArgument);
+}
+
+// The deprecated shim applies the same validation as the Builder.
+TEST(Pan, DeprecatedCreateShimStillValidates) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::ovgu()};
+  HostEnvironment env;  // NOLINT(sciera-deprecated-api) migration shim test
   env.net = &net;
-  env.address = {a::uva(), 0x0A010104};
-  auto ctx = PanContext::create(env, Rng{4});
+  env.address = {a::uva(), 0x0A010106};
+  env.daemon = &daemon;
+  auto ctx = PanContext::create(env, Rng{7});
   EXPECT_FALSE(ctx.ok());
 }
 
@@ -222,16 +264,16 @@ TEST(Pan, SocketSendsAndReceivesAcrossAtlantic) {
   auto& net = shared_net();
   Daemon d_uva{net, a::uva()};
   Daemon d_ovgu{net, a::ovgu()};
-  HostEnvironment env_a;
-  env_a.net = &net;
-  env_a.address = {a::uva(), 0x0A020201};
-  env_a.daemon = &d_uva;
-  HostEnvironment env_b;
-  env_b.net = &net;
-  env_b.address = {a::ovgu(), 0x0A020202};
-  env_b.daemon = &d_ovgu;
-  auto ctx_a = PanContext::create(env_a, Rng{10});
-  auto ctx_b = PanContext::create(env_b, Rng{11});
+  auto ctx_a = PanContext::Builder{}
+                   .net(net)
+                   .address({a::uva(), 0x0A020201})
+                   .daemon(d_uva)
+                   .build(Rng{10});
+  auto ctx_b = PanContext::Builder{}
+                   .net(net)
+                   .address({a::ovgu(), 0x0A020202})
+                   .daemon(d_ovgu)
+                   .build(Rng{11});
   ASSERT_TRUE(ctx_a.ok());
   ASSERT_TRUE(ctx_b.ok());
 
@@ -277,11 +319,11 @@ TEST(Pan, SocketSendsAndReceivesAcrossAtlantic) {
 TEST(Pan, InteractivePathSelectionPins) {
   auto& net = shared_net();
   Daemon daemon{net, a::kisti_dj()};
-  HostEnvironment env;
-  env.net = &net;
-  env.address = {a::kisti_dj(), 0x0A030301};
-  env.daemon = &daemon;
-  auto ctx = PanContext::create(env, Rng{12});
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::kisti_dj(), 0x0A030301})
+                 .daemon(daemon)
+                 .build(Rng{12});
   ASSERT_TRUE(ctx.ok());
   auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
   ASSERT_TRUE(sock.ok());
@@ -296,6 +338,109 @@ TEST(Pan, InteractivePathSelectionPins) {
   auto after = (*sock)->current_path(a::kisti_sg());
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->fingerprint(), options[0].fingerprint());
+}
+
+// Regression: a path pinned via select_path survived its own down report —
+// pinned_ was never invalidated, so the moment the link flapped back up the
+// socket silently returned to the reported-down path, overriding the
+// quarantine the report had just installed.
+TEST(Pan, DownReportUnpinsSelectedPath) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::kisti_dj()};
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::kisti_dj(), 0x0A030302})
+                 .daemon(daemon)
+                 .build(Rng{13});
+  ASSERT_TRUE(ctx.ok());
+  auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
+  ASSERT_TRUE(sock.ok());
+  const auto options = (*ctx)->paths(a::kisti_sg());
+  ASSERT_GE(options.size(), 2u);
+  ASSERT_TRUE((*sock)->select_path(a::kisti_sg(), 1).ok());
+  const std::string pinned_fp = options[1].fingerprint();
+
+  (*ctx)->report_path_down(pinned_fp);
+  // The pin is gone: even after the quarantine penalty expires (when the
+  // path is offered again), the socket does not snap back to it.
+  net.sim().run_for(Daemon::Config{}.down_path_penalty);
+  auto current = (*sock)->current_path(a::kisti_sg());
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->fingerprint(), options[0].fingerprint());
+}
+
+// --- Send receipts ----------------------------------------------------------------
+
+TEST(Pan, SendReceiptReportsPathAndBytes) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::uva()};
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A040401})
+                 .daemon(daemon)
+                 .build(Rng{14});
+  ASSERT_TRUE(ctx.ok());
+  auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
+  ASSERT_TRUE(sock.ok());
+
+  auto receipt = (*sock)->send_to({a::ovgu(), 0x0A040402}, 9999,
+                                  bytes_of("receipt me"));
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->mode, StackMode::kDaemonDependent);
+  EXPECT_FALSE(receipt->failover);
+  EXPECT_GT(receipt->bytes_queued, 10u);  // headers + payload
+  auto current = (*sock)->current_path(a::ovgu());
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(receipt->path_fingerprint, current->fingerprint());
+
+  // Intra-AS sends take the empty path: no fingerprint.
+  auto local = (*sock)->send_to({a::uva(), 0x0A040403}, 9999, bytes_of("hi"));
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(local->path_fingerprint.empty());
+  net.sim().run_all();
+}
+
+TEST(Pan, SendReceiptFlagsFailoverOffPinnedPath) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::kisti_dj()};
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::kisti_dj(), 0x0A040404})
+                 .daemon(daemon)
+                 .build(Rng{15});
+  ASSERT_TRUE(ctx.ok());
+  auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
+  ASSERT_TRUE(sock.ok());
+  const auto options = (*ctx)->paths(a::kisti_sg());
+  ASSERT_GE(options.size(), 2u);
+  ASSERT_TRUE((*sock)->select_path(a::kisti_sg(), 0).ok());
+
+  // Pinned path up: receipt carries its fingerprint, no failover.
+  const dataplane::Address peer{a::kisti_sg(), 0x0A040405};
+  auto pinned_send = (*sock)->send_to(peer, 7000, bytes_of("a"));
+  ASSERT_TRUE(pinned_send.ok());
+  EXPECT_EQ(pinned_send->path_fingerprint, options[0].fingerprint());
+  EXPECT_FALSE(pinned_send->failover);
+
+  // Cut a link unique to the pinned path (so an alternative stays usable):
+  // the next send substitutes and says so.
+  topology::LinkId unique_link = options[0].links.front();
+  for (const auto& link_id : options[0].links) {
+    if (std::find(options[1].links.begin(), options[1].links.end(), link_id) ==
+        options[1].links.end()) {
+      unique_link = link_id;
+      break;
+    }
+  }
+  simnet::Link* cut = net.link(unique_link);
+  ASSERT_NE(cut, nullptr);
+  cut->set_up(false);
+  auto failover_send = (*sock)->send_to(peer, 7000, bytes_of("b"));
+  ASSERT_TRUE(failover_send.ok());
+  EXPECT_TRUE(failover_send->failover);
+  EXPECT_NE(failover_send->path_fingerprint, options[0].fingerprint());
+  cut->set_up(true);
+  net.sim().run_all();
 }
 
 // --- Daemon cache and path liveness ------------------------------------------
@@ -345,11 +490,11 @@ TEST(Daemon, QuarantineMapIsPrunedAndBounded) {
 TEST(Pan, ScmpFailoverQuarantinesPathAndRecovers) {
   auto& net = shared_net();
   Daemon daemon{net, a::uva()};
-  HostEnvironment env;
-  env.net = &net;
-  env.address = {a::uva(), 0x0A020210};
-  env.daemon = &daemon;
-  auto ctx = PanContext::create(env, Rng{20});
+  auto ctx = PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A020210})
+                 .daemon(daemon)
+                 .build(Rng{20});
   ASSERT_TRUE(ctx.ok());
   auto sock = PanSocket::open(**ctx, 0, [](auto&&...) {});
   ASSERT_TRUE(sock.ok());

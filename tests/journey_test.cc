@@ -36,23 +36,25 @@ TEST_F(Journey, FullStackStory) {
   EXPECT_TRUE(orchestrator.dashboard().all_healthy());
 
   // --- Act 2: a student laptop joins with nothing installed (4.1/4.2). ------
-  endhost::HostEnvironment laptop_env;
-  laptop_env.net = &network;
-  laptop_env.address = {a::ufms(), 0x0A0000C8};
-  laptop_env.bootstrap_server = orchestrator.bootstrap_server();
-  laptop_env.network_env.mdns_responder_present = true;
-  auto laptop = endhost::PanContext::create(laptop_env, Rng{42});
+  endhost::NetworkEnvironment laptop_net_env;
+  laptop_net_env.mdns_responder_present = true;
+  auto laptop = endhost::PanContext::Builder{}
+                    .net(network)
+                    .address({a::ufms(), 0x0A0000C8})
+                    .bootstrap_server(*orchestrator.bootstrap_server())
+                    .network_env(laptop_net_env)
+                    .build(Rng{42});
   ASSERT_TRUE(laptop.ok());
   EXPECT_EQ((*laptop)->mode(), endhost::StackMode::kStandalone);
   EXPECT_LT(to_ms((*laptop)->bootstrap_time()), 1000.0);
 
   // --- Act 3: native connectivity to a peer on another continent. -----------
   endhost::Daemon ovgu_daemon{network, a::ovgu()};
-  endhost::HostEnvironment peer_env;
-  peer_env.net = &network;
-  peer_env.address = {a::ovgu(), 0x0A0000C9};
-  peer_env.daemon = &ovgu_daemon;
-  auto peer = endhost::PanContext::create(peer_env, Rng{43});
+  auto peer = endhost::PanContext::Builder{}
+                  .net(network)
+                  .address({a::ovgu(), 0x0A0000C9})
+                  .daemon(ovgu_daemon)
+                  .build(Rng{43});
   ASSERT_TRUE(peer.ok());
 
   int peer_received = 0;

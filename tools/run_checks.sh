@@ -31,4 +31,12 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== ctest (tier-1 suite under sanitizers, incl. lint + determinism) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# Throughput numbers from a sanitized build are meaningless, but the bench
+# still validates the load-bearing contracts: heap and calendar backends
+# must execute identical schedules (digest parity) and the frame pool must
+# balance its books. Exits non-zero on any mismatch.
+echo "== sciera_bench --quick (scheduler digest parity under sanitizers) =="
+"$BUILD_DIR/tools/sciera_bench" --quick \
+  --out "$BUILD_DIR/BENCH_simcore_quick.json"
+
 echo "== run_checks: all clean =="

@@ -17,10 +17,15 @@
 //                      (IWYU-style: proves each header is self-contained)
 //   adhoc-stats        no ad-hoc `struct Stats` under src/ outside
 //                      src/obs/: components report through the metrics
-//                      registry. A legacy-shaped snapshot struct whose
-//                      values are read back from the registry is allowed
-//                      when marked `// registry-backed snapshot` on the
-//                      declaring line
+//                      registry. A snapshot struct whose values are read
+//                      back from the registry, or mirrored into it by a
+//                      publish method, is allowed when marked
+//                      `// registry-backed snapshot` on the declaring line
+//   deprecated-api     no `HostEnvironment` outside src/endhost/pan.{h,cc}:
+//                      the raw struct is a one-PR migration shim — build
+//                      contexts with endhost::PanContext::Builder. Suppress
+//                      intentional uses (e.g. the shim's own regression
+//                      test) with `// NOLINT(sciera-deprecated-api)`
 //
 // Comments and string/char literals are stripped before matching, so
 // documentation may mention banned names freely.
@@ -215,6 +220,8 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
   const bool is_rng = rel_str == "src/common/rng.cc";
   const bool is_buffer_code = rel_str == "src/common/buffer.cc" ||
                               rel_str == "src/common/buffer.h";
+  const bool is_pan_library = rel_str == "src/endhost/pan.h" ||
+                              rel_str == "src/endhost/pan.cc";
 
   for (const auto& line : lines) {
     for (const auto banned : kBannedCalls) {
@@ -262,6 +269,17 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
         line.text.find("using namespace") != std::string::npos) {
       report.add(rel, line.number, "using-namespace",
                  "'using namespace' in a header leaks into every includer");
+    }
+    // HostEnvironment is deprecated in favor of the validated
+    // PanContext::Builder; only the PAN library itself (which implements
+    // the shim) may name it. NOLINT is checked on the raw line because
+    // the marker lives in a comment.
+    if (!is_pan_library && contains_word(line.text, "HostEnvironment") &&
+        line.raw.find("NOLINT(sciera-deprecated-api)") == std::string::npos) {
+      report.add(rel, line.number, "deprecated-api",
+                 "HostEnvironment is deprecated — build contexts with "
+                 "endhost::PanContext::Builder (suppress with "
+                 "'// NOLINT(sciera-deprecated-api)')");
     }
     // Ad-hoc per-component stats structs fragment observability: metrics
     // belong in the obs registry. The marker comment (checked on the raw

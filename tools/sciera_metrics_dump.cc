@@ -32,19 +32,19 @@ void run_failover_scenario() {
   controlplane::ScionNetwork network{topology::build_sciera()};
 
   endhost::Daemon src_daemon{network, a::uva()};
-  endhost::HostEnvironment src_env;
-  src_env.net = &network;
-  src_env.address = {a::uva(), 0x0A0000C8};
-  src_env.daemon = &src_daemon;
-  auto src_ctx = endhost::PanContext::create(src_env, Rng{42});
+  auto src_ctx = endhost::PanContext::Builder{}
+                     .net(network)
+                     .address({a::uva(), 0x0A0000C8})
+                     .daemon(src_daemon)
+                     .build(Rng{42});
   if (!src_ctx.ok()) return;
 
   endhost::Daemon dst_daemon{network, a::ovgu()};
-  endhost::HostEnvironment dst_env;
-  dst_env.net = &network;
-  dst_env.address = {a::ovgu(), 0x0A0000C9};
-  dst_env.daemon = &dst_daemon;
-  auto dst_ctx = endhost::PanContext::create(dst_env, Rng{43});
+  auto dst_ctx = endhost::PanContext::Builder{}
+                     .net(network)
+                     .address({a::ovgu(), 0x0A0000C9})
+                     .daemon(dst_daemon)
+                     .build(Rng{43});
   if (!dst_ctx.ok()) return;
 
   endhost::PanSocket* echo_ptr = nullptr;

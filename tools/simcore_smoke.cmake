@@ -1,0 +1,62 @@
+# bench.simcore_smoke: runs the simulation-core benchmark in --quick mode
+# and validates the BENCH_simcore.json contract:
+#   - the harness exits 0 (heap/calendar digests and event counts agree),
+#   - the JSON carries the expected schema marker and fields,
+#   - a second run reproduces the exact event counts and schedule hashes
+#     (wall-clock throughput may differ; the schedule must not).
+# Invoked by ctest with -DBIN=<sciera_bench> -DOUT_DIR=<scratch dir>.
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(run IN ITEMS 1 2)
+  execute_process(
+    COMMAND ${BIN} --quick --out ${OUT_DIR}/bench_run${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout_${run}
+    ERROR_VARIABLE stderr_${run})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sciera_bench --quick run ${run} failed (rc=${rc}):\n"
+                        "${stdout_${run}}\n${stderr_${run}}")
+  endif()
+endforeach()
+
+file(READ ${OUT_DIR}/bench_run1.json json1)
+file(READ ${OUT_DIR}/bench_run2.json json2)
+
+# Schema validation: the marker and every field the roadmap tooling reads.
+foreach(field
+    "\"schema\": \"sciera.bench.simcore.v1\""
+    "\"baseline_scheduler\": \"binary-heap\""
+    "\"micro_hold\""
+    "\"macro_sciera\""
+    "\"binary_heap\""
+    "\"calendar_queue\""
+    "\"events_per_sec\""
+    "\"allocs_per_event\""
+    "\"executed_events\""
+    "\"schedule_hash\""
+    "\"speedup\""
+    "\"frame_pool\"")
+  string(FIND "${json1}" "${field}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "BENCH_simcore.json missing field ${field}:\n${json1}")
+  endif()
+endforeach()
+
+string(FIND "${json1}" "\"hashes_match\": false" bad_pos)
+if(NOT bad_pos EQUAL -1)
+  message(FATAL_ERROR "scheduler backends produced mismatching digests:\n${json1}")
+endif()
+
+# Determinism: event counts and schedule hashes must be identical across
+# two separate processes. Strip the timing-dependent fields and compare.
+foreach(run IN ITEMS 1 2)
+  string(REGEX MATCHALL "\"(executed_events|schedule_hash|packets_sent|packets_delivered)\": \"?[0-9a-f]+\"?"
+         stable_${run} "${json${run}}")
+endforeach()
+if(NOT "${stable_1}" STREQUAL "${stable_2}")
+  message(FATAL_ERROR "nondeterministic event counts across runs:\n"
+                      "run1: ${stable_1}\nrun2: ${stable_2}")
+endif()
+if("${stable_1}" STREQUAL "")
+  message(FATAL_ERROR "no executed_events fields found in BENCH_simcore.json")
+endif()
