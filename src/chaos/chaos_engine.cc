@@ -1,0 +1,230 @@
+#include "chaos/chaos_engine.h"
+
+#include "obs/flight_recorder.h"
+#include "simnet/link.h"
+
+namespace sciera::chaos {
+
+namespace {
+constexpr std::array<FaultKind, 9> kAllKinds = {
+    FaultKind::kLinkDown,       FaultKind::kLinkUp,
+    FaultKind::kLinkFlap,       FaultKind::kRegionOutage,
+    FaultKind::kControlOutage,  FaultKind::kControlSlowdown,
+    FaultKind::kRouterCrash,    FaultKind::kLossStorm,
+    FaultKind::kJitterStorm,
+};
+}  // namespace
+
+ChaosEngine::ChaosEngine(controlplane::ScionNetwork& net, std::uint64_t seed)
+    : net_(net), rng_(seed, "chaos-engine") {
+  auto& registry = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < kAllKinds.size(); ++i) {
+    injected_by_kind_[i] = &registry.counter(
+        "sciera_chaos_injected_total",
+        obs::Labels{{"kind", fault_kind_name(kAllKinds[i])}});
+  }
+}
+
+std::vector<std::string> ChaosEngine::region_link_labels(
+    const std::string& target) const {
+  const auto ia = IsdAs::parse(target);
+  std::vector<std::string> labels;
+  for (const topology::LinkInfo& link : net_.topology().links()) {
+    const bool match =
+        ia ? (link.a == *ia || link.b == *ia)
+           : (net_.topology().find_as(link.a)->city == target ||
+              net_.topology().find_as(link.b)->city == target);
+    if (match) labels.push_back(link.label);
+  }
+  return labels;
+}
+
+std::vector<controlplane::ControlService*> ChaosEngine::services_for(
+    const std::string& target) {
+  std::vector<controlplane::ControlService*> services;
+  if (target == "*") {
+    for (const topology::AsInfo& as : net_.topology().ases()) {
+      services.push_back(net_.control_service(as.ia));
+    }
+    return services;
+  }
+  const auto ia = IsdAs::parse(target);
+  if (ia && net_.topology().find_as(*ia) != nullptr) {
+    services.push_back(net_.control_service(*ia));
+  }
+  return services;
+}
+
+Status ChaosEngine::validate(const FaultEvent& event) {
+  const auto bad = [&](const char* what) {
+    return Error{Errc::kNotFound,
+                 std::string(fault_kind_name(event.kind)) + ": " + what +
+                     " '" + event.target + "' not found"};
+  };
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+    case FaultKind::kLinkFlap:
+    case FaultKind::kLossStorm:
+    case FaultKind::kJitterStorm:
+      if (net_.topology().find_link_by_label(event.target) == nullptr) {
+        return bad("link");
+      }
+      return {};
+    case FaultKind::kRegionOutage:
+      if (region_link_labels(event.target).empty()) return bad("region");
+      return {};
+    case FaultKind::kControlOutage:
+    case FaultKind::kControlSlowdown: {
+      if (event.target == "*") return {};
+      const auto ia = IsdAs::parse(event.target);
+      if (!ia || net_.topology().find_as(*ia) == nullptr) {
+        return bad("control service AS");
+      }
+      return {};
+    }
+    case FaultKind::kRouterCrash: {
+      const auto ia = IsdAs::parse(event.target);
+      if (!ia || net_.topology().find_as(*ia) == nullptr) return bad("router");
+      return {};
+    }
+  }
+  return Error{Errc::kInvalidArgument, "unknown fault kind"};
+}
+
+Status ChaosEngine::arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    if (auto status = validate(event); !status.ok()) return status;
+  }
+  for (const FaultEvent& event : plan.events) schedule(event);
+  // Randomized campaign: every draw happens here, at arm time, so the
+  // schedule is fixed by (plan, seed) alone.
+  const auto& links = net_.topology().links();
+  for (std::size_t i = 0; i < plan.random.flaps; ++i) {
+    FaultEvent flap;
+    flap.kind = FaultKind::kLinkFlap;
+    flap.target = links[rng_.next_below(links.size())].label;
+    flap.at = plan.random.start +
+              static_cast<Duration>(rng_.uniform(
+                  0.0, static_cast<double>(plan.random.window)));
+    flap.hold = static_cast<Duration>(
+        rng_.uniform(static_cast<double>(plan.random.min_hold),
+                     static_cast<double>(plan.random.max_hold)));
+    schedule(flap);
+  }
+  return {};
+}
+
+void ChaosEngine::schedule(const FaultEvent& event) {
+  net_.sim().at(event.at, [this, event] { apply(event); });
+}
+
+void ChaosEngine::note(const FaultEvent& event, const char* action) {
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kChaosInject, net_.sim().now(),
+      net_.sim().executed_events(), "chaos",
+      std::string(action) + " " + fault_kind_name(event.kind) + " " +
+          event.target);
+}
+
+void ChaosEngine::apply(const FaultEvent& event) {
+  ++injected_;
+  for (std::size_t i = 0; i < kAllKinds.size(); ++i) {
+    if (kAllKinds[i] == event.kind) injected_by_kind_[i]->inc();
+  }
+  note(event, "apply");
+  const bool reverts = event.hold > 0;
+  switch (event.kind) {
+    case FaultKind::kLinkUp:
+      net_.set_link_up(event.target, true);
+      return;
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkFlap:
+      net_.set_link_up(event.target, false);
+      break;
+    case FaultKind::kRegionOutage:
+      for (const std::string& label : region_link_labels(event.target)) {
+        net_.set_link_up(label, false);
+      }
+      break;
+    case FaultKind::kControlOutage:
+      for (auto* service : services_for(event.target)) {
+        service->set_available(false);
+      }
+      break;
+    case FaultKind::kControlSlowdown:
+      for (auto* service : services_for(event.target)) {
+        service->set_slowdown(event.magnitude);
+      }
+      break;
+    case FaultKind::kRouterCrash: {
+      if (auto* router = net_.router(*IsdAs::parse(event.target))) {
+        router->crash();
+      }
+      break;
+    }
+    case FaultKind::kLossStorm: {
+      auto* link = net_.link(event.target);
+      const double before = link->config().loss_probability;
+      link->set_loss_probability(event.magnitude);
+      if (reverts) {
+        net_.sim().after(event.hold, [this, event, link, before] {
+          note(event, "revert");
+          link->set_loss_probability(before);
+        });
+      }
+      return;
+    }
+    case FaultKind::kJitterStorm: {
+      auto* link = net_.link(event.target);
+      const double before = link->config().jitter_sigma;
+      link->set_jitter_sigma(event.magnitude);
+      if (reverts) {
+        net_.sim().after(event.hold, [this, event, link, before] {
+          note(event, "revert");
+          link->set_jitter_sigma(before);
+        });
+      }
+      return;
+    }
+  }
+  if (reverts) {
+    net_.sim().after(event.hold, [this, event] { revert(event); });
+  }
+}
+
+void ChaosEngine::revert(const FaultEvent& event) {
+  note(event, "revert");
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkFlap:
+      net_.set_link_up(event.target, true);
+      return;
+    case FaultKind::kRegionOutage:
+      for (const std::string& label : region_link_labels(event.target)) {
+        net_.set_link_up(label, true);
+      }
+      return;
+    case FaultKind::kControlOutage:
+      for (auto* service : services_for(event.target)) {
+        service->set_available(true);
+      }
+      return;
+    case FaultKind::kControlSlowdown:
+      for (auto* service : services_for(event.target)) {
+        service->set_slowdown(1.0);
+      }
+      return;
+    case FaultKind::kRouterCrash:
+      if (auto* router = net_.router(*IsdAs::parse(event.target))) {
+        router->restart();
+      }
+      return;
+    case FaultKind::kLinkUp:
+    case FaultKind::kLossStorm:
+    case FaultKind::kJitterStorm:
+      return;  // reverted inline (storms) or nothing to revert
+  }
+}
+
+}  // namespace sciera::chaos

@@ -1,0 +1,52 @@
+// ChaosEngine: compiles a FaultPlan into simulator events against a live
+// ScionNetwork. Every fault application and reversion happens at a
+// scheduled simulation time, draws randomness only from the engine's
+// seeded Rng (at arm time), and is recorded as a kChaosInject flight
+// event plus a sciera_chaos_injected_total{kind=...} counter — so an
+// armed scenario replays bit-identically under
+// simnet::audit_determinism() and the injected history is auditable
+// after the fact.
+#pragma once
+
+#include <array>
+
+#include "chaos/fault_plan.h"
+#include "controlplane/control_plane.h"
+
+namespace sciera::chaos {
+
+class ChaosEngine {
+ public:
+  ChaosEngine(controlplane::ScionNetwork& net, std::uint64_t seed);
+
+  // Validates every event's target against the network, then schedules
+  // the whole plan (scripted events plus the randomized campaign, whose
+  // draws are all taken now) on net.sim(). Fails without scheduling
+  // anything if any target does not resolve. May be called more than
+  // once to layer plans.
+  [[nodiscard]] Status arm(const FaultPlan& plan);
+
+  // Fault applications so far (reversions not counted).
+  [[nodiscard]] std::uint64_t faults_injected() const { return injected_; }
+
+ private:
+  void schedule(const FaultEvent& event);
+  void apply(const FaultEvent& event);
+  void revert(const FaultEvent& event);
+  // Links incident to an ISD-AS (by string) or to a PoP city.
+  [[nodiscard]] std::vector<std::string> region_link_labels(
+      const std::string& target) const;
+  // Control services named by an event target ("*" = every AS, in
+  // topology order). Instantiates lazily, like ScionNetwork does.
+  [[nodiscard]] std::vector<controlplane::ControlService*> services_for(
+      const std::string& target);
+  [[nodiscard]] Status validate(const FaultEvent& event);
+  void note(const FaultEvent& event, const char* action);
+
+  controlplane::ScionNetwork& net_;
+  Rng rng_;
+  std::uint64_t injected_ = 0;
+  std::array<obs::Counter*, 9> injected_by_kind_{};
+};
+
+}  // namespace sciera::chaos

@@ -1,0 +1,160 @@
+#include "chaos/soak.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "topology/sciera_net.h"
+
+namespace sciera::chaos {
+
+namespace {
+
+std::string fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string duration_ms(Duration d) {
+  return fixed(static_cast<double>(d) / static_cast<double>(kMillisecond), 3);
+}
+
+Duration percentile(const std::vector<Duration>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  const std::size_t index = (sorted.size() - 1) * static_cast<std::size_t>(pct) / 100;
+  return sorted[index];
+}
+
+}  // namespace
+
+workload::WorkloadConfig soak_default_workload() {
+  workload::WorkloadConfig config;
+  config.hosts = 12;
+  config.flows = 40;
+  config.packets_per_flow = 120;
+  config.mean_interval = 60 * kMillisecond;
+  config.start_window = 1 * kSecond;
+  // Short TTL and penalty so an outage of a few seconds actually forces
+  // the daemons through the degradation ladder mid-run.
+  config.daemon.path_cache_ttl = 2 * kSecond;
+  config.daemon.down_path_penalty = 3 * kSecond;
+  return config;
+}
+
+Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
+                                     const SoakOptions& options) {
+  controlplane::ScionNetwork::Options net_options;
+  net_options.seed = options.seed;
+  controlplane::ScionNetwork net(topology::build_sciera(), net_options);
+
+  workload::WorkloadConfig workload_config = options.workload;
+  workload_config.seed = options.seed;
+  workload_config.daemon.resilience.enabled = options.resilience;
+  workload::TrafficMatrix workload(net, workload_config);
+
+  std::vector<SimTime> delivery_times;
+  workload.set_on_delivery(
+      [&delivery_times](const dataplane::Address&, std::size_t, SimTime at) {
+        delivery_times.push_back(at);
+      });
+  if (auto status = workload.launch(); !status.ok()) return status.error();
+
+  ChaosEngine engine(net, options.seed);
+  if (auto status = engine.arm(plan); !status.ok()) return status.error();
+
+  net.sim().run_for(options.duration);
+
+  SurvivabilityReport report;
+  report.plan = plan.name;
+  report.seed = options.seed;
+  report.resilience = options.resilience;
+  report.duration = options.duration;
+  const workload::WorkloadReport& wr = workload.report();
+  report.packets_sent = wr.packets_sent;
+  report.packets_delivered = wr.packets_delivered;
+  report.send_failures = wr.send_failures;
+  report.failover_sends = wr.failover_sends;
+  const std::uint64_t attempts = wr.packets_sent + wr.send_failures;
+  report.delivery_ratio =
+      attempts == 0 ? 0.0
+                    : static_cast<double>(wr.packets_delivered) /
+                          static_cast<double>(attempts);
+
+  // Delivery-gap distribution: the arrival stream is sim-time ordered, so
+  // consecutive differences are the network-wide delivery gaps.
+  std::vector<Duration> gaps;
+  gaps.reserve(delivery_times.empty() ? 0 : delivery_times.size() - 1);
+  for (std::size_t i = 1; i < delivery_times.size(); ++i) {
+    gaps.push_back(delivery_times[i] - delivery_times[i - 1]);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  report.gap_p50 = percentile(gaps, 50);
+  report.gap_p90 = percentile(gaps, 90);
+  report.gap_p99 = percentile(gaps, 99);
+  report.gap_max = gaps.empty() ? 0 : gaps.back();
+
+  for (std::size_t i = 0; i < workload.host_count(); ++i) {
+    const endhost::Daemon& daemon = workload.daemon(i);
+    report.lookups += daemon.lookups();
+    report.lookup_timeouts += daemon.lookup_timeouts();
+    report.lookup_retries += daemon.lookup_retries();
+    report.stale_served += daemon.stale_served();
+    report.degraded_empty += daemon.degraded_empty();
+    report.breaker_trips += daemon.breaker_trips();
+  }
+  for (const topology::AsInfo& as : net.topology().ases()) {
+    report.control_lookups_dropped +=
+        net.control_service(as.ia)->lookups_dropped();
+  }
+  report.faults_injected = engine.faults_injected();
+  report.executed_events = net.sim().executed_events();
+  report.schedule_hash = net.sim().schedule_hash();
+  return report;
+}
+
+std::string SurvivabilityReport::to_json() const {
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof hash_hex, "0x%016llx",
+                static_cast<unsigned long long>(schedule_hash));
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"sciera.chaos.soak.v1\",\n";
+  json += "  \"plan\": \"" + plan + "\",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += std::string("  \"resilience\": ") +
+          (resilience ? "true" : "false") + ",\n";
+  json += "  \"duration_ms\": " + duration_ms(duration) + ",\n";
+  json += "  \"delivery\": {\n";
+  json += "    \"sent\": " + std::to_string(packets_sent) + ",\n";
+  json += "    \"delivered\": " + std::to_string(packets_delivered) + ",\n";
+  json += "    \"send_failures\": " + std::to_string(send_failures) + ",\n";
+  json += "    \"failover_sends\": " + std::to_string(failover_sends) + ",\n";
+  json += "    \"ratio\": " + fixed(delivery_ratio, 6) + "\n";
+  json += "  },\n";
+  json += "  \"delivery_gaps_ms\": {\n";
+  json += "    \"p50\": " + duration_ms(gap_p50) + ",\n";
+  json += "    \"p90\": " + duration_ms(gap_p90) + ",\n";
+  json += "    \"p99\": " + duration_ms(gap_p99) + ",\n";
+  json += "    \"max\": " + duration_ms(gap_max) + "\n";
+  json += "  },\n";
+  json += "  \"lookup_error_budget\": {\n";
+  json += "    \"lookups\": " + std::to_string(lookups) + ",\n";
+  json += "    \"timeouts\": " + std::to_string(lookup_timeouts) + ",\n";
+  json += "    \"retries\": " + std::to_string(lookup_retries) + ",\n";
+  json += "    \"stale_served\": " + std::to_string(stale_served) + ",\n";
+  json += "    \"degraded_empty\": " + std::to_string(degraded_empty) + ",\n";
+  json += "    \"breaker_trips\": " + std::to_string(breaker_trips) + ",\n";
+  json += "    \"control_dropped\": " +
+          std::to_string(control_lookups_dropped) + "\n";
+  json += "  },\n";
+  json += "  \"faults_injected\": " + std::to_string(faults_injected) + ",\n";
+  json += "  \"determinism\": {\n";
+  json += "    \"executed_events\": " + std::to_string(executed_events) +
+          ",\n";
+  json += std::string("    \"schedule_hash\": \"") + hash_hex + "\"\n";
+  json += "  }\n";
+  json += "}\n";
+  return json;
+}
+
+}  // namespace sciera::chaos

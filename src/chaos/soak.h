@@ -1,0 +1,68 @@
+// Soak harness: runs the full SCIERA topology under a fault plan with a
+// deterministic many-flow workload and distills the run into a
+// SurvivabilityReport — delivery ratio, delivery-gap (failover latency)
+// distribution, the daemons' lookup error budget, and the executed
+// ScheduleDigest. The report's JSON is derived exclusively from
+// simulation state, so two same-seed runs serialize byte-identically
+// (the chaos.soak_smoke ctest gate compares across processes).
+#pragma once
+
+#include "chaos/chaos_engine.h"
+#include "workload/workload.h"
+
+namespace sciera::chaos {
+
+// Workload tuned for soak runs: short daemon TTL and quarantine penalty
+// so faults bite mid-run, flows spread across the whole run window.
+[[nodiscard]] workload::WorkloadConfig soak_default_workload();
+
+struct SoakOptions {
+  std::uint64_t seed = 0x5C1E2A;
+  Duration duration = 12 * kSecond;
+  // Resilience A/B switch; overrides workload.daemon.resilience.enabled.
+  bool resilience = true;
+  workload::WorkloadConfig workload = soak_default_workload();
+};
+
+struct SurvivabilityReport {  // registry-backed snapshot
+  std::string plan;
+  std::uint64_t seed = 0;
+  bool resilience = true;
+  Duration duration = 0;
+  // Delivery.
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t send_failures = 0;
+  std::uint64_t failover_sends = 0;
+  // delivered / (sent + send_failures): failed sends count against it.
+  double delivery_ratio = 0.0;
+  // Gaps between consecutive deliveries network-wide — the failover
+  // latency signal: a long gap is time the fleet delivered nothing.
+  Duration gap_p50 = 0;
+  Duration gap_p90 = 0;
+  Duration gap_p99 = 0;
+  Duration gap_max = 0;
+  // Lookup error budget, aggregated over every host daemon.
+  std::uint64_t lookups = 0;
+  std::uint64_t lookup_timeouts = 0;
+  std::uint64_t lookup_retries = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t degraded_empty = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t control_lookups_dropped = 0;
+  // Chaos + determinism evidence.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t executed_events = 0;
+  std::uint64_t schedule_hash = 0;
+
+  // Deterministic single-line-per-field JSON (schema
+  // "sciera.chaos.soak.v1").
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Builds the SCIERA network, launches the workload, arms the plan, runs
+// for options.duration, and summarizes.
+[[nodiscard]] Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
+                                                   const SoakOptions& options);
+
+}  // namespace sciera::chaos

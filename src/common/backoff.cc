@@ -1,0 +1,36 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+namespace sciera {
+
+Duration BackoffPolicy::delay(std::size_t attempt, Rng& rng) const {
+  if (attempt == 0) return kNanosecond;
+  double nominal = static_cast<double>(initial);
+  for (std::size_t i = 1; i < attempt; ++i) nominal *= multiplier;
+  nominal = std::min(nominal, static_cast<double>(max_delay));
+  if (jitter_frac > 0.0) {
+    nominal *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+  return std::max<Duration>(static_cast<Duration>(nominal), kNanosecond);
+}
+
+void CircuitBreaker::record_failure(SimTime now) {
+  if (open_) {
+    // Inside the window a failure changes nothing; a failed half-open
+    // probe re-opens the window from now.
+    if (now >= open_until_) {
+      open_until_ = now + config_.open_for;
+      ++times_opened_;
+    }
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.failure_threshold) {
+    open_ = true;
+    open_until_ = now + config_.open_for;
+    ++times_opened_;
+  }
+}
+
+}  // namespace sciera

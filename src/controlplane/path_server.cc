@@ -24,6 +24,20 @@ ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
   };
   cache_hits_ = cache("hit");
   cache_misses_ = cache("miss");
+  lookups_dropped_ =
+      &registry.counter("sciera_control_service_lookups_dropped_total", base);
+  available_gauge_ =
+      &registry.gauge("sciera_control_service_available", base);
+  available_gauge_->set(1);
+}
+
+void ControlService::set_available(bool available) {
+  if (available == available_) return;
+  available_ = available;
+  available_gauge_->set(available ? 1 : 0);
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kChaosInject, sim_.now(), sim_.executed_events(),
+      "cs-" + ia_.to_string(), available ? "service up" : "service outage");
 }
 
 Duration ControlService::cold_lookup_latency(IsdAs dst) const {
@@ -47,18 +61,42 @@ Duration ControlService::cold_lookup_latency(IsdAs dst) const {
 
 void ControlService::lookup_paths(
     IsdAs dst, std::function<void(const std::vector<Path>&)> callback) {
+  if (!available_) {
+    // The request reaches a dead service and is lost; the caller's
+    // timeout (if any) is its only signal.
+    lookups_dropped_->inc();
+    obs::FlightRecorder::global().record(
+        obs::TraceType::kPathLookup, sim_.now(), sim_.executed_events(),
+        "cs-" + ia_.to_string(), dst.to_string() + " dropped");
+    return;
+  }
   const auto it = cache_.find(dst);
   const bool cached =
       it != cache_.end() &&
       sim_.now() - it->second.fetched_at < config_.cache_ttl;
   Duration latency = config_.intra_as_rtt + config_.processing;
   if (!cached) latency += cold_lookup_latency(dst);
+  latency = static_cast<Duration>(static_cast<double>(latency) * slowdown_);
   sim_.after(latency, [this, dst, callback = std::move(callback)] {
+    // The service may have gone down while the answer was in flight; a
+    // dead service answers nothing.
+    if (!available_) {
+      lookups_dropped_->inc();
+      return;
+    }
     callback(lookup_paths_now(dst));
   });
 }
 
 const std::vector<Path>& ControlService::lookup_paths_now(IsdAs dst) {
+  if (!available_) {
+    static const std::vector<Path> kNoAnswer;
+    lookups_dropped_->inc();
+    obs::FlightRecorder::global().record(
+        obs::TraceType::kPathLookup, sim_.now(), sim_.executed_events(),
+        "cs-" + ia_.to_string(), dst.to_string() + " dropped");
+    return kNoAnswer;
+  }
   auto it = cache_.find(dst);
   // Fresh iff age < ttl: an entry aged exactly cache_ttl is stale (the
   // same boundary convention the daemon uses).

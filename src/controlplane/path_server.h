@@ -39,11 +39,24 @@ class ControlService {
 
   // Asynchronous lookup with realistic latency: cached answers cost one
   // intra-AS round trip; cold lookups add core path-server round trips.
+  // During an outage the request is dropped — the callback never fires,
+  // exactly like an RPC into a dead service. Clients own the timeout
+  // (endhost::Daemon wraps this with timeout/backoff/circuit-breaker).
   void lookup_paths(IsdAs dst,
                     std::function<void(const std::vector<Path>&)> callback);
 
-  // Synchronous variant used by infrastructure tooling.
+  // Synchronous variant used by infrastructure tooling. During an outage
+  // it fails fast: returns an empty path set without touching the cache.
   [[nodiscard]] const std::vector<Path>& lookup_paths_now(IsdAs dst);
+
+  // Chaos fault model: service availability and processing slowdown.
+  // While unavailable every lookup is dropped/failed; a slowdown factor
+  // >= 1 multiplies the answer latency of async lookups (maintenance
+  // windows, overload) without dropping them.
+  void set_available(bool available);
+  [[nodiscard]] bool available() const { return available_; }
+  void set_slowdown(double factor) { slowdown_ = factor < 1.0 ? 1.0 : factor; }
+  [[nodiscard]] double slowdown() const { return slowdown_; }
 
   // Thin reads of the registry-backed cache counters.
   [[nodiscard]] std::uint64_t cache_hits() const {
@@ -51,6 +64,10 @@ class ControlService {
   }
   [[nodiscard]] std::uint64_t cache_misses() const {
     return cache_misses_->value();
+  }
+  // Lookups dropped or failed fast because the service was unavailable.
+  [[nodiscard]] std::uint64_t lookups_dropped() const {
+    return lookups_dropped_->value();
   }
 
   void flush_cache() { cache_.clear(); }
@@ -70,8 +87,12 @@ class ControlService {
   const cppki::Trc* trc_;
   Config config_;
   std::unordered_map<IsdAs, CacheEntry> cache_;
+  bool available_ = true;
+  double slowdown_ = 1.0;
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* lookups_dropped_ = nullptr;
+  obs::Gauge* available_gauge_ = nullptr;
 };
 
 }  // namespace sciera::controlplane

@@ -61,6 +61,17 @@ BorderRouter::BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
   metrics_.drop_bad_ingress = dropped("bad_ingress");
   metrics_.drop_no_route = dropped("no_route");
   metrics_.drop_malformed = dropped("malformed");
+  metrics_.drop_offline = dropped("offline");
+  metrics_.crashes = counter("sciera_router_crashes_total");
+}
+
+void BorderRouter::crash() {
+  if (!online_) return;
+  online_ = false;
+  metrics_.crashes->inc();
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kChaosInject, sim_.now(), sim_.executed_events(),
+      name(), "router crash");
 }
 
 BorderRouter::Stats BorderRouter::stats() const {
@@ -73,7 +84,9 @@ BorderRouter::Stats BorderRouter::stats() const {
                metrics_.drop_bad_ingress->value(),
                metrics_.drop_no_route->value(),
                metrics_.drop_malformed->value(),
-               metrics_.scmp_errors_sent->value()};
+               metrics_.drop_offline->value(),
+               metrics_.scmp_errors_sent->value(),
+               metrics_.crashes->value()};
 }
 
 void BorderRouter::attach_iface(IfaceId iface, simnet::Link* link, int side) {
@@ -86,6 +99,11 @@ std::uint32_t BorderRouter::now_unix() const {
 }
 
 Status BorderRouter::inject(const ScionPacket& packet) {
+  if (!online_) {
+    metrics_.drop_offline->inc();
+    return Error{Errc::kUnreachable,
+                 "border router " + ia_.to_string() + " is down"};
+  }
   if (packet.path_type == PathType::kEmpty) {
     if (packet.dst.ia != ia_) {
       return Error{Errc::kInvalidArgument,
@@ -103,6 +121,12 @@ Status BorderRouter::inject(const ScionPacket& packet) {
 
 void BorderRouter::receive(const simnet::MessagePtr& message,
                            const simnet::Arrival& arrival) {
+  if (!online_) {
+    // A crashed router is a silent blackhole: no SCMP, no forwarding —
+    // the failure mode end hosts can only detect by timeout.
+    metrics_.drop_offline->inc();
+    return;
+  }
   const auto* frame = dynamic_cast<const UnderlayFrame*>(message.get());
   if (frame == nullptr) {
     metrics_.drop_malformed->inc();

@@ -43,7 +43,9 @@ class BorderRouter final : public simnet::Node {
     std::uint64_t drop_bad_ingress = 0;
     std::uint64_t drop_no_route = 0;
     std::uint64_t drop_malformed = 0;
+    std::uint64_t drop_offline = 0;
     std::uint64_t scmp_errors_sent = 0;
+    std::uint64_t crashes = 0;
   };
 
   BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
@@ -57,6 +59,15 @@ class BorderRouter final : public simnet::Node {
 
   // Wires a local interface id to one side of a link.
   void attach_iface(IfaceId iface, simnet::Link* link, int side);
+
+  // Crash/restart (chaos fault model). A crashed router blackholes every
+  // arriving frame and refuses host injections — silently, with no SCMP,
+  // which is exactly what distinguishes a dead router from a dead link on
+  // the wire. Restart brings forwarding back; any packet that transited
+  // during the crash window is state lost with it.
+  void crash();
+  void restart() { online_ = true; }
+  [[nodiscard]] bool online() const { return online_; }
 
   // Handler for packets addressed to hosts/services in this AS.
   using LocalDelivery =
@@ -102,7 +113,9 @@ class BorderRouter final : public simnet::Node {
     obs::Counter* drop_bad_ingress = nullptr;
     obs::Counter* drop_no_route = nullptr;
     obs::Counter* drop_malformed = nullptr;
+    obs::Counter* drop_offline = nullptr;
     obs::Counter* scmp_errors_sent = nullptr;
+    obs::Counter* crashes = nullptr;
   };
 
   simnet::Simulator& sim_;
@@ -112,6 +125,7 @@ class BorderRouter final : public simnet::Node {
   std::unordered_map<IfaceId, IfaceBinding> ifaces_;
   LocalDelivery local_delivery_;
   Metrics metrics_;
+  bool online_ = true;
 };
 
 // Reverses a packet in place for the return direction (echo replies, SCMP

@@ -1,12 +1,26 @@
 #include "endhost/daemon.h"
 
+#include <memory>
+#include <utility>
+
 #include "obs/flight_recorder.h"
 
 namespace sciera::endhost {
 
+const char* path_source_name(PathSource source) {
+  switch (source) {
+    case PathSource::kFreshCache: return "fresh_cache";
+    case PathSource::kFetched: return "fetched";
+    case PathSource::kStaleCache: return "stale_cache";
+    case PathSource::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
 Daemon::Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config)
     : net_(net), ia_(ia), config_(config),
-      service_(net.control_service(ia)) {
+      service_(net.control_service(ia)),
+      rng_(net.options().seed, "daemon-" + ia.to_string()) {
   auto& registry = obs::MetricsRegistry::global();
   const obs::Labels base{
       {"daemon", registry.instance_label("daemon", ia.to_string())}};
@@ -18,6 +32,19 @@ Daemon::Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config)
   };
   cache_hits_ = cache("hit");
   cache_misses_ = cache("miss");
+  const auto degraded = [&](const char* result) {
+    obs::Labels labels = base;
+    labels.emplace_back("result", result);
+    return &registry.counter("sciera_daemon_degraded_total", labels);
+  };
+  stale_served_ = degraded("stale");
+  degraded_empty_ = degraded("empty");
+  lookup_timeouts_ =
+      &registry.counter("sciera_daemon_lookup_timeouts_total", base);
+  lookup_retries_ =
+      &registry.counter("sciera_daemon_lookup_retries_total", base);
+  breaker_trips_ =
+      &registry.counter("sciera_daemon_breaker_trips_total", base);
   quarantine_size_ = &registry.gauge("sciera_daemon_quarantined", base);
 }
 
@@ -36,10 +63,10 @@ void Daemon::prune_quarantine() {
   quarantine_size_->set(static_cast<std::int64_t>(down_until_.size()));
 }
 
-std::vector<controlplane::Path> Daemon::paths(IsdAs dst) {
+const Daemon::CacheEntry* Daemon::begin_lookup(IsdAs dst) {
   prune_quarantine();
   lookups_->inc();
-  auto it = cache_.find(dst);
+  const auto it = cache_.find(dst);
   // Fresh iff age < ttl: an entry aged exactly path_cache_ttl is stale.
   const bool hit =
       it != cache_.end() &&
@@ -48,27 +75,143 @@ std::vector<controlplane::Path> Daemon::paths(IsdAs dst) {
       obs::TraceType::kPathLookup, net_.sim().now(),
       net_.sim().executed_events(), "daemon-" + ia_.to_string(),
       dst.to_string() + (hit ? " hit" : " miss"));
-  if (hit) {
-    cache_hits_->inc();
-  } else {
+  if (!hit) {
     cache_misses_->inc();
-    CacheEntry entry;
-    entry.paths = service_->lookup_paths_now(dst);
-    entry.fetched_at = net_.sim().now();
-    it = cache_.insert_or_assign(dst, std::move(entry)).first;
+    return nullptr;
   }
-  return filter_alive(it->second.paths);
+  cache_hits_->inc();
+  return &it->second;
+}
+
+CircuitBreaker& Daemon::breaker_for(IsdAs dst) {
+  auto it = breakers_.find(dst);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(dst, CircuitBreaker{config_.resilience.breaker})
+             .first;
+  }
+  return it->second;
+}
+
+void Daemon::record_fetch_failure(IsdAs dst) {
+  if (!config_.resilience.enabled) return;
+  CircuitBreaker& breaker = breaker_for(dst);
+  const std::uint64_t opened_before = breaker.times_opened();
+  breaker.record_failure(net_.sim().now());
+  if (breaker.times_opened() > opened_before) breaker_trips_->inc();
+}
+
+PathLookup Daemon::degraded(IsdAs dst) {
+  const auto it = cache_.find(dst);
+  const bool have_stale = it != cache_.end() && !it->second.paths.empty();
+  const bool serve_stale = config_.resilience.enabled &&
+                           config_.resilience.serve_stale && have_stale;
+  if (serve_stale) stale_served_->inc();
+  else degraded_empty_->inc();
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kLookupDegraded, net_.sim().now(),
+      net_.sim().executed_events(), "daemon-" + ia_.to_string(),
+      dst.to_string() + (serve_stale ? " stale" : " empty"));
+  if (serve_stale) {
+    return PathLookup{filter_alive(it->second.paths),
+                      PathSource::kStaleCache, true};
+  }
+  return PathLookup{{}, PathSource::kUnavailable, false};
+}
+
+std::vector<controlplane::Path> Daemon::paths(IsdAs dst) {
+  return paths_detailed(dst).paths;
+}
+
+PathLookup Daemon::paths_detailed(IsdAs dst) {
+  if (const CacheEntry* entry = begin_lookup(dst)) {
+    return PathLookup{filter_alive(entry->paths), PathSource::kFreshCache,
+                      false};
+  }
+  const bool breaker_open =
+      config_.resilience.enabled &&
+      !breaker_for(dst).allow(net_.sim().now());
+  if (breaker_open || !service_->available()) {
+    // Fail fast (open breaker) or fail with the dead service; a failed
+    // fetch is never cached and never overwrites a stale entry.
+    if (!breaker_open) record_fetch_failure(dst);
+    return degraded(dst);
+  }
+  CacheEntry entry;
+  entry.paths = service_->lookup_paths_now(dst);
+  entry.fetched_at = net_.sim().now();
+  if (config_.resilience.enabled) breaker_for(dst).record_success();
+  const auto it = cache_.insert_or_assign(dst, std::move(entry)).first;
+  return PathLookup{filter_alive(it->second.paths), PathSource::kFetched,
+                    false};
 }
 
 void Daemon::paths_async(
     IsdAs dst, std::function<void(std::vector<controlplane::Path>)> cb) {
-  prune_quarantine();
-  lookups_->inc();
+  paths_async_detailed(dst, [cb = std::move(cb)](PathLookup lookup) {
+    cb(std::move(lookup.paths));
+  });
+}
+
+void Daemon::paths_async_detailed(IsdAs dst,
+                                  std::function<void(PathLookup)> cb) {
+  if (const CacheEntry* entry = begin_lookup(dst)) {
+    // Answer from cache on the next tick so the callback is always
+    // asynchronous (callers cannot observe a reentrant answer).
+    PathLookup result{filter_alive(entry->paths), PathSource::kFreshCache,
+                      false};
+    net_.sim().after(0, [cb = std::move(cb), result = std::move(result)] {
+      cb(result);
+    });
+    return;
+  }
+  auto lookup = std::make_shared<AsyncLookup>();
+  lookup->dst = dst;
+  lookup->cb = std::move(cb);
+  start_attempt(lookup);
+}
+
+void Daemon::start_attempt(const std::shared_ptr<AsyncLookup>& lookup) {
+  const Resilience& res = config_.resilience;
+  const IsdAs dst = lookup->dst;
+  if (res.enabled && !breaker_for(dst).allow(net_.sim().now())) {
+    lookup->cb(degraded(dst));
+    return;
+  }
+  ++lookup->attempts;
+  // Settled by exactly one of: the service's answer or the timeout. A
+  // late answer (after the timeout fired) is discarded.
+  auto settled = std::make_shared<bool>(false);
   service_->lookup_paths(
-      dst, [this, cb = std::move(cb)](
+      dst, [this, lookup, settled, dst](
                const std::vector<controlplane::Path>& paths) {
-        cb(filter_alive(paths));
+        if (*settled) return;
+        *settled = true;
+        if (config_.resilience.enabled) breaker_for(dst).record_success();
+        CacheEntry entry;
+        entry.paths = paths;
+        entry.fetched_at = net_.sim().now();
+        cache_.insert_or_assign(dst, std::move(entry));
+        lookup->cb(
+            PathLookup{filter_alive(paths), PathSource::kFetched, false});
       });
+  // Legacy mode: no timeout — during an outage the callback simply never
+  // fires (the dropped-RPC behaviour the chaos campaigns surfaced).
+  if (!res.enabled) return;
+  net_.sim().after(res.lookup_timeout, [this, lookup, settled, dst] {
+    if (*settled) return;
+    *settled = true;
+    lookup_timeouts_->inc();
+    record_fetch_failure(dst);
+    if (lookup->attempts < config_.resilience.backoff.max_attempts) {
+      lookup_retries_->inc();
+      const Duration delay =
+          config_.resilience.backoff.delay(lookup->attempts, rng_);
+      net_.sim().after(delay, [this, lookup] { start_attempt(lookup); });
+      return;
+    }
+    lookup->cb(degraded(dst));
+  });
 }
 
 const cppki::Trc* Daemon::trc(Isd isd) const {

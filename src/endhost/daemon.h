@@ -2,23 +2,68 @@
 // plane client. It consolidates path lookup and caching, keeps the TRC
 // database, and tracks data-plane path liveness (SCMP feedback) so
 // applications can fail over instantly.
+//
+// Resilience: path fetches against the control service carry a
+// per-request timeout, bounded exponential backoff with deterministic
+// jitter, and a per-destination circuit breaker; when the service stays
+// unreachable the daemon degrades gracefully by serving stale-but-marked
+// cached paths (the paper's "apps keep working through control-plane
+// maintenance"). All of it is sim-clock driven and replays from the seed.
+// Scheduled retries capture `this`: the daemon must outlive any simulator
+// events it has in flight (the same contract the async lookup always had).
 #pragma once
 
 #include <map>
 #include <unordered_map>
 
+#include "common/backoff.h"
 #include "controlplane/control_plane.h"
 #include "obs/metrics.h"
 
 namespace sciera::endhost {
 
+// Where a lookup's answer came from — the degradation ladder.
+enum class PathSource : std::uint8_t {
+  kFreshCache,   // daemon cache entry, age < ttl
+  kFetched,      // the control service answered
+  kStaleCache,   // service unreachable; expired entry served, marked stale
+  kUnavailable,  // nothing to serve: fetch failed and no cached entry
+};
+
+[[nodiscard]] const char* path_source_name(PathSource source);
+
+// A path lookup with its provenance. `stale` is the stale-but-marked bit:
+// the caller knows it is riding cached state through an outage.
+struct PathLookup {
+  std::vector<controlplane::Path> paths;
+  PathSource source = PathSource::kUnavailable;
+  bool stale = false;
+};
+
 class Daemon {
  public:
+  struct Resilience {
+    // Master switch (the soak harness A/Bs survivability with it off).
+    // Off reproduces the legacy client: no timeout, no retry, no breaker,
+    // and a fetch failure answers empty instead of serving stale.
+    bool enabled = true;
+    // Per-request timeout on async control-service lookups. Normal
+    // answers take ~1-80ms depending on core distance; anything slower
+    // counts as a failure and triggers backoff.
+    Duration lookup_timeout = 150 * kMillisecond;
+    BackoffPolicy backoff{};
+    CircuitBreaker::Config breaker{};
+    // Degrade to an expired cache entry (marked stale) when the service
+    // is unreachable or the breaker is open.
+    bool serve_stale = true;
+  };
+
   struct Config {
     // An entry aged exactly path_cache_ttl is stale (the same boundary
     // convention as ControlService::Config::cache_ttl).
     Duration path_cache_ttl = 5 * kMinute;
     Duration down_path_penalty = 90 * kSecond;
+    Resilience resilience{};
   };
 
   Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config);
@@ -29,8 +74,18 @@ class Daemon {
 
   // Live paths toward dst (cached; drops paths reported down).
   [[nodiscard]] std::vector<controlplane::Path> paths(IsdAs dst);
+  // Same lookup with provenance (fresh/fetched/stale/unavailable).
+  [[nodiscard]] PathLookup paths_detailed(IsdAs dst);
+
+  // Asynchronous lookup sharing the exact same cache boundary, quarantine
+  // pruning, and degradation ladder as paths()/paths_detailed(). With
+  // resilience enabled the request is retried under backoff until the
+  // breaker or attempt budget is exhausted, then degraded; with it
+  // disabled an outage means the callback never fires (the legacy
+  // behaviour the chaos campaigns exposed).
   void paths_async(IsdAs dst,
                    std::function<void(std::vector<controlplane::Path>)> cb);
+  void paths_async_detailed(IsdAs dst, std::function<void(PathLookup)> cb);
 
   // The daemon's TRC database (fed from the local control service's ISD
   // plus any TRCs learned during bootstrap).
@@ -49,6 +104,22 @@ class Daemon {
   [[nodiscard]] std::uint64_t cache_misses() const {
     return cache_misses_->value();
   }
+  // Degradation / error-budget reads.
+  [[nodiscard]] std::uint64_t stale_served() const {
+    return stale_served_->value();
+  }
+  [[nodiscard]] std::uint64_t degraded_empty() const {
+    return degraded_empty_->value();
+  }
+  [[nodiscard]] std::uint64_t lookup_timeouts() const {
+    return lookup_timeouts_->value();
+  }
+  [[nodiscard]] std::uint64_t lookup_retries() const {
+    return lookup_retries_->value();
+  }
+  [[nodiscard]] std::uint64_t breaker_trips() const {
+    return breaker_trips_->value();
+  }
   // Currently quarantined fingerprints (expired entries are pruned on
   // every lookup and report, so this cannot grow without bound).
   [[nodiscard]] std::size_t quarantined() const { return down_until_.size(); }
@@ -59,21 +130,45 @@ class Daemon {
     std::vector<controlplane::Path> paths;
     SimTime fetched_at = 0;
   };
+  // One in-flight async lookup; shared by the answer, timeout, and
+  // backoff closures so exactly one of them settles it.
+  struct AsyncLookup {
+    IsdAs dst;
+    std::size_t attempts = 0;  // requests issued so far
+    std::function<void(PathLookup)> cb;
+  };
 
   [[nodiscard]] std::vector<controlplane::Path> filter_alive(
       std::vector<controlplane::Path> paths) const;
   // Erases quarantine entries whose penalty has elapsed.
   void prune_quarantine();
+  // The shared lookup front half: prunes quarantine, counts the lookup,
+  // and returns the cache entry iff it is fresh (age < ttl — stale at
+  // age >= ttl, the boundary both sync and async paths share).
+  [[nodiscard]] const CacheEntry* begin_lookup(IsdAs dst);
+  // The shared degradation tail: stale-but-marked cache if allowed,
+  // otherwise an explicit empty answer.
+  [[nodiscard]] PathLookup degraded(IsdAs dst);
+  [[nodiscard]] CircuitBreaker& breaker_for(IsdAs dst);
+  void record_fetch_failure(IsdAs dst);
+  void start_attempt(const std::shared_ptr<AsyncLookup>& lookup);
 
   controlplane::ScionNetwork& net_;
   IsdAs ia_;
   Config config_;
   controlplane::ControlService* service_;
+  Rng rng_;
   std::unordered_map<IsdAs, CacheEntry> cache_;
+  std::unordered_map<IsdAs, CircuitBreaker> breakers_;
   std::map<std::string, SimTime> down_until_;
   obs::Counter* lookups_ = nullptr;
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* stale_served_ = nullptr;
+  obs::Counter* degraded_empty_ = nullptr;
+  obs::Counter* lookup_timeouts_ = nullptr;
+  obs::Counter* lookup_retries_ = nullptr;
+  obs::Counter* breaker_trips_ = nullptr;
   obs::Gauge* quarantine_size_ = nullptr;
 };
 

@@ -14,6 +14,8 @@ const char* trace_type_name(TraceType type) {
     case TraceType::kPathDown: return "path_down";
     case TraceType::kLinkTransition: return "link_transition";
     case TraceType::kProbeBurst: return "probe_burst";
+    case TraceType::kChaosInject: return "chaos_inject";
+    case TraceType::kLookupDegraded: return "lookup_degraded";
   }
   return "unknown";
 }

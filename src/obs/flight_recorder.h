@@ -27,6 +27,8 @@ enum class TraceType : std::uint8_t {
   kPathDown,          // SCMP feedback quarantined a path fingerprint
   kLinkTransition,    // link admin state flipped up/down
   kProbeBurst,        // measurement campaign finished one probe interval
+  kChaosInject,       // chaos engine applied a fault-plan event
+  kLookupDegraded,    // daemon served a degraded (stale/empty) lookup
 };
 
 [[nodiscard]] const char* trace_type_name(TraceType type);

@@ -49,9 +49,28 @@ Link::Stats Link::stats() const {
 void Link::set_up(bool up) {
   if (up == up_) return;
   up_ = up;
-  // Cutting the circuit invalidates everything on the wire: deliveries
-  // scheduled under an older epoch are dropped when they fire.
-  if (!up) ++down_epoch_;
+  if (!up) {
+    // Cutting the circuit invalidates everything on the wire right now:
+    // drain both directions' pending batches (each frame counted dropped
+    // exactly once) and reset the serializer backlog, so an immediate
+    // re-up starts from an empty pipe. The already-scheduled delivery
+    // events for the drained keys find no batch and do nothing; the
+    // epoch bump below keeps any frame that escapes the drain (e.g. one
+    // mid-delivery in the running batch) from being resurrected.
+    ++down_epoch_;
+    for (End& end : ends_) {
+      for (const auto& [deliver_at, items] : end.batches) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          metrics().dropped_down->inc();
+          obs::FlightRecorder::global().record(
+              obs::TraceType::kPacketDrop, sim_.now(), sim_.executed_events(),
+              display_name(), "cut-in-flight");
+        }
+      }
+      end.batches.clear();
+      end.tx_free_at = 0;
+    }
+  }
   obs::FlightRecorder::global().record(
       obs::TraceType::kLinkTransition, sim_.now(), sim_.executed_events(),
       display_name(), up ? "up" : "down");
@@ -115,8 +134,10 @@ void Link::deliver_batch(int to_side, SimTime deliver_at) {
   std::vector<Pending> items = std::move(it->second);
   rx.batches.erase(it);
   for (Pending& item : items) {
-    // A down transition after the frame entered the circuit cancels the
-    // delivery, even if the link is administratively up again by now.
+    // Safety net: set_up(false) drains pending batches at the cut, but a
+    // reentrant cut from a receiver inside this very batch only sees the
+    // frames still queued — the ones already moved into `items` are
+    // cancelled here via the epoch they were sent under.
     if (!up_ || item.epoch != down_epoch_) {
       metrics().dropped_down->inc();
       obs::FlightRecorder::global().record(

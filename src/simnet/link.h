@@ -56,11 +56,22 @@ class Link {
   // Sends from endpoint `from_side` to the opposite endpoint.
   void send(int from_side, const MessagePtr& message);
 
-  // Admin state. Taking the link down also cancels every frame currently
-  // serialized or propagating on the circuit (counted as dropped_down):
-  // cutting an L2 circuit loses what is on the wire.
+  // Admin state. Taking the link down cancels every frame currently
+  // serialized or propagating on the circuit at the moment of the cut
+  // (counted as dropped_down) and clears the serializer backlog: cutting
+  // an L2 circuit loses what is on the wire, and a re-up starts from an
+  // empty pipe — cancelled frames must not delay, tail-drop, or be
+  // double-counted against traffic sent after the link recovers.
   void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
+
+  // Runtime impairment knobs (chaos loss/jitter storms). Affect frames
+  // sent after the call; frames already on the wire keep the conditions
+  // they were sent under.
+  void set_loss_probability(double probability) {
+    config_.loss_probability = probability;
+  }
+  void set_jitter_sigma(double sigma) { config_.jitter_sigma = sigma; }
 
   [[nodiscard]] const LinkConfig& config() const { return config_; }
   [[nodiscard]] Stats stats() const;

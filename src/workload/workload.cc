@@ -27,7 +27,8 @@ Status TrafficMatrix::launch() {
     Host host;
     host.address = {ases[i % ases.size()].ia,
                     static_cast<std::uint32_t>(0x0B000000 + i)};
-    host.daemon = std::make_unique<endhost::Daemon>(net_, host.address.ia);
+    host.daemon = std::make_unique<endhost::Daemon>(net_, host.address.ia,
+                                                    config_.daemon);
     auto ctx = endhost::PanContext::Builder{}
                    .net(net_)
                    .address(host.address)
@@ -37,8 +38,11 @@ Status TrafficMatrix::launch() {
     host.ctx = std::move(ctx).value();
     auto socket = endhost::PanSocket::open(
         *host.ctx, kWorkloadPort,
-        [this](const dataplane::Address&, std::uint16_t, const Bytes&,
-               SimTime) { ++report_.packets_delivered; });
+        [this, i](const dataplane::Address& from, std::uint16_t,
+                  const Bytes&, SimTime at) {
+          ++report_.packets_delivered;
+          if (on_delivery_) on_delivery_(from, i, at);
+        });
     if (!socket) return socket.error();
     host.socket = std::move(socket).value();
     hosts_.push_back(std::move(host));

@@ -7,6 +7,7 @@
 // container iteration order leaks into the schedule.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,9 @@ struct WorkloadConfig {
   Duration mean_interval = 5 * kMillisecond;
   // Flow starts are spread uniformly over this window.
   Duration start_window = 50 * kMillisecond;
+  // Daemon configuration shared by every host (the chaos soak harness
+  // A/Bs resilience on/off through this).
+  endhost::Daemon::Config daemon{};
 };
 
 struct WorkloadReport {  // registry-backed snapshot
@@ -51,6 +55,18 @@ class TrafficMatrix {
 
   [[nodiscard]] const WorkloadReport& report() const { return report_; }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] const endhost::Daemon& daemon(std::size_t host) const {
+    return *hosts_[host].daemon;
+  }
+
+  // Observer invoked on every delivered packet (after the report counter
+  // updates): source address, destination host index, delivery time. The
+  // soak harness uses it to time failover gaps per destination.
+  void set_on_delivery(
+      std::function<void(const dataplane::Address&, std::size_t, SimTime)>
+          on_delivery) {
+    on_delivery_ = std::move(on_delivery);
+  }
 
  private:
   struct Host {
@@ -73,6 +89,8 @@ class TrafficMatrix {
   std::vector<Flow> flows_;
   Bytes payload_;
   WorkloadReport report_;
+  std::function<void(const dataplane::Address&, std::size_t, SimTime)>
+      on_delivery_;
 };
 
 }  // namespace sciera::workload

@@ -1,0 +1,442 @@
+// Chaos engine and resilience tests: backoff/circuit-breaker primitives,
+// fault-plan validation and application (link flaps, regional outages,
+// control-service outages/slowdowns, router crashes), daemon degradation
+// under control-plane loss, bit-identical replay of armed plans, and the
+// headline A/B: survivability of the KREONET ring cut with the
+// retry/stale-serving machinery on versus off.
+#include <gtest/gtest.h>
+
+#include "chaos/chaos_engine.h"
+#include "chaos/fault_plan.h"
+#include "chaos/soak.h"
+#include "endhost/pan.h"
+#include "simnet/audit.h"
+#include "topology/sciera_net.h"
+#include "workload/workload.h"
+
+namespace sciera::chaos {
+namespace {
+
+namespace a = topology::ases;
+using controlplane::ScionNetwork;
+
+// --- Backoff / circuit breaker ------------------------------------------------
+
+TEST(Backoff, DelayGrowsGeometricallyAndClamps) {
+  BackoffPolicy policy;
+  policy.initial = 100 * kMillisecond;
+  policy.multiplier = 2.0;
+  policy.max_delay = 500 * kMillisecond;
+  policy.jitter_frac = 0.2;
+  Rng rng{7};
+  for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+    double nominal = static_cast<double>(100 * kMillisecond);
+    for (std::size_t i = 1; i < attempt; ++i) nominal *= 2.0;
+    nominal = std::min(nominal, static_cast<double>(500 * kMillisecond));
+    const auto delay = policy.delay(attempt, rng);
+    EXPECT_GE(delay, static_cast<Duration>(nominal * 0.8)) << attempt;
+    EXPECT_LE(delay, static_cast<Duration>(nominal * 1.2)) << attempt;
+  }
+}
+
+TEST(Backoff, ZeroJitterIsExactAndDeterministic) {
+  BackoffPolicy policy;
+  policy.initial = 10 * kMillisecond;
+  policy.multiplier = 3.0;
+  policy.max_delay = 1 * kSecond;
+  policy.jitter_frac = 0.0;
+  Rng rng{1};
+  EXPECT_EQ(policy.delay(1, rng), 10 * kMillisecond);
+  EXPECT_EQ(policy.delay(2, rng), 30 * kMillisecond);
+  EXPECT_EQ(policy.delay(3, rng), 90 * kMillisecond);
+  EXPECT_EQ(policy.delay(10, rng), 1 * kSecond);  // clamped
+}
+
+TEST(Backoff, JitteredDelaysReplayFromTheSeed) {
+  BackoffPolicy policy;
+  Rng rng1{42}, rng2{42};
+  for (std::size_t attempt = 1; attempt <= 4; ++attempt) {
+    EXPECT_EQ(policy.delay(attempt, rng1), policy.delay(attempt, rng2));
+  }
+}
+
+TEST(Backoff, CircuitBreakerLifecycle) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 3;
+  config.open_for = 10 * kSecond;
+  CircuitBreaker breaker{config};
+
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.record_failure(0);
+  breaker.record_failure(1 * kSecond);
+  EXPECT_TRUE(breaker.allow(1 * kSecond));  // below threshold
+  breaker.record_failure(2 * kSecond);      // third strike: opens
+  EXPECT_FALSE(breaker.allow(5 * kSecond));
+  EXPECT_EQ(breaker.times_opened(), 1u);
+
+  // The window elapses: half-open, one probe allowed. A failed probe
+  // re-opens from now.
+  EXPECT_TRUE(breaker.allow(12 * kSecond));
+  breaker.record_failure(12 * kSecond);
+  EXPECT_FALSE(breaker.allow(21 * kSecond));
+  EXPECT_EQ(breaker.times_opened(), 2u);
+
+  // A successful probe closes it and clears the failure streak.
+  EXPECT_TRUE(breaker.allow(22 * kSecond));
+  breaker.record_success();
+  EXPECT_TRUE(breaker.allow(22 * kSecond));
+  breaker.record_failure(23 * kSecond);
+  breaker.record_failure(23 * kSecond);
+  EXPECT_TRUE(breaker.allow(23 * kSecond));  // streak restarted from zero
+}
+
+// --- Fault plan validation and application -----------------------------------
+
+TEST(Chaos, ArmRejectsUnknownTargetsWithoutScheduling) {
+  ScionNetwork net{topology::build_sciera()};
+  ChaosEngine engine{net, 1};
+
+  FaultPlan bad_link;
+  bad_link.add({0, FaultKind::kLinkFlap, "no-such-link", 0.0, kSecond});
+  EXPECT_FALSE(engine.arm(bad_link).ok());
+
+  FaultPlan bad_region;
+  bad_region.add({0, FaultKind::kRegionOutage, "Atlantis", 0.0, kSecond});
+  EXPECT_FALSE(engine.arm(bad_region).ok());
+
+  FaultPlan bad_router;
+  bad_router.add({0, FaultKind::kRouterCrash, "99-999", 0.0, kSecond});
+  EXPECT_FALSE(engine.arm(bad_router).ok());
+
+  // Nothing was scheduled by the failed arms.
+  net.sim().run_for(5 * kSecond);
+  EXPECT_EQ(engine.faults_injected(), 0u);
+}
+
+TEST(Chaos, RegionOutageCutsEveryIncidentLinkAndReverts) {
+  ScionNetwork net{topology::build_sciera()};
+  ChaosEngine engine{net, 1};
+  FaultPlan plan;
+  plan.name = "sg-out";
+  plan.add({1 * kSecond, FaultKind::kRegionOutage, a::kisti_sg().to_string(),
+            0.0, 2 * kSecond});
+  ASSERT_TRUE(engine.arm(plan).ok());
+
+  std::vector<std::string> incident;
+  for (const auto& link : net.topology().links()) {
+    if (link.a == a::kisti_sg() || link.b == a::kisti_sg()) {
+      incident.push_back(link.label);
+    }
+  }
+  ASSERT_GT(incident.size(), 4u);  // ring x2, parallel bundle, leaves
+
+  net.sim().run_for(1500 * kMillisecond);  // mid-outage
+  for (const auto& label : incident) {
+    EXPECT_FALSE(net.link(label)->is_up()) << label;
+  }
+  EXPECT_TRUE(net.link("geant-bridges")->is_up());  // uncorrelated link
+
+  net.sim().run_for(2 * kSecond);  // past the hold
+  for (const auto& label : incident) {
+    EXPECT_TRUE(net.link(label)->is_up()) << label;
+  }
+  EXPECT_EQ(engine.faults_injected(), 1u);
+}
+
+TEST(Chaos, ControlOutageAndSlowdownApplyAndRevert) {
+  ScionNetwork net{topology::build_sciera()};
+  ChaosEngine engine{net, 1};
+  FaultPlan plan;
+  plan.name = "cs-maintenance";
+  plan.add({1 * kSecond, FaultKind::kControlOutage, a::uva().to_string(),
+            0.0, 2 * kSecond});
+  plan.add({1 * kSecond, FaultKind::kControlSlowdown, a::geant().to_string(),
+            4.0, 2 * kSecond});
+  ASSERT_TRUE(engine.arm(plan).ok());
+
+  auto* uva_cs = net.control_service(a::uva());
+  auto* geant_cs = net.control_service(a::geant());
+  EXPECT_TRUE(uva_cs->available());
+
+  net.sim().run_for(1500 * kMillisecond);
+  EXPECT_FALSE(uva_cs->available());
+  EXPECT_DOUBLE_EQ(geant_cs->slowdown(), 4.0);
+  // An unavailable service drops sync lookups without caching anything.
+  EXPECT_TRUE(uva_cs->lookup_paths_now(a::ovgu()).empty());
+  EXPECT_GT(uva_cs->lookups_dropped(), 0u);
+
+  net.sim().run_for(2 * kSecond);
+  EXPECT_TRUE(uva_cs->available());
+  EXPECT_DOUBLE_EQ(geant_cs->slowdown(), 1.0);
+  EXPECT_FALSE(uva_cs->lookup_paths_now(a::ovgu()).empty());
+}
+
+TEST(Chaos, RouterCrashBlackholesUntilRestart) {
+  ScionNetwork net{topology::build_sciera()};
+  ChaosEngine engine{net, 1};
+  FaultPlan plan;
+  plan.name = "crash";
+  plan.add({1 * kSecond, FaultKind::kRouterCrash, a::geant().to_string(),
+            0.0, 2 * kSecond});
+  ASSERT_TRUE(engine.arm(plan).ok());
+
+  auto* router = net.router(a::geant());
+  EXPECT_TRUE(router->online());
+  net.sim().run_for(1500 * kMillisecond);
+  EXPECT_FALSE(router->online());
+  EXPECT_EQ(router->stats().crashes, 1u);
+  net.sim().run_for(2 * kSecond);
+  EXPECT_TRUE(router->online());
+}
+
+TEST(Chaos, LossStormRevertsToPriorLinkConditions) {
+  ScionNetwork net{topology::build_sciera()};
+  ChaosEngine engine{net, 1};
+  const double before = net.link("kreonet-sg-ams")->config().loss_probability;
+  FaultPlan plan;
+  plan.name = "storm";
+  plan.add({1 * kSecond, FaultKind::kLossStorm, "kreonet-sg-ams", 0.25,
+            2 * kSecond});
+  ASSERT_TRUE(engine.arm(plan).ok());
+  net.sim().run_for(1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(net.link("kreonet-sg-ams")->config().loss_probability,
+                   0.25);
+  net.sim().run_for(2 * kSecond);
+  EXPECT_DOUBLE_EQ(net.link("kreonet-sg-ams")->config().loss_probability,
+                   before);
+}
+
+// --- Daemon resilience under control-plane loss ------------------------------
+
+TEST(Daemon, AsyncLookupTimesOutBacksOffAndDegrades) {
+  ScionNetwork net{topology::build_sciera()};
+  endhost::Daemon::Config config;
+  config.resilience.lookup_timeout = 100 * kMillisecond;
+  config.resilience.backoff.initial = 50 * kMillisecond;
+  config.resilience.backoff.max_attempts = 3;
+  endhost::Daemon daemon{net, a::uva(), config};
+
+  net.control_service(a::uva())->set_available(false);
+  bool answered = false;
+  daemon.paths_async_detailed(a::ovgu(), [&](endhost::PathLookup lookup) {
+    answered = true;
+    // Nothing cached yet, so exhaustion degrades to an explicit empty.
+    EXPECT_EQ(lookup.source, endhost::PathSource::kUnavailable);
+    EXPECT_TRUE(lookup.paths.empty());
+    EXPECT_FALSE(lookup.stale);
+  });
+  net.sim().run_for(2 * kSecond);
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(daemon.lookup_timeouts(), 3u);  // every attempt timed out
+  EXPECT_EQ(daemon.lookup_retries(), 2u);   // two backoff retries
+  EXPECT_EQ(daemon.breaker_trips(), 1u);
+  EXPECT_GT(daemon.degraded_empty(), 0u);
+
+  // With the breaker now open, the next lookup fails fast (no timeout
+  // burn) and the service recovering + window elapsing heals everything.
+  bool fast = false;
+  daemon.paths_async_detailed(a::ovgu(),
+                              [&](endhost::PathLookup) { fast = true; });
+  net.sim().run_for(1 * kMillisecond);
+  EXPECT_TRUE(fast);
+
+  net.control_service(a::uva())->set_available(true);
+  net.sim().run_for(config.resilience.breaker.open_for);
+  bool fetched = false;
+  daemon.paths_async_detailed(a::ovgu(), [&](endhost::PathLookup lookup) {
+    fetched = true;
+    EXPECT_EQ(lookup.source, endhost::PathSource::kFetched);
+    EXPECT_FALSE(lookup.paths.empty());
+  });
+  net.sim().run_for(1 * kSecond);
+  EXPECT_TRUE(fetched);
+}
+
+TEST(Daemon, SyncLookupServesStaleMarkedPathsDuringOutage) {
+  ScionNetwork net{topology::build_sciera()};
+  endhost::Daemon::Config config;
+  config.path_cache_ttl = 1 * kSecond;
+  endhost::Daemon daemon{net, a::uva(), config};
+
+  // Warm the cache, then let it expire during a control outage.
+  const auto warm = daemon.paths_detailed(a::ovgu());
+  EXPECT_EQ(warm.source, endhost::PathSource::kFetched);
+  net.control_service(a::uva())->set_available(false);
+  net.sim().run_for(2 * kSecond);
+
+  const auto degraded = daemon.paths_detailed(a::ovgu());
+  EXPECT_EQ(degraded.source, endhost::PathSource::kStaleCache);
+  EXPECT_TRUE(degraded.stale);
+  EXPECT_FALSE(degraded.paths.empty());
+  EXPECT_GT(daemon.stale_served(), 0u);
+
+  // The legacy configuration answers empty instead.
+  endhost::Daemon::Config legacy;
+  legacy.path_cache_ttl = 1 * kSecond;
+  legacy.resilience.enabled = false;
+  endhost::Daemon blunt{net, a::uva(), legacy};
+  const auto empty = blunt.paths_detailed(a::ovgu());
+  EXPECT_EQ(empty.source, endhost::PathSource::kUnavailable);
+  EXPECT_TRUE(empty.paths.empty());
+}
+
+// --- End-to-end: correlated dual-link outage (ISSUE satellite) ---------------
+
+// The paper's failure story end to end: the active transatlantic path
+// dies mid-flight together with its parallel circuit while every control
+// service is in an outage window. SCMP quarantines the dead path, the
+// daemon's cache has expired so path resolution rides stale-but-marked
+// entries, and traffic keeps flowing over the Amsterdam detour. When the
+// plan re-ups the links and the penalty lapses, fresh fetches resume.
+TEST(Chaos, ScmpFailoverSurvivesCorrelatedOutageOnStalePaths) {
+  ScionNetwork net{topology::build_sciera()};
+  endhost::Daemon::Config config;
+  config.path_cache_ttl = 500 * kMillisecond;
+  config.down_path_penalty = 2 * kSecond;
+  endhost::Daemon daemon{net, a::uva(), config};
+  auto ctx = endhost::PanContext::Builder{}
+                 .net(net)
+                 .address({a::uva(), 0x0A020220})
+                 .daemon(daemon)
+                 .build(Rng{20});
+  ASSERT_TRUE(ctx.ok());
+  int delivered = 0;
+  endhost::Daemon dst_daemon{net, a::ovgu()};
+  auto dst_ctx = endhost::PanContext::Builder{}
+                     .net(net)
+                     .address({a::ovgu(), 0x0A020221})
+                     .daemon(dst_daemon)
+                     .build(Rng{21});
+  ASSERT_TRUE(dst_ctx.ok());
+  auto sink = endhost::PanSocket::open(**dst_ctx, 8888,
+                                       [&](auto&&...) { ++delivered; });
+  ASSERT_TRUE(sink.ok());
+  auto sock = endhost::PanSocket::open(**ctx, 0, [](auto&&...) {});
+  ASSERT_TRUE(sock.ok());
+
+  const auto primary = (*sock)->current_path(a::ovgu());
+  ASSERT_TRUE(primary.ok());
+  const std::string primary_fp = primary->fingerprint();
+  ASSERT_GT(primary->links.size(), 1u);
+  const std::string cut_label =
+      net.topology().find_link(primary->links[1])->label;
+  // The circuit's parallel twin, cut in the same correlated event. The
+  // primary path rides one of the two GEANT<->BRIDGES circuits.
+  const std::string twin_label =
+      cut_label == "geant-bridges" ? "geant-bridges-2" : "geant-bridges";
+
+  (*ctx)->stack().set_scmp_receiver(
+      [&](const dataplane::ScionPacket&, const dataplane::ScmpMessage& m,
+          SimTime) {
+        if (m.is_error()) (*ctx)->report_path_down(primary_fp);
+      });
+
+  ChaosEngine engine{net, 42};
+  FaultPlan plan;
+  plan.name = "dual-cut";
+  plan.add({1 * kSecond, FaultKind::kControlOutage, "*", 0.0, 4 * kSecond});
+  plan.add({1 * kSecond, FaultKind::kLinkDown, cut_label, 0.0, 3 * kSecond});
+  plan.add({1 * kSecond, FaultKind::kLinkDown, twin_label, 0.0, 3 * kSecond});
+  ASSERT_TRUE(engine.arm(plan).ok());
+
+  // Baseline delivery over the primary path.
+  ASSERT_TRUE((*sock)->send_to({a::ovgu(), 0x0A020221}, 8888,
+                               bytes_of("pre")).ok());
+  net.sim().run_for(500 * kMillisecond);
+  EXPECT_EQ(delivered, 1);
+
+  // A packet in flight when the correlated cut lands draws the SCMP
+  // error that quarantines the primary path.
+  net.sim().at(999500 * kMicrosecond, [&] {
+    (void)(*sock)->send_to({a::ovgu(), 0x0A020221}, 8888, bytes_of("mid"));
+  });
+  net.sim().run_until(2 * kSecond);
+  EXPECT_EQ(daemon.quarantined(), 1u);
+
+  // Mid-outage: cache stale, control plane dark, primary quarantined —
+  // the send still succeeds over a surviving detour on stale paths.
+  auto receipt = (*sock)->send_to({a::ovgu(), 0x0A020221}, 8888,
+                                  bytes_of("detour"));
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_NE(receipt->path_fingerprint, primary_fp);
+  EXPECT_GT(daemon.stale_served(), 0u);
+  net.sim().run_for(1 * kSecond);
+  EXPECT_EQ(delivered, 2);
+
+  // Recovery: links re-up at 4s, services at 5s, the quarantine penalty
+  // lapses, and lookups go back to fresh fetches.
+  net.sim().run_until(6 * kSecond);
+  const auto recovered = daemon.paths_detailed(a::ovgu());
+  EXPECT_EQ(recovered.source, endhost::PathSource::kFetched);
+  bool primary_back = false;
+  for (const auto& path : recovered.paths) {
+    primary_back = primary_back || path.fingerprint() == primary_fp;
+  }
+  EXPECT_TRUE(primary_back);
+}
+
+// --- Replayability and the survivability A/B ---------------------------------
+
+TEST(Chaos, ArmedPlanReplaysBitIdentically) {
+  const auto scenario = [] {
+    ScionNetwork net{topology::build_sciera()};
+    workload::WorkloadConfig config = soak_default_workload();
+    config.hosts = 6;
+    config.flows = 12;
+    config.packets_per_flow = 30;
+    workload::TrafficMatrix workload{net, config};
+    EXPECT_TRUE(workload.launch().ok());
+    ChaosEngine engine{net, 99};
+    EXPECT_TRUE(engine.arm(mixed_mayhem_plan()).ok());
+    net.sim().run_for(3 * kSecond);
+    return net.sim().schedule_digest();
+  };
+  const auto report = simnet::audit_determinism(scenario);
+  EXPECT_TRUE(report.deterministic()) << report.to_string();
+}
+
+TEST(Chaos, SoakReportIsDeterministic) {
+  SoakOptions options;
+  options.seed = 11;
+  options.duration = 2 * kSecond;
+  options.workload.hosts = 6;
+  options.workload.flows = 12;
+  options.workload.packets_per_flow = 40;
+  const auto first = run_soak(kreonet_ring_cut_plan(), options);
+  const auto second = run_soak(kreonet_ring_cut_plan(), options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->schedule_hash, second->schedule_hash);
+  EXPECT_EQ(first->executed_events, second->executed_events);
+  EXPECT_EQ(first->to_json(), second->to_json());
+  EXPECT_GT(first->faults_injected, 0u);
+}
+
+// The acceptance regression: under the KREONET ring cut, delivery ratio
+// with backoff + stale-serving enabled must beat the same seed with the
+// resilience machinery disabled.
+TEST(Chaos, RingCutSurvivabilityBetterWithResilience) {
+  SoakOptions with_resilience;
+  with_resilience.seed = 7;
+  with_resilience.duration = 4 * kSecond;
+  with_resilience.workload.hosts = 8;
+  with_resilience.workload.flows = 24;
+  with_resilience.workload.packets_per_flow = 60;
+  SoakOptions without = with_resilience;
+  without.resilience = false;
+
+  const auto resilient = run_soak(kreonet_ring_cut_plan(), with_resilience);
+  const auto blunt = run_soak(kreonet_ring_cut_plan(), without);
+  ASSERT_TRUE(resilient.ok());
+  ASSERT_TRUE(blunt.ok());
+
+  EXPECT_GT(resilient->delivery_ratio, blunt->delivery_ratio);
+  EXPECT_GT(resilient->stale_served, 0u);
+  EXPECT_EQ(blunt->stale_served, 0u);
+  // The legacy stack surfaces the outage as hard-empty lookups instead.
+  EXPECT_GT(blunt->degraded_empty, 0u);
+  EXPECT_GT(resilient->faults_injected, 0u);
+}
+
+}  // namespace
+}  // namespace sciera::chaos

@@ -464,6 +464,50 @@ TEST(Daemon, CacheEntryAgedExactlyTtlIsStale) {
   EXPECT_EQ(daemon.cache_hits(), 1u);
 }
 
+// Regression (satellite of the chaos PR): paths_async used its own
+// freshness check (`age > ttl`) and skipped quarantine pruning, so the
+// async and sync entry points disagreed at the exact-TTL tick and the
+// async path let the quarantine map grow. Both now route through one
+// begin_lookup helper: stale at age >= ttl, prune on every lookup.
+TEST(Daemon, AsyncLookupSharesSyncTtlBoundaryAndPruning) {
+  auto& net = shared_net();
+  Daemon daemon{net, a::uva()};
+  // Sync warm fetch: fetched_at is exactly now.
+  (void)daemon.paths(a::ovgu());
+
+  // One tick before the TTL: still a cache hit, even async. Freshness is
+  // decided synchronously at call time; the answer arrives via after(0).
+  net.sim().run_for(Daemon::Config{}.path_cache_ttl - 1);
+  bool hit = false;
+  daemon.paths_async_detailed(a::ovgu(), [&](PathLookup lookup) {
+    hit = true;
+    EXPECT_EQ(lookup.source, PathSource::kFreshCache);
+    EXPECT_FALSE(lookup.stale);
+  });
+  net.sim().run_for(1);
+  ASSERT_TRUE(hit);
+
+  // Re-anchor: now at age == ttl the sync path refetches, stamping
+  // fetched_at = now. Exactly ttl later the async path must also treat
+  // the entry as stale and refetch — the same boundary, one helper.
+  (void)daemon.paths(a::ovgu());
+  net.sim().run_for(Daemon::Config{}.path_cache_ttl);
+  bool refetched = false;
+  daemon.paths_async_detailed(a::ovgu(), [&](PathLookup lookup) {
+    refetched = true;
+    EXPECT_EQ(lookup.source, PathSource::kFetched);
+  });
+  net.sim().run_for(1 * kSecond);
+  ASSERT_TRUE(refetched);
+
+  // And the async entry point prunes expired quarantine entries too.
+  daemon.report_path_down("fp-async");
+  EXPECT_EQ(daemon.quarantined(), 1u);
+  net.sim().run_for(Daemon::Config{}.down_path_penalty);
+  daemon.paths_async_detailed(a::ovgu(), [](PathLookup) {});
+  EXPECT_EQ(daemon.quarantined(), 0u);
+}
+
 // Regression: down_until_ grew without bound — every SCMP report left an
 // entry behind forever. Expired entries are pruned on lookups and reports.
 TEST(Daemon, QuarantineMapIsPrunedAndBounded) {

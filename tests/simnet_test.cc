@@ -174,6 +174,80 @@ TEST(Link, FlapDuringFlightStillDropsTheFrame) {
   EXPECT_EQ(link.stats().delivered, 1u);
 }
 
+// Regression: re-upping a link immediately after a cut must start from an
+// empty pipe. The cut drains the serializer backlog and counts every
+// cancelled frame exactly once at cut time — cancelled frames must not
+// resurrect, must not be double-counted when their old delivery events
+// fire, and their ghost backlog must neither delay nor tail-drop traffic
+// sent after the recovery.
+TEST(Link, ReUpAfterCutStartsFromEmptyPipe) {
+  Simulator sim;
+  Sink a{"a"}, b{"b"};
+  LinkConfig cfg;
+  cfg.propagation_delay = 10 * kMillisecond;
+  cfg.bandwidth_bps = 8e6;  // 1 byte per microsecond
+  cfg.encap_overhead_bytes = 0;
+  cfg.queue_capacity = 4;
+  Link link{sim, cfg, Rng{1}};
+  link.attach(0, &a, 1);
+  link.attach(1, &b, 1);
+
+  // Five 1000-byte frames at t=0: 5ms of serializer backlog, and the
+  // first several are already propagating when the cut lands.
+  for (int i = 0; i < 5; ++i) {
+    link.send(0, std::make_shared<TestMessage>(1000, i));
+  }
+  sim.at(5500 * kMicrosecond, [&] {
+    link.set_up(false);
+    // Every queued/in-flight frame is cancelled and counted at cut time.
+    EXPECT_EQ(link.stats().dropped_down, 5u);
+    link.set_up(true);  // same-tick recovery
+    link.send(0, std::make_shared<TestMessage>(1000, 99));
+  });
+  sim.run_all();
+
+  // Only the post-recovery frame arrives, at clean-pipe latency (1ms
+  // serialization + 10ms propagation after the 5.5ms cut) — the 5ms ghost
+  // backlog from before the cut is gone.
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].time, 5500 * kMicrosecond + 11 * kMillisecond);
+  EXPECT_EQ(link.stats().delivered, 1u);
+  // The stale delivery events fired without double-counting the drops.
+  EXPECT_EQ(link.stats().dropped_down, 5u);
+  EXPECT_EQ(link.stats().dropped_queue, 0u);
+}
+
+// Same-tick batched frames cancelled by a cut stay cancelled when the
+// link re-ups before their shared delivery event fires.
+TEST(Link, CutCancelsSameTickBatchDespiteReUp) {
+  Simulator sim;
+  Sink a{"a"}, b{"b"};
+  LinkConfig cfg;
+  cfg.propagation_delay = 10 * kMillisecond;
+  cfg.encap_overhead_bytes = 0;
+  Link link{sim, cfg, Rng{1}};
+  link.attach(0, &a, 1);
+  link.attach(1, &b, 1);
+
+  // Two zero-size frames serialize instantly, so both land in the same
+  // delivery batch at t=10ms.
+  link.send(0, std::make_shared<TestMessage>(0, 1));
+  link.send(0, std::make_shared<TestMessage>(0, 2));
+  sim.after(2 * kMillisecond, [&] {
+    link.set_up(false);
+    link.set_up(true);
+  });
+  // A post-flap frame from the same sender still flows.
+  sim.after(3 * kMillisecond, [&] {
+    link.send(0, std::make_shared<TestMessage>(0, 3));
+  });
+  sim.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].time, 13 * kMillisecond);
+  EXPECT_EQ(link.stats().dropped_down, 2u);
+  EXPECT_EQ(link.stats().delivered, 1u);
+}
+
 // A scheduled mid-flight failure replays deterministically (the drop is
 // part of the audited event schedule, not a wall-clock race).
 TEST(Link, MidFlightFailureScheduleIsDeterministic) {

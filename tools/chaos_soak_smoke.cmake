@@ -1,0 +1,56 @@
+# Runs sciera_chaos twice in separate processes under the same plan and
+# seed and requires (1) a schema-valid survivability JSON with the fields
+# downstream dashboards key on, and (2) byte-identical reports — the
+# chaos engine's replayability contract. Separate processes matter:
+# in-process reruns would share registry instance labels instead of
+# proving replay from the seed.
+#
+# Expected variables: BIN (sciera_chaos binary), OUT_DIR (scratch dir).
+if(NOT DEFINED BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "BIN and OUT_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(first "${OUT_DIR}/run1.json")
+set(second "${OUT_DIR}/run2.json")
+
+foreach(out IN ITEMS "${first}" "${second}")
+  execute_process(
+    COMMAND "${BIN}" kreonet-ring-cut --seed 7 --duration-ms 4000
+            --out "${out}"
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "sciera_chaos kreonet-ring-cut failed: ${status}")
+  endif()
+endforeach()
+
+file(READ "${first}" report)
+foreach(field
+        "\"schema\": \"sciera.chaos.soak.v1\""
+        "\"plan\": \"kreonet-ring-cut\""
+        "\"delivery\""
+        "\"ratio\""
+        "\"delivery_gaps_ms\""
+        "\"lookup_error_budget\""
+        "\"faults_injected\""
+        "\"schedule_hash\"")
+  string(FIND "${report}" "${field}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "survivability JSON is missing ${field}:\n${report}")
+  endif()
+endforeach()
+
+# The smoke plan must actually have injected faults.
+string(REGEX MATCH "\"faults_injected\": ([0-9]+)" _ "${report}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "soak run injected no faults:\n${report}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${first}" "${second}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "sciera_chaos reports differ between two same-seed runs "
+          "(${first} vs ${second})")
+endif()

@@ -39,4 +39,11 @@ echo "== sciera_bench --quick (scheduler digest parity under sanitizers) =="
 "$BUILD_DIR/tools/sciera_bench" --quick \
   --out "$BUILD_DIR/BENCH_simcore_quick.json"
 
+# A short chaos soak under sanitizers: fault injection, the daemons'
+# retry/degradation machinery, and the survivability reporting all get a
+# memory-safety pass beyond what the smoke ctest already proved.
+echo "== sciera_chaos kreonet-ring-cut --quick soak (sanitized) =="
+"$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 --duration-ms 3000 \
+  --out "$BUILD_DIR/CHAOS_soak_quick.json"
+
 echo "== run_checks: all clean =="

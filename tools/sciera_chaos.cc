@@ -1,0 +1,92 @@
+// sciera_chaos: soak the full SCIERA topology under a named fault plan
+// and emit a survivability report as JSON (delivery ratio, delivery-gap
+// distribution, the daemons' lookup error budget, and the executed
+// ScheduleDigest). Output is fully determined by (plan, seed, duration,
+// resilience flag): two same-seed runs are byte-identical, and the
+// chaos.soak_smoke ctest enforces that across processes.
+//
+// Usage: sciera_chaos <plan> [--seed N] [--duration-ms N]
+//                            [--no-resilience] [--out FILE]
+//        sciera_chaos --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "chaos/soak.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
+               "[--no-resilience] [--out FILE]\n"
+               "       sciera_chaos --list\n");
+  return 2;
+}
+
+int list_plans() {
+  for (const std::string& name : sciera::chaos::plan_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--list") == 0) return list_plans();
+
+  const std::string plan_name = argv[1];
+  sciera::chaos::SoakOptions options;
+  const char* out_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sciera_chaos: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (has_value("--seed")) {
+      options.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (has_value("--duration-ms")) {
+      options.duration =
+          std::strtoll(argv[++i], nullptr, 0) * sciera::kMillisecond;
+    } else if (std::strcmp(argv[i], "--no-resilience") == 0) {
+      options.resilience = false;
+    } else if (has_value("--out")) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  auto plan = sciera::chaos::plan_by_name(plan_name);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "sciera_chaos: %s (try --list)\n",
+                 plan.error().message.c_str());
+    return 2;
+  }
+  auto report = sciera::chaos::run_soak(*plan, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "sciera_chaos: soak failed: %s\n",
+                 report.error().message.c_str());
+    return 1;
+  }
+  const std::string json = report->to_json();
+  if (out_path != nullptr) {
+    std::FILE* file = std::fopen(out_path, "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "sciera_chaos: cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+  } else {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+  return 0;
+}

@@ -21,6 +21,13 @@
 //                      back from the registry, or mirrored into it by a
 //                      publish method, is allowed when marked
 //                      `// registry-backed snapshot` on the declaring line
+//   raw-retry-loop     no ad-hoc retry loops under src/ outside the
+//                      shared policy (src/common/backoff.*) and the chaos
+//                      engine (src/chaos/): a loop header naming
+//                      retry/attempt state must go through BackoffPolicy +
+//                      CircuitBreaker so timeout/backoff/jitter behaviour
+//                      is uniform and deterministic. Suppress deliberate
+//                      cases with `// NOLINT(sciera-raw-retry-loop)`
 //   deprecated-api     no `HostEnvironment` outside src/endhost/pan.{h,cc}:
 //                      the raw struct is a one-PR migration shim — build
 //                      contexts with endhost::PanContext::Builder. Suppress
@@ -222,6 +229,9 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
                               rel_str == "src/common/buffer.h";
   const bool is_pan_library = rel_str == "src/endhost/pan.h" ||
                               rel_str == "src/endhost/pan.cc";
+  const bool owns_retry_policy = rel_str.starts_with("src/chaos/") ||
+                                 rel_str == "src/common/backoff.h" ||
+                                 rel_str == "src/common/backoff.cc";
 
   for (const auto& line : lines) {
     for (const auto banned : kBannedCalls) {
@@ -280,6 +290,27 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
                  "HostEnvironment is deprecated — build contexts with "
                  "endhost::PanContext::Builder (suppress with "
                  "'// NOLINT(sciera-deprecated-api)')");
+    }
+    // Ad-hoc retry loops scatter resilience policy: a loop header driving
+    // retry/attempt state must go through sciera::BackoffPolicy (with its
+    // deterministic jitter) and CircuitBreaker instead of hand-rolling
+    // timing. Only the shared policy and the chaos engine may loop on
+    // retry state directly.
+    if (rel_str.starts_with("src/") && !owns_retry_policy &&
+        (contains_word(line.text, "for") ||
+         contains_word(line.text, "while")) &&
+        line.raw.find("NOLINT(sciera-raw-retry-loop)") == std::string::npos) {
+      std::string lowered = line.text;
+      std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lowered.find("retry") != std::string::npos ||
+          lowered.find("retries") != std::string::npos ||
+          lowered.find("attempt") != std::string::npos) {
+        report.add(rel, line.number, "raw-retry-loop",
+                   "ad-hoc retry loop — use sciera::BackoffPolicy / "
+                   "CircuitBreaker (src/common/backoff.h); suppress "
+                   "deliberate cases with '// NOLINT(sciera-raw-retry-loop)'");
+      }
     }
     // Ad-hoc per-component stats structs fragment observability: metrics
     // belong in the obs registry. The marker comment (checked on the raw
