@@ -25,6 +25,12 @@ Duration percentile(const std::vector<Duration>& sorted, int pct) {
   return sorted[index];
 }
 
+// -1 is the "never happened" sentinel for reconvergence/stale times; it
+// serializes as a bare -1 rather than a nonsense negative millisecond.
+std::string duration_ms_or_none(Duration d) {
+  return d < 0 ? std::string("-1") : duration_ms(d);
+}
+
 }  // namespace
 
 workload::WorkloadConfig soak_default_workload() {
@@ -45,6 +51,18 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
                                      const SoakOptions& options) {
   controlplane::ScionNetwork::Options net_options;
   net_options.seed = options.seed;
+  net_options.scheduler = options.scheduler;
+  if (options.self_healing) {
+    // Healing cadence tuned to the soak timescale: refresh every second,
+    // segments live 2.5 sweeps, detection lag 200ms — a multi-second
+    // ring cut is revoked within ~a sweep and restored links reappear
+    // before the run ends.
+    net_options.control_replicas = 3;
+    net_options.healing.enabled = true;
+    net_options.healing.refresh_interval = 1 * kSecond;
+    net_options.healing.segment_lifetime = 2'500 * kMillisecond;
+    net_options.healing.detection_delay = 200 * kMillisecond;
+  }
   controlplane::ScionNetwork net(topology::build_sciera(), net_options);
 
   workload::WorkloadConfig workload_config = options.workload;
@@ -104,8 +122,27 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
   }
   for (const topology::AsInfo& as : net.topology().ases()) {
     report.control_lookups_dropped +=
-        net.control_service(as.ia)->lookups_dropped();
+        net.control_service_set(as.ia)->lookups_dropped();
   }
+
+  report.self_healing = options.self_healing;
+  const controlplane::HealingSnapshot healing = net.healing_snapshot();
+  report.healing_sweeps = healing.sweeps;
+  report.segments_expired = healing.segments_expired;
+  report.segments_revoked = healing.segments_revoked;
+  report.time_to_reconverge = healing.last_reconverge;
+  report.max_reconverge = healing.max_reconverge;
+  for (std::size_t i = 0; i < workload.host_count(); ++i) {
+    const endhost::Daemon& daemon = workload.daemon(i);
+    if (daemon.first_stale_at() >= 0 &&
+        (report.stale_first < 0 || daemon.first_stale_at() < report.stale_first)) {
+      report.stale_first = daemon.first_stale_at();
+    }
+    if (daemon.last_stale_at() > report.stale_last) {
+      report.stale_last = daemon.last_stale_at();
+    }
+  }
+
   report.faults_injected = engine.faults_injected();
   report.executed_events = net.sim().executed_events();
   report.schedule_hash = net.sim().schedule_hash();
@@ -147,6 +184,26 @@ std::string SurvivabilityReport::to_json() const {
   json += "    \"control_dropped\": " +
           std::to_string(control_lookups_dropped) + "\n";
   json += "  },\n";
+  json += "  \"self_healing\": {\n";
+  json += std::string("    \"enabled\": ") +
+          (self_healing ? "true" : "false") + ",\n";
+  json += "    \"sweeps\": " + std::to_string(healing_sweeps) + ",\n";
+  json += "    \"segments_expired\": " + std::to_string(segments_expired) +
+          ",\n";
+  json += "    \"segments_revoked\": " + std::to_string(segments_revoked) +
+          ",\n";
+  json += "    \"time_to_reconverge_ms\": " +
+          duration_ms_or_none(time_to_reconverge) + ",\n";
+  json += "    \"max_reconverge_ms\": " + duration_ms_or_none(max_reconverge) +
+          ",\n";
+  json += "    \"stale_window_ms\": {\n";
+  json += "      \"first\": " + duration_ms_or_none(stale_first) + ",\n";
+  json += "      \"last\": " + duration_ms_or_none(stale_last) + ",\n";
+  json += "      \"width\": " +
+          duration_ms_or_none(
+              stale_first < 0 ? -1 : stale_last - stale_first) + "\n";
+  json += "    }\n";
+  json += "  },\n";
   json += "  \"faults_injected\": " + std::to_string(faults_injected) + ",\n";
   json += "  \"determinism\": {\n";
   json += "    \"executed_events\": " + std::to_string(executed_events) +
@@ -155,6 +212,33 @@ std::string SurvivabilityReport::to_json() const {
   json += "  }\n";
   json += "}\n";
   return json;
+}
+
+bool validate_report_json(const std::string& json) {
+  // Structural check, not a JSON parser: the serializer above is the only
+  // producer, so key presence is a faithful schema probe.
+  static constexpr const char* kRequired[] = {
+      "\"schema\": \"sciera.chaos.soak.v1\"",
+      "\"plan\":",
+      "\"seed\":",
+      "\"resilience\":",
+      "\"duration_ms\":",
+      "\"delivery\":",
+      "\"delivered\":",
+      "\"ratio\":",
+      "\"delivery_gaps_ms\":",
+      "\"lookup_error_budget\":",
+      "\"self_healing\":",
+      "\"time_to_reconverge_ms\":",
+      "\"stale_window_ms\":",
+      "\"faults_injected\":",
+      "\"determinism\":",
+      "\"schedule_hash\":",
+  };
+  for (const char* key : kRequired) {
+    if (json.find(key) == std::string::npos) return false;
+  }
+  return true;
 }
 
 }  // namespace sciera::chaos

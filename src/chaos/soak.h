@@ -21,6 +21,14 @@ struct SoakOptions {
   Duration duration = 12 * kSecond;
   // Resilience A/B switch; overrides workload.daemon.resilience.enabled.
   bool resilience = true;
+  // Self-healing A/B switch: enables the control plane's healing loop
+  // (timer-driven re-beaconing, segment expiry, link-state triggered
+  // sweeps) and 3 path-service replicas per AS. Off preserves the PR 4
+  // stack: one service, stale paths forever, no reconvergence.
+  bool self_healing = false;
+  // Scheduler backend for the network simulator (calendar queue by
+  // default; the jump_to_far replay test A/Bs against the binary heap).
+  simnet::SchedulerConfig scheduler{};
   workload::WorkloadConfig workload = soak_default_workload();
 };
 
@@ -50,6 +58,21 @@ struct SurvivabilityReport {  // registry-backed snapshot
   std::uint64_t degraded_empty = 0;
   std::uint64_t breaker_trips = 0;
   std::uint64_t control_lookups_dropped = 0;
+  // Self-healing section: reconvergence and stale-window evidence. All
+  // durations/timestamps are -1 when the event never happened (e.g.
+  // healing disabled, or no link-state change during the run).
+  bool self_healing = false;
+  std::uint64_t healing_sweeps = 0;
+  std::uint64_t segments_expired = 0;
+  std::uint64_t segments_revoked = 0;
+  // Last and worst measured link-change -> sweep-complete latency.
+  Duration time_to_reconverge = -1;
+  Duration max_reconverge = -1;
+  // Fleet-wide stale-serving window: earliest first and latest last
+  // stale answer across all daemons.
+  SimTime stale_first = -1;
+  SimTime stale_last = -1;
+
   // Chaos + determinism evidence.
   std::uint64_t faults_injected = 0;
   std::uint64_t executed_events = 0;
@@ -59,6 +82,11 @@ struct SurvivabilityReport {  // registry-backed snapshot
   // "sciera.chaos.soak.v1").
   [[nodiscard]] std::string to_json() const;
 };
+
+// Structural self-check of a serialized report: schema tag plus every
+// required section present. The CLI runs it on its own output and exits
+// nonzero on failure, so a report regression cannot ship silently.
+[[nodiscard]] bool validate_report_json(const std::string& json);
 
 // Builds the SCIERA network, launches the workload, arms the plan, runs
 // for options.duration, and summarizes.

@@ -66,6 +66,7 @@ Pcb Beaconing::build_pcb(const std::vector<LinkId>& links, IsdAs origin,
       for (LinkId lid : topo_.links_of(entry.ia)) {
         const LinkInfo* plink = topo_.find_link(lid);
         if (plink->type != LinkType::kPeering) continue;
+        if (options.link_filter && !options.link_filter(lid)) continue;
         PeerEntry peer;
         peer.peer_ia = plink->other(entry.ia);
         peer.local_iface = plink->iface_of(entry.ia);
@@ -122,6 +123,7 @@ void Beaconing::core_beaconing(SegmentStore& store,
       for (LinkId id : topo_.links_of(at)) {
         const LinkInfo* link = topo_.find_link(id);
         if (link->type != LinkType::kCore) continue;
+        if (options.link_filter && !options.link_filter(id)) continue;
         const IsdAs other = link->other(at);
         if (std::find(visited.begin(), visited.end(), other) != visited.end())
           continue;
@@ -173,6 +175,7 @@ void Beaconing::core_beaconing(SegmentStore& store,
         segment.type = SegType::kCore;
         segment.pcb = build_pcb(cand.links, origin, options,
                                 /*add_peer_entries=*/false);
+        segment.links = cand.links;
         store.add(std::move(segment));
       }
     }
@@ -195,6 +198,7 @@ void Beaconing::down_beaconing(SegmentStore& store,
       for (LinkId id : topo_.links_of(at)) {
         const LinkInfo* link = topo_.find_link(id);
         if (link->type != LinkType::kParentChild || link->a != at) continue;
+        if (options.link_filter && !options.link_filter(id)) continue;
         if (link->b.isd() != origin.isd()) continue;
         if (std::find(visited.begin(), visited.end(), link->b) !=
             visited.end()) {
@@ -239,10 +243,12 @@ void Beaconing::down_beaconing(SegmentStore& store,
       PathSegment up;
       up.type = SegType::kUp;
       up.pcb = pcb;
+      up.links = walk;
       store.add(std::move(up));
       PathSegment down;
       down.type = SegType::kDown;
       down.pcb = pcb;
+      down.links = walk;
       store.add(std::move(down));
 
       stack.push_back(Frame{child, child_links_at(child)});

@@ -11,6 +11,7 @@
 // replays fast while exercising identical segment-construction code.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <unordered_map>
 
@@ -27,6 +28,10 @@ struct BeaconingOptions {
   std::size_t max_core_path_length = 6;  // in ASes
   std::size_t max_down_depth = 5;
   std::uint8_t hop_expiry = 255;  // ~24h
+  // Beacons only walk links for which this returns true; null = all links.
+  // The self-healing sweep passes the live-link predicate so segments over
+  // cut circuits are never re-originated.
+  std::function<bool(topology::LinkId)> link_filter;
 };
 
 class Beaconing {

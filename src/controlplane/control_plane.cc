@@ -23,6 +23,19 @@ ScionNetwork::ScionNetwork(topology::Topology topo, Options options)
   segments_up_ = segs("up");
   segments_core_ = segs("core");
   segments_down_ = segs("down");
+  if (options_.healing.enabled) {
+    healing_sweeps_ = &registry.counter("sciera_healing_sweeps_total", base);
+    segments_expired_ =
+        &registry.counter("sciera_segments_expired_total", base);
+    segments_revoked_ =
+        &registry.counter("sciera_segments_revoked_total", base);
+    // Last measured reconvergence in ms; -1 until the first link-state
+    // triggered sweep completes. (The registry holds integers, so the
+    // metric is milliseconds rather than the fractional-seconds name the
+    // literature uses — see DESIGN.md §10.)
+    reconverge_ms_ = &registry.gauge("sciera_reconverge_ms", base);
+    reconverge_ms_->set(-1);
+  }
 
   // --- PKI: one IsdPki per ISD, enrolling every member AS.
   for (Isd isd : topo_.isds()) {
@@ -48,6 +61,7 @@ ScionNetwork::ScionNetwork(topology::Topology topo, Options options)
 
   build_data_plane();
   run_beaconing();
+  start_healing();
 }
 
 void ScionNetwork::build_data_plane() {
@@ -82,20 +96,105 @@ void ScionNetwork::build_data_plane() {
 }
 
 void ScionNetwork::run_beaconing() {
+  if (options_.healing.enabled) {
+    // With healing on, a manual run is just an extra sweep of the same
+    // machinery (live-link filter, expiry stamping, delta accounting).
+    healing_sweep();
+    return;
+  }
   segments_ = beacon_with(options_.beaconing);
-  for (auto& [ia, service] : services_) service->flush_cache();
+  for (auto& [ia, service] : services_) service->flush_caches();
   beaconing_runs_->inc();
+  publish_segment_gauges();
+  obs::FlightRecorder::global().record(
+      obs::TraceType::kBeaconOriginated, sim_.now(), sim_.executed_events(),
+      metrics_label_, "beaconing sweep",
+      static_cast<std::int64_t>(segments_.size()));
+}
+
+void ScionNetwork::publish_segment_gauges() {
   segments_up_->set(static_cast<std::int64_t>(segments_.count(SegType::kUp)));
   segments_core_->set(
       static_cast<std::int64_t>(segments_.count(SegType::kCore)));
   segments_down_->set(
       static_cast<std::int64_t>(segments_.count(SegType::kDown)));
+}
+
+void ScionNetwork::start_healing() {
+  if (!options_.healing.enabled) return;
+  // Every link transition feeds the detection pipeline; detection delay
+  // models keepalive/SCMP latency between the physical event and the
+  // control plane noticing it.
+  for (auto& link : links_) {
+    link->set_on_state_change(
+        [this](bool, SimTime at) { on_link_state_change(at); });
+  }
+  sim_.after(options_.healing.refresh_interval, [this] { healing_tick(); });
+}
+
+void ScionNetwork::on_link_state_change(SimTime at) {
+  if (!change_pending_) {
+    // Coalesce a burst of transitions into one reconvergence episode,
+    // clocked from the earliest change.
+    change_pending_ = true;
+    earliest_change_at_ = at;
+  }
+  sim_.after(options_.healing.detection_delay, [this] {
+    // A sweep between scheduling and firing already absorbed this change.
+    if (change_pending_) healing_sweep();
+  });
+}
+
+void ScionNetwork::healing_tick() {
+  healing_sweep();
+  sim_.after(options_.healing.refresh_interval, [this] { healing_tick(); });
+}
+
+void ScionNetwork::healing_sweep() {
+  const auto link_up = [this](topology::LinkId id) {
+    return id < links_.size() && links_[id]->is_up();
+  };
+  BeaconingOptions beacon_options = options_.beaconing;
+  beacon_options.link_filter = link_up;
+  const SegmentStore fresh = beacon_with(beacon_options);
+  const SimTime now = sim_.now();
+  const RefreshDelta delta = segments_.refresh(
+      fresh, now, now + options_.healing.segment_lifetime, link_up);
+  for (auto& [ia, service] : services_) service->flush_caches();
+  beaconing_runs_->inc();
+  healing_sweeps_->inc();
+  segments_expired_->inc(delta.expired);
+  segments_revoked_->inc(delta.revoked);
+  publish_segment_gauges();
+  // A pending link-state change settles only once the detection delay has
+  // elapsed: a periodic sweep that lands at the very instant of the cut
+  // may already revoke segments (re-origination over a dead circuit fails
+  // immediately), but the control plane cannot claim to have *detected*
+  // the event before its detection latency has passed.
+  if (change_pending_ &&
+      now >= earliest_change_at_ + options_.healing.detection_delay) {
+    change_pending_ = false;
+    const Duration took = now - earliest_change_at_;
+    last_reconverge_ = took;
+    if (took > max_reconverge_) max_reconverge_ = took;
+    reconverge_ms_->set(took / kMillisecond);
+  }
   obs::FlightRecorder::global().record(
-      obs::TraceType::kBeaconOriginated, sim_.now(), sim_.executed_events(),
-      metrics_label_, "beaconing sweep",
-      static_cast<std::int64_t>(segments_.count(SegType::kUp) +
-                                segments_.count(SegType::kCore) +
-                                segments_.count(SegType::kDown)));
+      obs::TraceType::kBeaconOriginated, now, sim_.executed_events(),
+      metrics_label_, "healing sweep",
+      static_cast<std::int64_t>(segments_.size()));
+}
+
+HealingSnapshot ScionNetwork::healing_snapshot() const {
+  HealingSnapshot snap;
+  snap.sweeps = healing_sweeps_ != nullptr ? healing_sweeps_->value() : 0;
+  snap.segments_expired =
+      segments_expired_ != nullptr ? segments_expired_->value() : 0;
+  snap.segments_revoked =
+      segments_revoked_ != nullptr ? segments_revoked_->value() : 0;
+  snap.last_reconverge = last_reconverge_;
+  snap.max_reconverge = max_reconverge_;
+  return snap;
 }
 
 SegmentStore ScionNetwork::beacon_with(const BeaconingOptions& options) const {
@@ -117,13 +216,20 @@ std::vector<Path> ScionNetwork::paths(IsdAs src, IsdAs dst,
 }
 
 ControlService* ScionNetwork::control_service(IsdAs ia) {
+  auto* set = control_service_set(ia);
+  return set == nullptr ? nullptr : set->primary();
+}
+
+ControlServiceSet* ScionNetwork::control_service_set(IsdAs ia) {
   auto it = services_.find(ia);
   if (it == services_.end()) {
     if (topo_.find_as(ia) == nullptr) return nullptr;
     const auto* trc = &pkis_.at(ia.isd())->trc();
-    auto service = std::make_unique<ControlService>(sim_, ia, topo_,
-                                                    segments_, trc);
-    it = services_.emplace(ia, std::move(service)).first;
+    const std::size_t replicas =
+        options_.control_replicas < 1 ? 1 : options_.control_replicas;
+    auto set = std::make_unique<ControlServiceSet>(sim_, ia, topo_, segments_,
+                                                   trc, replicas);
+    it = services_.emplace(ia, std::move(set)).first;
   }
   return it->second.get();
 }

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "controlplane/beaconing.h"
+#include "controlplane/control_service_set.h"
 #include "controlplane/path_server.h"
 #include "dataplane/router.h"
 #include "obs/metrics.h"
@@ -16,6 +17,34 @@
 #include "topology/topology.h"
 
 namespace sciera::controlplane {
+
+// Self-healing control plane (DESIGN.md §10). When enabled, beaconing
+// becomes a simulator-driven process: periodic refresh sweeps re-originate
+// PCBs over live links, segments carry an expiry and age out when not
+// refreshed, and link up/down transitions trigger an incremental sweep
+// after a detection delay — a cut circuit's segments are revoked and a
+// restored circuit's segments reappear without any manual run_beaconing().
+struct SelfHealingOptions {
+  bool enabled = false;
+  // Period of the timer-driven refresh sweep (beacon re-origination).
+  Duration refresh_interval = 2 * kSecond;
+  // Lifetime stamped on (re)originated segments; a segment that misses
+  // `segment_lifetime / refresh_interval` consecutive sweeps expires.
+  Duration segment_lifetime = 5 * kSecond;
+  // Delay between a link state transition and the triggered sweep,
+  // modelling keepalive/SCMP detection latency.
+  Duration detection_delay = 200 * kMillisecond;
+};
+
+// Observable state of the healing loop, for reports and tests. Reconverge
+// durations are -1 until the first event-triggered sweep completes.
+struct HealingSnapshot {
+  std::uint64_t sweeps = 0;
+  std::uint64_t segments_expired = 0;
+  std::uint64_t segments_revoked = 0;
+  Duration last_reconverge = -1;
+  Duration max_reconverge = -1;
+};
 
 class ScionNetwork {
  public:
@@ -30,6 +59,10 @@ class ScionNetwork {
     // queue is the production default; kBinaryHeap exists for equivalence
     // testing and as the referee for the ordering contract.
     simnet::SchedulerConfig scheduler{};
+    // Path-service replicas per AS (>= 1). Replica 0 keeps the legacy
+    // metric naming, so 1 is byte-identical to the pre-replication stack.
+    std::size_t control_replicas = 1;
+    SelfHealingOptions healing{};
   };
 
   ScionNetwork(topology::Topology topo, Options options);
@@ -51,7 +84,14 @@ class ScionNetwork {
   [[nodiscard]] SegmentStore beacon_with(const BeaconingOptions& options) const;
   [[nodiscard]] std::vector<Path> paths(
       IsdAs src, IsdAs dst, const CombinatorOptions& options = {}) const;
+  // Legacy accessor: the primary replica of the AS's service set. Prefer
+  // control_service_set() — endhost code must go through the set (lint
+  // rule direct-control-lookup).
   [[nodiscard]] ControlService* control_service(IsdAs ia);
+  [[nodiscard]] ControlServiceSet* control_service_set(IsdAs ia);
+
+  // --- Self-healing ---------------------------------------------------------
+  [[nodiscard]] HealingSnapshot healing_snapshot() const;
 
   // --- Data plane -----------------------------------------------------------
   [[nodiscard]] dataplane::BorderRouter* router(IsdAs ia);
@@ -82,6 +122,11 @@ class ScionNetwork {
   void build_data_plane();
   void dispatch_local(IsdAs ia, const dataplane::ScionPacket& packet,
                       SimTime arrival);
+  void start_healing();
+  void on_link_state_change(SimTime at);
+  void healing_tick();
+  void healing_sweep();
+  void publish_segment_gauges();
 
   topology::Topology topo_;
   Options options_;
@@ -92,13 +137,23 @@ class ScionNetwork {
   std::unordered_map<IsdAs, std::unique_ptr<dataplane::BorderRouter>> routers_;
   std::vector<std::unique_ptr<simnet::Link>> links_;
   SegmentStore segments_;
-  std::unordered_map<IsdAs, std::unique_ptr<ControlService>> services_;
+  std::unordered_map<IsdAs, std::unique_ptr<ControlServiceSet>> services_;
   std::map<std::pair<std::uint64_t, std::uint32_t>, HostHandler> hosts_;
   std::string metrics_label_;
   obs::Counter* beaconing_runs_ = nullptr;
   obs::Gauge* segments_up_ = nullptr;
   obs::Gauge* segments_core_ = nullptr;
   obs::Gauge* segments_down_ = nullptr;
+
+  // Self-healing state (all inert unless options_.healing.enabled).
+  bool change_pending_ = false;
+  SimTime earliest_change_at_ = 0;
+  Duration last_reconverge_ = -1;
+  Duration max_reconverge_ = -1;
+  obs::Counter* healing_sweeps_ = nullptr;
+  obs::Counter* segments_expired_ = nullptr;
+  obs::Counter* segments_revoked_ = nullptr;
+  obs::Gauge* reconverge_ms_ = nullptr;
 };
 
 }  // namespace sciera::controlplane

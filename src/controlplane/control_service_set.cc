@@ -1,0 +1,48 @@
+#include "controlplane/control_service_set.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace sciera::controlplane {
+
+ControlServiceSet::ControlServiceSet(simnet::Simulator& sim, IsdAs ia,
+                                     const topology::Topology& topo,
+                                     const SegmentStore& store,
+                                     const cppki::Trc* local_trc,
+                                     std::size_t replicas,
+                                     ControlService::Config config)
+    : ia_(ia) {
+  SCIERA_CHECK(replicas >= 1, "controlplane.empty_service_set");
+  replicas_.reserve(replicas);
+  for (std::size_t k = 0; k < replicas; ++k) {
+    // Replica 0 keeps the legacy instance name so single-replica metric
+    // series are byte-identical to the pre-replication stack.
+    const std::string name =
+        k == 0 ? ia.to_string() : ia.to_string() + "#r" + std::to_string(k);
+    replicas_.push_back(std::make_unique<ControlService>(
+        sim, ia, topo, store, local_trc, config, name));
+  }
+}
+
+const std::vector<Path>& ControlServiceSet::lookup_paths_now(IsdAs dst) {
+  for (auto& replica : replicas_) {
+    if (replica->available()) return replica->lookup_paths_now(dst);
+  }
+  // Every replica down: let the primary record the failure.
+  return primary()->lookup_paths_now(dst);
+}
+
+std::uint64_t ControlServiceSet::lookups_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->lookups_dropped();
+  return total;
+}
+
+std::uint64_t ControlServiceSet::lookups_total() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->lookups_total();
+  return total;
+}
+
+}  // namespace sciera::controlplane

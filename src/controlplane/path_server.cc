@@ -7,7 +7,8 @@ namespace sciera::controlplane {
 ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
                                const topology::Topology& topo,
                                const SegmentStore& store,
-                               const cppki::Trc* local_trc, Config config)
+                               const cppki::Trc* local_trc, Config config,
+                               const std::string& instance_name)
     : sim_(sim),
       ia_(ia),
       topo_(topo),
@@ -15,8 +16,10 @@ ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
       trc_(local_trc),
       config_(config) {
   auto& registry = obs::MetricsRegistry::global();
+  const std::string& name =
+      instance_name.empty() ? ia.to_string() : instance_name;
   const obs::Labels base{
-      {"service", registry.instance_label("control_service", ia.to_string())}};
+      {"service", registry.instance_label("control_service", name)}};
   const auto cache = [&](const char* result) {
     obs::Labels labels = base;
     labels.emplace_back("result", result);
@@ -26,6 +29,8 @@ ControlService::ControlService(simnet::Simulator& sim, IsdAs ia,
   cache_misses_ = cache("miss");
   lookups_dropped_ =
       &registry.counter("sciera_control_service_lookups_dropped_total", base);
+  lookups_total_ =
+      &registry.counter("sciera_control_service_lookups_total", base);
   available_gauge_ =
       &registry.gauge("sciera_control_service_available", base);
   available_gauge_->set(1);
@@ -61,6 +66,7 @@ Duration ControlService::cold_lookup_latency(IsdAs dst) const {
 
 void ControlService::lookup_paths(
     IsdAs dst, std::function<void(const std::vector<Path>&)> callback) {
+  lookups_total_->inc();
   if (!available_) {
     // The request reaches a dead service and is lost; the caller's
     // timeout (if any) is its only signal.
@@ -89,6 +95,7 @@ void ControlService::lookup_paths(
 }
 
 const std::vector<Path>& ControlService::lookup_paths_now(IsdAs dst) {
+  lookups_total_->inc();
   if (!available_) {
     static const std::vector<Path> kNoAnswer;
     lookups_dropped_->inc();

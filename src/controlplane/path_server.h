@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <map>
+#include <string>
 #include <unordered_map>
 
 #include "controlplane/combinator.h"
@@ -26,9 +27,13 @@ class ControlService {
     Duration cache_ttl = 10 * kMinute;
   };
 
+  // `instance_name` labels this service's metric series; empty uses the
+  // AS string (the single-service legacy naming). ControlServiceSet names
+  // replica k > 0 as "<ia>#rk" so per-replica counters stay separable.
   ControlService(simnet::Simulator& sim, IsdAs ia,
                  const topology::Topology& topo, const SegmentStore& store,
-                 const cppki::Trc* local_trc, Config config);
+                 const cppki::Trc* local_trc, Config config,
+                 const std::string& instance_name = {});
   ControlService(simnet::Simulator& sim, IsdAs ia,
                  const topology::Topology& topo, const SegmentStore& store,
                  const cppki::Trc* local_trc)
@@ -69,6 +74,10 @@ class ControlService {
   [[nodiscard]] std::uint64_t lookups_dropped() const {
     return lookups_dropped_->value();
   }
+  // Every lookup that reached this replica (served or dropped).
+  [[nodiscard]] std::uint64_t lookups_total() const {
+    return lookups_total_->value();
+  }
 
   void flush_cache() { cache_.clear(); }
 
@@ -92,6 +101,7 @@ class ControlService {
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* lookups_dropped_ = nullptr;
+  obs::Counter* lookups_total_ = nullptr;
   obs::Gauge* available_gauge_ = nullptr;
 };
 

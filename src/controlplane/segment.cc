@@ -1,5 +1,7 @@
 #include "controlplane/segment.h"
 
+#include <unordered_set>
+
 #include "common/check.h"
 
 namespace sciera::controlplane {
@@ -66,6 +68,72 @@ std::vector<const PathSegment*> SegmentStore::cores_of(IsdAs origin) const {
     }
   }
   return out;
+}
+
+std::size_t SegmentStore::prune_expired(SimTime now) {
+  const std::size_t before = segments_.size();
+  std::erase_if(segments_, [now](const PathSegment& segment) {
+    return segment.expires_at != 0 && segment.expires_at <= now;
+  });
+  return before - segments_.size();
+}
+
+RefreshDelta SegmentStore::refresh(
+    const SegmentStore& fresh, SimTime now, SimTime new_expiry,
+    const std::function<bool(topology::LinkId)>& link_up) {
+  RefreshDelta delta;
+
+  // Fingerprint index of the fresh sweep (membership only — iteration
+  // order of the set is never consulted, so determinism is unaffected).
+  std::unordered_set<std::string> fresh_fps;
+  fresh_fps.reserve(fresh.segments_.size());
+  for (const auto& segment : fresh.segments_) {
+    fresh_fps.insert(segment.fingerprint());
+  }
+
+  // Pass 1 over the current set: revoke, refresh, or age out.
+  std::vector<PathSegment> survivors;
+  survivors.reserve(segments_.size());
+  std::unordered_set<std::string> kept_fps;
+  for (auto& segment : segments_) {
+    bool dead_link = false;
+    if (link_up) {
+      for (topology::LinkId id : segment.links) {
+        if (!link_up(id)) {
+          dead_link = true;
+          break;
+        }
+      }
+    }
+    if (dead_link) {
+      ++delta.revoked;
+      continue;
+    }
+    std::string fp = segment.fingerprint();
+    if (fresh_fps.contains(fp)) {
+      segment.expires_at = new_expiry;
+      ++delta.refreshed;
+    } else if (segment.expires_at != 0 && segment.expires_at <= now) {
+      ++delta.expired;
+      continue;
+    }
+    kept_fps.insert(std::move(fp));
+    survivors.push_back(std::move(segment));
+  }
+
+  // Pass 2: append genuinely new segments in beaconing order.
+  for (const auto& segment : fresh.segments_) {
+    std::string fp = segment.fingerprint();
+    if (kept_fps.contains(fp)) continue;
+    kept_fps.insert(std::move(fp));
+    PathSegment copy = segment;
+    copy.expires_at = new_expiry;
+    survivors.push_back(std::move(copy));
+    ++delta.added;
+  }
+
+  segments_ = std::move(survivors);
+  return delta;
 }
 
 std::size_t SegmentStore::count(SegType type) const {

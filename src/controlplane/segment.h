@@ -4,10 +4,13 @@
 // server); PCBs between core ASes become core segments.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/time.h"
 #include "controlplane/beacon.h"
+#include "topology/topology.h"
 
 namespace sciera::controlplane {
 
@@ -18,12 +21,27 @@ enum class SegType : std::uint8_t { kUp = 0, kCore = 1, kDown = 2 };
 struct PathSegment {
   SegType type = SegType::kUp;
   Pcb pcb;
+  // Topology links the PCB walked over, in construction order. Lets the
+  // self-healing sweep revoke segments that traverse a cut circuit
+  // without re-deriving the walk from interface ids.
+  std::vector<topology::LinkId> links;
+  // Absolute sim time after which the segment is no longer served;
+  // 0 = never expires (one-shot beaconing keeps the legacy behavior).
+  SimTime expires_at = 0;
 
   [[nodiscard]] IsdAs origin() const { return pcb.origin(); }
   [[nodiscard]] IsdAs terminus() const { return pcb.terminus(); }
   [[nodiscard]] std::string fingerprint() const {
     return std::string{seg_type_name(type)} + ":" + pcb.fingerprint();
   }
+};
+
+// Outcome of one refresh sweep: how the store changed.
+struct RefreshDelta {
+  std::size_t refreshed = 0;  // existing segments whose expiry was extended
+  std::size_t added = 0;      // newly learned segments
+  std::size_t expired = 0;    // dropped: not re-originated and past expiry
+  std::size_t revoked = 0;    // dropped: traverse a link that is down
 };
 
 // Segment database used both by path servers and the combinator.
@@ -48,6 +66,25 @@ class SegmentStore {
     return segments_;
   }
   [[nodiscard]] std::size_t count(SegType type) const;
+
+  // Drops segments whose expires_at is set and <= now. Returns how many
+  // were removed. Relative order of survivors is preserved.
+  std::size_t prune_expired(SimTime now);
+
+  // One self-healing sweep: merges a freshly beaconed store into this one.
+  //  - A current segment re-originated in `fresh` (same fingerprint) has
+  //    its expiry extended to `new_expiry` (refreshed).
+  //  - A current segment traversing any link for which `link_up` returns
+  //    false is dropped (revoked). A null predicate revokes nothing.
+  //  - A current segment absent from `fresh` with expires_at <= now is
+  //    dropped (expired); if still within its lifetime it is kept, so a
+  //    transient beaconing gap does not instantly erase the path set.
+  //  - Segments only in `fresh` are appended with `new_expiry` (added).
+  // Ordering is deterministic: surviving segments keep their relative
+  // order, fresh additions follow in beaconing order.
+  RefreshDelta refresh(const SegmentStore& fresh, SimTime now,
+                       SimTime new_expiry,
+                       const std::function<bool(topology::LinkId)>& link_up);
 
  private:
   std::vector<PathSegment> segments_;

@@ -19,7 +19,7 @@ const char* path_source_name(PathSource source) {
 
 Daemon::Daemon(controlplane::ScionNetwork& net, IsdAs ia, Config config)
     : net_(net), ia_(ia), config_(config),
-      service_(net.control_service(ia)),
+      services_(net.control_service_set(ia)),
       rng_(net.options().seed, "daemon-" + ia.to_string()) {
   auto& registry = obs::MetricsRegistry::global();
   const obs::Labels base{
@@ -83,19 +83,26 @@ const Daemon::CacheEntry* Daemon::begin_lookup(IsdAs dst) {
   return &it->second;
 }
 
-CircuitBreaker& Daemon::breaker_for(IsdAs dst) {
+std::size_t Daemon::replica_count() const {
+  return config_.resilience.enabled ? services_->size() : 1;
+}
+
+CircuitBreaker& Daemon::breaker_for(IsdAs dst, std::size_t replica) {
   auto it = breakers_.find(dst);
   if (it == breakers_.end()) {
     it = breakers_
-             .emplace(dst, CircuitBreaker{config_.resilience.breaker})
+             .emplace(dst,
+                      std::vector<CircuitBreaker>(
+                          replica_count(),
+                          CircuitBreaker{config_.resilience.breaker}))
              .first;
   }
-  return it->second;
+  return it->second[replica];
 }
 
-void Daemon::record_fetch_failure(IsdAs dst) {
+void Daemon::record_fetch_failure(IsdAs dst, std::size_t replica) {
   if (!config_.resilience.enabled) return;
-  CircuitBreaker& breaker = breaker_for(dst);
+  CircuitBreaker& breaker = breaker_for(dst, replica);
   const std::uint64_t opened_before = breaker.times_opened();
   breaker.record_failure(net_.sim().now());
   if (breaker.times_opened() > opened_before) breaker_trips_->inc();
@@ -103,11 +110,23 @@ void Daemon::record_fetch_failure(IsdAs dst) {
 
 PathLookup Daemon::degraded(IsdAs dst) {
   const auto it = cache_.find(dst);
-  const bool have_stale = it != cache_.end() && !it->second.paths.empty();
+  bool have_stale = it != cache_.end() && !it->second.paths.empty();
+  // Age cap: an entry aged >= max_stale_age is too old to trust — the
+  // honest answer at that point is kUnavailable, not ancient paths.
+  const Duration max_age = config_.resilience.max_stale_age;
+  if (have_stale && max_age > 0 &&
+      net_.sim().now() - it->second.fetched_at >= max_age) {
+    have_stale = false;
+  }
   const bool serve_stale = config_.resilience.enabled &&
                            config_.resilience.serve_stale && have_stale;
-  if (serve_stale) stale_served_->inc();
-  else degraded_empty_->inc();
+  if (serve_stale) {
+    stale_served_->inc();
+    if (first_stale_at_ < 0) first_stale_at_ = net_.sim().now();
+    last_stale_at_ = net_.sim().now();
+  } else {
+    degraded_empty_->inc();
+  }
   obs::FlightRecorder::global().record(
       obs::TraceType::kLookupDegraded, net_.sim().now(),
       net_.sim().executed_events(), "daemon-" + ia_.to_string(),
@@ -128,22 +147,29 @@ PathLookup Daemon::paths_detailed(IsdAs dst) {
     return PathLookup{filter_alive(entry->paths), PathSource::kFreshCache,
                       false};
   }
-  const bool breaker_open =
-      config_.resilience.enabled &&
-      !breaker_for(dst).allow(net_.sim().now());
-  if (breaker_open || !service_->available()) {
-    // Fail fast (open breaker) or fail with the dead service; a failed
-    // fetch is never cached and never overwrites a stale entry.
-    if (!breaker_open) record_fetch_failure(dst);
-    return degraded(dst);
+  // Replica failover in deterministic index order: skip replicas whose
+  // breaker is open (fail fast, no failure charged), charge a failure to
+  // a dead replica and move on, fetch from the first live one. A failed
+  // fetch is never cached and never overwrites a stale entry.
+  const SimTime now = net_.sim().now();
+  for (std::size_t r = 0; r < replica_count(); ++r) {
+    if (config_.resilience.enabled && !breaker_for(dst, r).allow(now)) {
+      continue;
+    }
+    controlplane::ControlService* replica = services_->replica(r);
+    if (!replica->available()) {
+      record_fetch_failure(dst, r);
+      continue;
+    }
+    CacheEntry entry;
+    entry.paths = replica->lookup_paths_now(dst);
+    entry.fetched_at = now;
+    if (config_.resilience.enabled) breaker_for(dst, r).record_success();
+    const auto it = cache_.insert_or_assign(dst, std::move(entry)).first;
+    return PathLookup{filter_alive(it->second.paths), PathSource::kFetched,
+                      false};
   }
-  CacheEntry entry;
-  entry.paths = service_->lookup_paths_now(dst);
-  entry.fetched_at = net_.sim().now();
-  if (config_.resilience.enabled) breaker_for(dst).record_success();
-  const auto it = cache_.insert_or_assign(dst, std::move(entry)).first;
-  return PathLookup{filter_alive(it->second.paths), PathSource::kFetched,
-                    false};
+  return degraded(dst);
 }
 
 void Daemon::paths_async(
@@ -174,20 +200,36 @@ void Daemon::paths_async_detailed(IsdAs dst,
 void Daemon::start_attempt(const std::shared_ptr<AsyncLookup>& lookup) {
   const Resilience& res = config_.resilience;
   const IsdAs dst = lookup->dst;
-  if (res.enabled && !breaker_for(dst).allow(net_.sim().now())) {
-    lookup->cb(degraded(dst));
-    return;
+  // Pick the first replica whose breaker admits the request (index order,
+  // so failover is deterministic). With every breaker open there is no
+  // one left to ask: degrade.
+  std::size_t target = 0;
+  if (res.enabled) {
+    bool admitted = false;
+    for (std::size_t r = 0; r < replica_count(); ++r) {
+      if (breaker_for(dst, r).allow(net_.sim().now())) {
+        target = r;
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      lookup->cb(degraded(dst));
+      return;
+    }
   }
   ++lookup->attempts;
   // Settled by exactly one of: the service's answer or the timeout. A
   // late answer (after the timeout fired) is discarded.
   auto settled = std::make_shared<bool>(false);
-  service_->lookup_paths(
-      dst, [this, lookup, settled, dst](
+  services_->replica(target)->lookup_paths(
+      dst, [this, lookup, settled, dst, target](
                const std::vector<controlplane::Path>& paths) {
         if (*settled) return;
         *settled = true;
-        if (config_.resilience.enabled) breaker_for(dst).record_success();
+        if (config_.resilience.enabled) {
+          breaker_for(dst, target).record_success();
+        }
         CacheEntry entry;
         entry.paths = paths;
         entry.fetched_at = net_.sim().now();
@@ -198,11 +240,11 @@ void Daemon::start_attempt(const std::shared_ptr<AsyncLookup>& lookup) {
   // Legacy mode: no timeout — during an outage the callback simply never
   // fires (the dropped-RPC behaviour the chaos campaigns surfaced).
   if (!res.enabled) return;
-  net_.sim().after(res.lookup_timeout, [this, lookup, settled, dst] {
+  net_.sim().after(res.lookup_timeout, [this, lookup, settled, dst, target] {
     if (*settled) return;
     *settled = true;
     lookup_timeouts_->inc();
-    record_fetch_failure(dst);
+    record_fetch_failure(dst, target);
     if (lookup->attempts < config_.resilience.backoff.max_attempts) {
       lookup_retries_->inc();
       const Duration delay =

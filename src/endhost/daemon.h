@@ -3,12 +3,13 @@
 // database, and tracks data-plane path liveness (SCMP feedback) so
 // applications can fail over instantly.
 //
-// Resilience: path fetches against the control service carry a
-// per-request timeout, bounded exponential backoff with deterministic
-// jitter, and a per-destination circuit breaker; when the service stays
-// unreachable the daemon degrades gracefully by serving stale-but-marked
-// cached paths (the paper's "apps keep working through control-plane
-// maintenance"). All of it is sim-clock driven and replays from the seed.
+// Resilience: path fetches against the AS's replicated control service
+// carry a per-request timeout, bounded exponential backoff with
+// deterministic jitter, and a per-(destination, replica) circuit breaker;
+// lookups fail over across replicas in deterministic index order, and
+// when every replica stays unreachable the daemon degrades gracefully by
+// serving stale-but-marked cached paths, capped at max_stale_age (the
+// paper's "apps keep working through control-plane maintenance"). All of it is sim-clock driven and replays from the seed.
 // Scheduled retries capture `this`: the daemon must outlive any simulator
 // events it has in flight (the same contract the async lookup always had).
 #pragma once
@@ -56,6 +57,11 @@ class Daemon {
     // Degrade to an expired cache entry (marked stale) when the service
     // is unreachable or the breaker is open.
     bool serve_stale = true;
+    // Ceiling on how old a stale entry may be and still be served: an
+    // entry aged >= max_stale_age answers kUnavailable instead of
+    // kStaleCache (degraded mode cannot ride arbitrarily old paths
+    // forever). 0 disables the cap.
+    Duration max_stale_age = 30 * kMinute;
   };
 
   struct Config {
@@ -125,6 +131,11 @@ class Daemon {
   [[nodiscard]] std::size_t quarantined() const { return down_until_.size(); }
   void flush_cache() { cache_.clear(); }
 
+  // Stale-serving window bounds for the soak report: sim times of the
+  // first and last stale answer this daemon served, -1 if it never did.
+  [[nodiscard]] SimTime first_stale_at() const { return first_stale_at_; }
+  [[nodiscard]] SimTime last_stale_at() const { return last_stale_at_; }
+
  private:
   struct CacheEntry {
     std::vector<controlplane::Path> paths;
@@ -149,18 +160,27 @@ class Daemon {
   // The shared degradation tail: stale-but-marked cache if allowed,
   // otherwise an explicit empty answer.
   [[nodiscard]] PathLookup degraded(IsdAs dst);
-  [[nodiscard]] CircuitBreaker& breaker_for(IsdAs dst);
-  void record_fetch_failure(IsdAs dst);
+  // Replicas this daemon fails over across. Legacy mode (resilience
+  // disabled) pins itself to the primary: the pre-replication client had
+  // exactly one service and no failover.
+  [[nodiscard]] std::size_t replica_count() const;
+  // Breakers are per (destination, replica): one slow replica must not
+  // poison lookups through its healthy peers, and one hard destination
+  // must not poison others (the PR 4 isolation, now two-dimensional).
+  [[nodiscard]] CircuitBreaker& breaker_for(IsdAs dst, std::size_t replica);
+  void record_fetch_failure(IsdAs dst, std::size_t replica);
   void start_attempt(const std::shared_ptr<AsyncLookup>& lookup);
 
   controlplane::ScionNetwork& net_;
   IsdAs ia_;
   Config config_;
-  controlplane::ControlService* service_;
+  controlplane::ControlServiceSet* services_;
   Rng rng_;
   std::unordered_map<IsdAs, CacheEntry> cache_;
-  std::unordered_map<IsdAs, CircuitBreaker> breakers_;
+  std::unordered_map<IsdAs, std::vector<CircuitBreaker>> breakers_;
   std::map<std::string, SimTime> down_until_;
+  SimTime first_stale_at_ = -1;
+  SimTime last_stale_at_ = -1;
   obs::Counter* lookups_ = nullptr;
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;

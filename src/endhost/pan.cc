@@ -74,10 +74,11 @@ std::vector<controlplane::Path> PanContext::paths(IsdAs dst,
   if (mode_ == StackMode::kDaemonDependent) {
     raw = env_.daemon->paths(dst);
   } else {
-    // Without a daemon the library talks to the control service itself and
-    // applies its private liveness table.
-    auto* cs = env_.net->control_service(env_.address.ia);
-    raw = cs->lookup_paths_now(dst);
+    // Without a daemon the library talks to the replicated control
+    // service itself (first-available failover) and applies its private
+    // liveness table.
+    auto* services = env_.net->control_service_set(env_.address.ia);
+    raw = services->lookup_paths_now(dst);
     std::erase_if(raw, [this](const controlplane::Path& path) {
       const auto it = down_until_.find(path.fingerprint());
       return it != down_until_.end() && env_.net->sim().now() < it->second;

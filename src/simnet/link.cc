@@ -74,6 +74,7 @@ void Link::set_up(bool up) {
   obs::FlightRecorder::global().record(
       obs::TraceType::kLinkTransition, sim_.now(), sim_.executed_events(),
       display_name(), up ? "up" : "down");
+  if (on_state_change_) on_state_change_(up, sim_.now());
 }
 
 void Link::send(int from_side, const MessagePtr& message) {

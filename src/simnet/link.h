@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -65,6 +66,15 @@ class Link {
   void set_up(bool up);
   [[nodiscard]] bool is_up() const { return up_; }
 
+  // Admin-state observer: invoked synchronously from set_up on every real
+  // transition (after the link's own cut bookkeeping), carrying the new
+  // state and the sim time of the change. The self-healing control plane
+  // hooks this to drive link-state detection; at most one observer.
+  using StateObserver = std::function<void(bool up, SimTime at)>;
+  void set_on_state_change(StateObserver observer) {
+    on_state_change_ = std::move(observer);
+  }
+
   // Runtime impairment knobs (chaos loss/jitter storms). Affect frames
   // sent after the call; frames already on the wire keep the conditions
   // they were sent under.
@@ -123,6 +133,7 @@ class Link {
   // Bumped on every up->down transition; deliveries scheduled before the
   // cut carry the epoch they were sent under and are dropped on mismatch.
   std::uint64_t down_epoch_ = 0;
+  StateObserver on_state_change_;
 };
 
 }  // namespace sciera::simnet

@@ -14,6 +14,23 @@ namespace {
 
 namespace a = topology::ases;
 
+// Synthetic two-entry segment for SegmentStore unit tests. Distinct
+// origin/terminus pairs give distinct fingerprints.
+PathSegment make_segment(std::uint16_t origin, std::uint16_t terminus,
+                         std::vector<topology::LinkId> links,
+                         SimTime expires_at) {
+  PathSegment segment;
+  segment.type = SegType::kCore;
+  AsEntry first;
+  first.ia = IsdAs{71, As{origin}};
+  AsEntry second;
+  second.ia = IsdAs{71, As{terminus}};
+  segment.pcb.entries = {first, second};
+  segment.links = std::move(links);
+  segment.expires_at = expires_at;
+  return segment;
+}
+
 class ScieraFixture : public ::testing::Test {
  protected:
   static ScionNetwork& net() {
@@ -29,6 +46,61 @@ TEST_F(ScieraFixture, BeaconingProducesAllSegmentTypes) {
   EXPECT_GT(store.count(SegType::kCore), 50u);
   EXPECT_GT(store.count(SegType::kUp), 15u);
   EXPECT_EQ(store.count(SegType::kUp), store.count(SegType::kDown));
+}
+
+// --- Segment expiry and the self-healing refresh sweep ----------------------
+
+TEST(SegmentStore, PruneExpiredDropsAgedKeepsImmortal) {
+  SegmentStore store;
+  store.add(make_segment(1, 2, {}, 0));  // expires_at 0 = never
+  store.add(make_segment(1, 3, {}, 5 * kSecond));
+  store.add(make_segment(1, 4, {}, 9 * kSecond));
+  EXPECT_EQ(store.prune_expired(4 * kSecond), 0u);
+  // Boundary: a segment aged exactly to expires_at is gone (<= now).
+  EXPECT_EQ(store.prune_expired(5 * kSecond), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.prune_expired(100 * kSecond), 1u);
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.all()[0].terminus(), (IsdAs{71, As{2}}));
+}
+
+TEST(SegmentStore, RefreshAccountsEveryFateDeterministically) {
+  const SimTime now = 2 * kSecond;
+  const SimTime new_expiry = 8 * kSecond;
+  SegmentStore store;
+  store.add(make_segment(1, 2, {0}, 3 * kSecond));  // refreshed: in fresh
+  store.add(make_segment(1, 3, {7}, 3 * kSecond));  // revoked: link 7 down
+  store.add(make_segment(1, 4, {}, 1 * kSecond));   // expired: absent + aged
+  store.add(make_segment(1, 5, {}, 10 * kSecond));  // kept: absent, in-life
+  SegmentStore fresh;
+  fresh.add(make_segment(1, 2, {0}, 0));
+  fresh.add(make_segment(1, 6, {1}, 0));  // added
+  const RefreshDelta delta =
+      store.refresh(fresh, now, new_expiry,
+                    [](topology::LinkId id) { return id != 7; });
+  EXPECT_EQ(delta.refreshed, 1u);
+  EXPECT_EQ(delta.revoked, 1u);
+  EXPECT_EQ(delta.expired, 1u);
+  EXPECT_EQ(delta.added, 1u);
+  ASSERT_EQ(store.size(), 3u);
+  // Survivors keep their relative order; additions follow in beaconing
+  // order. The refreshed segment carries the new expiry, the merely-kept
+  // one its original.
+  EXPECT_EQ(store.all()[0].terminus(), (IsdAs{71, As{2}}));
+  EXPECT_EQ(store.all()[0].expires_at, new_expiry);
+  EXPECT_EQ(store.all()[1].terminus(), (IsdAs{71, As{5}}));
+  EXPECT_EQ(store.all()[1].expires_at, 10 * kSecond);
+  EXPECT_EQ(store.all()[2].terminus(), (IsdAs{71, As{6}}));
+  EXPECT_EQ(store.all()[2].expires_at, new_expiry);
+}
+
+TEST(SegmentStore, RefreshWithNullLinkPredicateRevokesNothing) {
+  SegmentStore store;
+  store.add(make_segment(1, 2, {7}, 3 * kSecond));
+  SegmentStore fresh;
+  const RefreshDelta delta = store.refresh(fresh, 0, 8 * kSecond, nullptr);
+  EXPECT_EQ(delta.revoked, 0u);
+  EXPECT_EQ(store.size(), 1u);  // absent from fresh but not yet expired
 }
 
 TEST_F(ScieraFixture, PcbSignaturesVerify) {

@@ -1,0 +1,63 @@
+# Runs the self-healing soak (sciera_chaos --self-healing) twice in
+# separate processes under the same plan and seed and requires (1) the
+# self_healing report section with a finite, positive time_to_reconverge,
+# and (2) byte-identical reports — the reconvergence measurement must
+# replay from the seed like everything else. Separate processes matter:
+# in-process reruns would share registry instance labels instead of
+# proving replay from the seed.
+#
+# Expected variables: BIN (sciera_chaos binary), OUT_DIR (scratch dir).
+if(NOT DEFINED BIN OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "BIN and OUT_DIR must be defined")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(first "${OUT_DIR}/run1.json")
+set(second "${OUT_DIR}/run2.json")
+
+foreach(out IN ITEMS "${first}" "${second}")
+  execute_process(
+    COMMAND "${BIN}" kreonet-ring-cut --seed 7 --duration-ms 4000
+            --self-healing --out "${out}"
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "sciera_chaos kreonet-ring-cut --self-healing failed: ${status}")
+  endif()
+endforeach()
+
+file(READ "${first}" report)
+foreach(field
+        "\"schema\": \"sciera.chaos.soak.v1\""
+        "\"self_healing\""
+        "\"enabled\": true"
+        "\"sweeps\""
+        "\"segments_revoked\""
+        "\"time_to_reconverge_ms\""
+        "\"stale_window_ms\"")
+  string(FIND "${report}" "${field}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "self-healing JSON is missing ${field}:\n${report}")
+  endif()
+endforeach()
+
+# The ring cut must have produced a measured, finite reconvergence: the
+# -1 sentinel here means the healing loop never detected the link cut.
+string(REGEX MATCH "\"time_to_reconverge_ms\": ([-0-9.]+)" _ "${report}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "time_to_reconverge_ms not parseable:\n${report}")
+endif()
+if(CMAKE_MATCH_1 LESS_EQUAL 0)
+  message(FATAL_ERROR
+          "expected a positive time_to_reconverge_ms, got ${CMAKE_MATCH_1}:"
+          "\n${report}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${first}" "${second}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "self-healing soak reports differ between two same-seed runs "
+          "(${first} vs ${second})")
+endif()

@@ -46,4 +46,11 @@ echo "== sciera_chaos kreonet-ring-cut --quick soak (sanitized) =="
 "$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 --duration-ms 3000 \
   --out "$BUILD_DIR/CHAOS_soak_quick.json"
 
+# The same soak with the self-healing control plane on: timer-driven
+# re-beaconing, segment expiry/revocation, replica failover, and the
+# reconvergence measurement all run under ASan+UBSan.
+echo "== sciera_chaos kreonet-ring-cut --self-healing reconvergence soak (sanitized) =="
+"$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --self-healing --seed 7 \
+  --duration-ms 3000 --out "$BUILD_DIR/CHAOS_reconverge_quick.json"
+
 echo "== run_checks: all clean =="

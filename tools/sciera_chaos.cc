@@ -1,13 +1,17 @@
 // sciera_chaos: soak the full SCIERA topology under a named fault plan
 // and emit a survivability report as JSON (delivery ratio, delivery-gap
-// distribution, the daemons' lookup error budget, and the executed
-// ScheduleDigest). Output is fully determined by (plan, seed, duration,
-// resilience flag): two same-seed runs are byte-identical, and the
-// chaos.soak_smoke ctest enforces that across processes.
+// distribution, the daemons' lookup error budget, the self-healing
+// reconvergence section, and the executed ScheduleDigest). Output is
+// fully determined by (plan, seed, duration, resilience/self-healing
+// flags): two same-seed runs are byte-identical, and the chaos.soak_smoke
+// and chaos.reconverge_smoke ctests enforce that across processes.
+//
+// Exit codes: 0 success, 1 soak or report-schema failure, 2 usage error
+// (including an unknown plan name).
 //
 // Usage: sciera_chaos <plan> [--seed N] [--duration-ms N]
-//                            [--no-resilience] [--out FILE]
-//        sciera_chaos --list
+//                            [--no-resilience] [--self-healing] [--out FILE]
+//        sciera_chaos --list-plans
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,8 +24,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
-               "[--no-resilience] [--out FILE]\n"
-               "       sciera_chaos --list\n");
+               "[--no-resilience] [--self-healing] [--out FILE]\n"
+               "       sciera_chaos --list-plans\n");
   return 2;
 }
 
@@ -36,7 +40,11 @@ int list_plans() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "--list") == 0) return list_plans();
+  // --list is the original spelling; --list-plans the documented one.
+  if (std::strcmp(argv[1], "--list") == 0 ||
+      std::strcmp(argv[1], "--list-plans") == 0) {
+    return list_plans();
+  }
 
   const std::string plan_name = argv[1];
   sciera::chaos::SoakOptions options;
@@ -57,6 +65,8 @@ int main(int argc, char** argv) {
           std::strtoll(argv[++i], nullptr, 0) * sciera::kMillisecond;
     } else if (std::strcmp(argv[i], "--no-resilience") == 0) {
       options.resilience = false;
+    } else if (std::strcmp(argv[i], "--self-healing") == 0) {
+      options.self_healing = true;
     } else if (has_value("--out")) {
       out_path = argv[++i];
     } else {
@@ -66,7 +76,7 @@ int main(int argc, char** argv) {
 
   auto plan = sciera::chaos::plan_by_name(plan_name);
   if (!plan.ok()) {
-    std::fprintf(stderr, "sciera_chaos: %s (try --list)\n",
+    std::fprintf(stderr, "sciera_chaos: %s (try --list-plans)\n",
                  plan.error().message.c_str());
     return 2;
   }
@@ -77,6 +87,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string json = report->to_json();
+  // Schema self-check: a report that lost a required section must fail
+  // the run, not ship a silently truncated artifact.
+  if (!sciera::chaos::validate_report_json(json)) {
+    std::fprintf(stderr,
+                 "sciera_chaos: report failed sciera.chaos.soak.v1 schema "
+                 "self-check\n");
+    return 1;
+  }
   if (out_path != nullptr) {
     std::FILE* file = std::fopen(out_path, "w");
     if (file == nullptr) {

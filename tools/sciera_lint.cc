@@ -33,6 +33,12 @@
 //                      contexts with endhost::PanContext::Builder. Suppress
 //                      intentional uses (e.g. the shim's own regression
 //                      test) with `// NOLINT(sciera-deprecated-api)`
+//   direct-control-lookup
+//                      no `control_service(...)` calls under src/endhost/:
+//                      end-host lookups go through the replicated
+//                      ControlServiceSet (replica failover + per-replica
+//                      breakers). Suppress with
+//                      `// NOLINT(sciera-direct-control-lookup)`
 //
 // Comments and string/char literals are stripped before matching, so
 // documentation may mention banned names freely.
@@ -290,6 +296,20 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
                  "HostEnvironment is deprecated — build contexts with "
                  "endhost::PanContext::Builder (suppress with "
                  "'// NOLINT(sciera-deprecated-api)')");
+    }
+    // End-host code must not fetch paths from a ControlService directly:
+    // lookups go through the replicated ControlServiceSet so failover and
+    // the per-replica breakers apply. `control_service_set(...)` does not
+    // match — contains_call requires '(' right after the token.
+    if (rel_str.starts_with("src/endhost/") &&
+        contains_call(line.text, "control_service") &&
+        line.raw.find("NOLINT(sciera-direct-control-lookup)") ==
+            std::string::npos) {
+      report.add(rel, line.number, "direct-control-lookup",
+                 "direct ControlService lookup from endhost code — use "
+                 "ScionNetwork::control_service_set() so replica failover "
+                 "applies (suppress with "
+                 "'// NOLINT(sciera-direct-control-lookup)')");
     }
     // Ad-hoc retry loops scatter resilience policy: a loop header driving
     // retry/attempt state must go through sciera::BackoffPolicy (with its
