@@ -53,3 +53,13 @@ option(SCIERA_WERROR "Treat compiler warnings as errors" OFF)
 if(SCIERA_WERROR)
   add_compile_options(-Werror)
 endif()
+
+# Clang thread-safety analysis, driven by the SCIERA_GUARDED_BY /
+# SCIERA_REQUIRES annotations in src/common/thread_annotations.h. The
+# annotations expand to nothing under GCC (which has no equivalent
+# analysis), so the warning flags are gated on the compiler. Always an
+# error when available: an unguarded access to annotated state is a bug,
+# not a style note.
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+endif()

@@ -158,6 +158,7 @@ Status ChaosEngine::validate(const FaultEvent& event) {
 }
 
 Status ChaosEngine::arm(const FaultPlan& plan) {
+  sim_thread_role.assert_held();
   for (const FaultEvent& event : plan.events) {
     if (auto status = validate(event); !status.ok()) return status;
   }
@@ -193,6 +194,7 @@ void ChaosEngine::note(const FaultEvent& event, const char* action) {
 }
 
 void ChaosEngine::apply(const FaultEvent& event) {
+  sim_thread_role.assert_held();
   ++injected_;
   for (std::size_t i = 0; i < kAllKinds.size(); ++i) {
     if (kAllKinds[i] == event.kind) injected_by_kind_[i]->inc();
@@ -259,6 +261,7 @@ void ChaosEngine::apply(const FaultEvent& event) {
 }
 
 void ChaosEngine::revert(const FaultEvent& event) {
+  sim_thread_role.assert_held();
   note(event, "revert");
   switch (event.kind) {
     case FaultKind::kLinkDown:

@@ -11,6 +11,7 @@
 #include <array>
 
 #include "chaos/fault_plan.h"
+#include "common/thread_annotations.h"
 #include "controlplane/control_plane.h"
 
 namespace sciera::chaos {
@@ -27,10 +28,16 @@ class ChaosEngine {
   [[nodiscard]] Status arm(const FaultPlan& plan);
 
   // Fault applications so far (reversions not counted).
-  [[nodiscard]] std::uint64_t faults_injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    sim_thread_role.assert_held();
+    return injected_;
+  }
 
  private:
-  void schedule(const FaultEvent& event);
+  void schedule(const FaultEvent& event) SCIERA_REQUIRES(sim_thread_role);
+  // Entry points of scheduled simulator events: they assert the role
+  // themselves (the Simulator::Action capture site cannot carry the
+  // annotation).
   void apply(const FaultEvent& event);
   void revert(const FaultEvent& event);
   // Links incident to an ISD-AS (by string) or to a PoP city.
@@ -44,8 +51,10 @@ class ChaosEngine {
   void note(const FaultEvent& event, const char* action);
 
   controlplane::ScionNetwork& net_;
-  Rng rng_;
-  std::uint64_t injected_ = 0;
+  // Campaign randomness and injection bookkeeping belong to the thread
+  // driving this network's simulator.
+  Rng rng_ SCIERA_GUARDED_BY(sim_thread_role);
+  std::uint64_t injected_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
   std::array<obs::Counter*, 9> injected_by_kind_{};
 };
 

@@ -12,7 +12,7 @@ CheckRegistry& CheckRegistry::instance() {
 }
 
 void CheckRegistry::record(std::string_view category) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   auto it = counts_.find(category);
   if (it == counts_.end()) {
     counts_.emplace(std::string{category}, 1);
@@ -22,13 +22,13 @@ void CheckRegistry::record(std::string_view category) {
 }
 
 std::uint64_t CheckRegistry::count(std::string_view category) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   const auto it = counts_.find(category);
   return it == counts_.end() ? 0 : it->second;
 }
 
 std::uint64_t CheckRegistry::total() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   std::uint64_t sum = 0;
   for (const auto& [category, n] : counts_) sum += n;
   return sum;
@@ -36,12 +36,12 @@ std::uint64_t CheckRegistry::total() const {
 
 std::vector<std::pair<std::string, std::uint64_t>> CheckRegistry::snapshot()
     const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   return {counts_.begin(), counts_.end()};
 }
 
 void CheckRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   counts_.clear();
 }
 

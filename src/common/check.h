@@ -18,10 +18,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace sciera {
 
@@ -49,8 +50,11 @@ class CheckRegistry {
 
  private:
   CheckRegistry() = default;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counts_;
+  mutable sciera::Mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counts_
+      SCIERA_GUARDED_BY(mutex_);
+  // Flipped only by single-threaded test setup, read on the hot failure
+  // path — deliberately outside the mutex.
   CheckFailMode fail_mode_ = CheckFailMode::kAbort;
 };
 

@@ -133,11 +133,15 @@ class ScionNetwork {
   simnet::Simulator sim_;
   Rng rng_;
   std::map<Isd, std::unique_ptr<cppki::IsdPki>> pkis_;
-  std::unordered_map<IsdAs, dataplane::FwdKey> fwd_keys_;
-  std::unordered_map<IsdAs, std::unique_ptr<dataplane::BorderRouter>> routers_;
+  std::unordered_map<IsdAs, dataplane::FwdKey> fwd_keys_;    // lookup-only
+  std::unordered_map<IsdAs, std::unique_ptr<dataplane::BorderRouter>>
+      routers_;  // lookup-only
   std::vector<std::unique_ptr<simnet::Link>> links_;
   SegmentStore segments_;
-  std::unordered_map<IsdAs, std::unique_ptr<ControlServiceSet>> services_;
+  // Ordered: beaconing sweeps walk every service to flush caches, and the
+  // set is populated lazily in first-lookup order — hash-order flushes
+  // would make the walk depend on which host asked first.
+  std::map<IsdAs, std::unique_ptr<ControlServiceSet>> services_;
   std::map<std::pair<std::uint64_t, std::uint32_t>, HostHandler> hosts_;
   std::string metrics_label_;
   obs::Counter* beaconing_runs_ = nullptr;

@@ -5,6 +5,7 @@
 // hierarchy for an ISD: voting keys, base TRC, CA certs, AS certs.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -99,10 +100,13 @@ class IsdPki {
  private:
   Isd isd_;
   Trc trc_;
-  std::unordered_map<IsdAs, crypto::KeyPair> voting_keys_;
+  std::unordered_map<IsdAs, crypto::KeyPair> voting_keys_;  // lookup-only
   crypto::KeyPair root_key_;  // shared ISD root (held by the first CA AS)
   std::unique_ptr<CertificateAuthority> ca_;
-  std::unordered_map<IsdAs, AsCredentials> members_;
+  // Ordered: renew_expiring walks the membership, and each re-issue draws
+  // the CA's next serial — hash order would tie serial assignment to the
+  // enrollment sequence instead of the AS identifier.
+  std::map<IsdAs, AsCredentials> members_;
   std::uint64_t key_seed_;
   std::uint64_t key_counter_ = 0;
 

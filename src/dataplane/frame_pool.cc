@@ -10,6 +10,7 @@ FramePool& FramePool::global() {
 }
 
 std::shared_ptr<UnderlayFrame> FramePool::acquire() {
+  sim_thread_role.assert_held();
   ++stats_.acquired;
   ++stats_.outstanding;
   UnderlayFrame* frame = nullptr;
@@ -30,6 +31,7 @@ std::shared_ptr<UnderlayFrame> FramePool::acquire() {
 }
 
 void FramePool::release(UnderlayFrame* frame) {
+  sim_thread_role.assert_held();
   --stats_.outstanding;
   if (free_list_.size() >= config_.max_pooled) {
     delete frame;
@@ -46,11 +48,13 @@ void FramePool::release(UnderlayFrame* frame) {
 }
 
 void FramePool::trim() {
+  sim_thread_role.assert_held();
   stats_.pooled -= static_cast<std::int64_t>(free_list_.size());
   free_list_.clear();
 }
 
 void FramePool::publish_metrics() const {
+  sim_thread_role.assert_held();
   auto& registry = obs::MetricsRegistry::global();
   registry.gauge("sciera_frame_pool_acquired")
       .set(static_cast<std::int64_t>(stats_.acquired));

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dataplane/underlay.h"
 
 namespace sciera::dataplane {
@@ -49,7 +50,10 @@ class FramePool {
   // shared_ptr owner drops.
   [[nodiscard]] std::shared_ptr<UnderlayFrame> acquire();
 
-  [[nodiscard]] Stats stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    sim_thread_role.assert_held();
+    return stats_;
+  }
   // Drops every pooled frame (tests; bounds memory after huge runs).
   void trim();
 
@@ -60,11 +64,16 @@ class FramePool {
   void publish_metrics() const;
 
  private:
+  // Runs in shared_ptr deleters, so it asserts the role itself rather
+  // than requiring it (the capture site cannot carry the annotation).
   void release(UnderlayFrame* frame);
 
+  // Free list and counters are thread-affine to the simulation thread
+  // (per-shard pools once the parallel core lands).
   Config config_;
-  std::vector<std::unique_ptr<UnderlayFrame>> free_list_;
-  Stats stats_;
+  std::vector<std::unique_ptr<UnderlayFrame>> free_list_
+      SCIERA_GUARDED_BY(sim_thread_role);
+  Stats stats_ SCIERA_GUARDED_BY(sim_thread_role);
 };
 
 }  // namespace sciera::dataplane

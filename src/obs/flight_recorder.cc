@@ -35,6 +35,7 @@ void FlightRecorder::record(TraceType type, SimTime time, std::uint64_t seq,
                             std::int64_t value) {
   TraceEvent event{type, time, seq, std::move(subject), std::move(detail),
                    value};
+  const sciera::MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -45,6 +46,7 @@ void FlightRecorder::record(TraceType type, SimTime time, std::uint64_t seq,
 }
 
 std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  const sciera::MutexLock lock(mutex_);
   std::vector<TraceEvent> events;
   events.reserve(ring_.size());
   // Before the first wrap the ring is in order from slot 0; afterwards the
@@ -56,13 +58,23 @@ std::vector<TraceEvent> FlightRecorder::snapshot() const {
   return events;
 }
 
-std::size_t FlightRecorder::size() const { return ring_.size(); }
+std::size_t FlightRecorder::size() const {
+  const sciera::MutexLock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const sciera::MutexLock lock(mutex_);
+  return recorded_;
+}
 
 std::uint64_t FlightRecorder::overwritten() const {
+  const sciera::MutexLock lock(mutex_);
   return recorded_ - ring_.size();
 }
 
 void FlightRecorder::clear() {
+  const sciera::MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;

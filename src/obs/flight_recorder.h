@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/time.h"
 
 namespace sciera::obs {
@@ -62,16 +63,18 @@ class FlightRecorder {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t size() const;
   // Total events ever recorded / evicted by the ring bound.
-  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t recorded() const;
   [[nodiscard]] std::uint64_t overwritten() const;
 
   void clear();
 
  private:
-  std::size_t capacity_;
-  std::vector<TraceEvent> ring_;
-  std::size_t next_ = 0;  // ring slot the next event lands in
-  std::uint64_t recorded_ = 0;
+  const std::size_t capacity_;  // immutable after construction
+  mutable sciera::Mutex mutex_;
+  std::vector<TraceEvent> ring_ SCIERA_GUARDED_BY(mutex_);
+  // Ring slot the next event lands in.
+  std::size_t next_ SCIERA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_ SCIERA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sciera::obs

@@ -71,7 +71,7 @@ MetricsRegistry::Series& MetricsRegistry::find_or_create(
 
 Counter& MetricsRegistry::counter(std::string_view name,
                                   const Labels& labels) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   Series& series = find_or_create(name, labels, MetricType::kCounter);
   if (series.type != MetricType::kCounter) {
     count_violation("obs.metric_type_mismatch");
@@ -83,7 +83,7 @@ Counter& MetricsRegistry::counter(std::string_view name,
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   Series& series = find_or_create(name, labels, MetricType::kGauge);
   if (series.type != MetricType::kGauge) {
     count_violation("obs.metric_type_mismatch");
@@ -97,7 +97,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<std::int64_t> bounds,
                                       const Labels& labels) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   Series& series = find_or_create(name, labels, MetricType::kHistogram);
   if (series.type != MetricType::kHistogram) {
     count_violation("obs.metric_type_mismatch");
@@ -113,14 +113,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 std::string MetricsRegistry::instance_label(std::string_view kind,
                                             std::string_view base) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   const auto n = ++instances_[{std::string{kind}, std::string{base}}];
   if (n == 1) return std::string{base};
   return std::string{base} + "#" + std::to_string(n);
 }
 
 void MetricsRegistry::zero_all() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   for (auto& [key, series] : series_) {
     if (series.counter) series.counter->value_ = 0;
     if (series.gauge) series.gauge->value_ = 0;
@@ -134,13 +134,13 @@ void MetricsRegistry::zero_all() {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   series_.clear();
   instances_.clear();
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   std::vector<MetricSample> samples;
   samples.reserve(series_.size());
   for (const auto& [key, series] : series_) {
@@ -170,7 +170,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::series() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sciera::MutexLock lock(mutex_);
   return series_.size();
 }
 

@@ -16,11 +16,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace sciera::obs {
 
@@ -146,11 +147,12 @@ class MetricsRegistry {
   using Key = std::pair<std::string, std::string>;
 
   Series& find_or_create(std::string_view name, const Labels& labels,
-                         MetricType type);
+                         MetricType type) SCIERA_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<Key, Series> series_;
-  std::map<std::pair<std::string, std::string>, std::uint64_t> instances_;
+  mutable sciera::Mutex mutex_;
+  std::map<Key, Series> series_ SCIERA_GUARDED_BY(mutex_);
+  std::map<std::pair<std::string, std::string>, std::uint64_t> instances_
+      SCIERA_GUARDED_BY(mutex_);
 };
 
 // Canonical (sorted by key) copy of a label set.

@@ -8,6 +8,7 @@
 namespace sciera::simnet {
 
 void Link::attach(int side, Node* node, IfaceId local_iface) {
+  sim_thread_role.assert_held();
   assert(side == 0 || side == 1);
   End& end = ends_[static_cast<std::size_t>(side)];
   end = End{};
@@ -47,6 +48,7 @@ Link::Stats Link::stats() const {
 }
 
 void Link::set_up(bool up) {
+  sim_thread_role.assert_held();
   if (up == up_) return;
   up_ = up;
   if (!up) {
@@ -78,6 +80,7 @@ void Link::set_up(bool up) {
 }
 
 void Link::send(int from_side, const MessagePtr& message) {
+  sim_thread_role.assert_held();
   assert(from_side == 0 || from_side == 1);
   End& tx = ends_[static_cast<std::size_t>(from_side)];
   End& rx = ends_[static_cast<std::size_t>(from_side ^ 1)];

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "simnet/node.h"
 #include "simnet/simulator.h"
@@ -64,7 +65,10 @@ class Link {
   // empty pipe — cancelled frames must not delay, tail-drop, or be
   // double-counted against traffic sent after the link recovers.
   void set_up(bool up);
-  [[nodiscard]] bool is_up() const { return up_; }
+  [[nodiscard]] bool is_up() const {
+    sim_thread_role.assert_held();
+    return up_;
+  }
 
   // Admin-state observer: invoked synchronously from set_up on every real
   // transition (after the link's own cut bookkeeping), carrying the new
@@ -79,14 +83,25 @@ class Link {
   // sent after the call; frames already on the wire keep the conditions
   // they were sent under.
   void set_loss_probability(double probability) {
+    sim_thread_role.assert_held();
     config_.loss_probability = probability;
   }
-  void set_jitter_sigma(double sigma) { config_.jitter_sigma = sigma; }
+  void set_jitter_sigma(double sigma) {
+    sim_thread_role.assert_held();
+    config_.jitter_sigma = sigma;
+  }
 
-  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] const LinkConfig& config() const {
+    sim_thread_role.assert_held();
+    return config_;
+  }
   [[nodiscard]] Stats stats() const;
-  [[nodiscard]] Node* peer_of(int side) const { return ends_[side ^ 1].node; }
+  [[nodiscard]] Node* peer_of(int side) const {
+    sim_thread_role.assert_held();
+    return ends_[side ^ 1].node;
+  }
   [[nodiscard]] IfaceId iface_of(int side) const {
+    sim_thread_role.assert_held();
     return ends_[static_cast<std::size_t>(side)].iface;
   }
 
@@ -110,7 +125,8 @@ class Link {
   };
 
   // Fires every frame batched for `deliver_at` toward endpoint `to_side`.
-  void deliver_batch(int to_side, SimTime deliver_at);
+  void deliver_batch(int to_side, SimTime deliver_at)
+      SCIERA_REQUIRES(sim_thread_role);
 
   // Registry cells, registered lazily on first use so test-created links
   // without a topology label still get a unique instance name.
@@ -123,16 +139,19 @@ class Link {
   Metrics& metrics() const;
   [[nodiscard]] const std::string& display_name() const;
 
+  // Per-link mutable state is thread-affine to the driving simulation
+  // thread (one role per shard once the parallel core lands); label_,
+  // metrics_, and on_state_change_ are wiring set before traffic flows.
   Simulator& sim_;
-  LinkConfig config_;
-  Rng rng_;
-  std::array<End, 2> ends_{};
+  LinkConfig config_ SCIERA_GUARDED_BY(sim_thread_role);
+  Rng rng_ SCIERA_GUARDED_BY(sim_thread_role);
+  std::array<End, 2> ends_ SCIERA_GUARDED_BY(sim_thread_role){};
   std::string label_;
   mutable Metrics metrics_;
-  bool up_ = true;
+  bool up_ SCIERA_GUARDED_BY(sim_thread_role) = true;
   // Bumped on every up->down transition; deliveries scheduled before the
   // cut carry the epoch they were sent under and are dropped on mismatch.
-  std::uint64_t down_epoch_ = 0;
+  std::uint64_t down_epoch_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
   StateObserver on_state_change_;
 };
 

@@ -48,6 +48,7 @@ Simulator::Simulator(SchedulerConfig config) : config_(config) {
 Simulator::~Simulator() { delete gauges_; }
 
 void Simulator::enable_metrics(const std::string& label) {
+  sim_thread_role.assert_held();
   if (gauges_ != nullptr) return;
   auto& registry = obs::MetricsRegistry::global();
   const obs::Labels base{{"sim", registry.instance_label("sim", label)},
@@ -171,6 +172,7 @@ SimTime Simulator::peek_next_time() {
 }
 
 void Simulator::at(SimTime when, Action action) {
+  sim_thread_role.assert_held();
   SCIERA_DCHECK(when >= now_, "simnet.schedule_in_past");
   if (when < now_) {
     // Release builds clamp instead of dying, but the clamp is audited so
@@ -182,6 +184,7 @@ void Simulator::at(SimTime when, Action action) {
 }
 
 void Simulator::after(Duration delay, Action action) {
+  sim_thread_role.assert_held();
   at(now_ + (delay < 0 ? 0 : delay), std::move(action));
 }
 
@@ -212,6 +215,7 @@ Simulator::Event Simulator::take_next() {
 }
 
 void Simulator::run_until(SimTime deadline) {
+  sim_thread_role.assert_held();
   while (prepare_next() && peek_next_time() <= deadline) {
     Event ev = take_next();
     ev.action();
@@ -221,6 +225,7 @@ void Simulator::run_until(SimTime deadline) {
 }
 
 void Simulator::run_all() {
+  sim_thread_role.assert_held();
   while (prepare_next()) {
     Event ev = take_next();
     ev.action();

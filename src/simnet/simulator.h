@@ -27,6 +27,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/time.h"
 
 namespace sciera::simnet {
@@ -82,7 +83,10 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const {
+    sim_thread_role.assert_held();
+    return now_;
+  }
   [[nodiscard]] SchedulerKind scheduler_kind() const { return config_.kind; }
 
   // Schedules an action at an absolute time (>= now).
@@ -92,18 +96,27 @@ class Simulator {
 
   // Runs until the queue drains or the given time is passed.
   void run_until(SimTime deadline);
-  void run_for(Duration span) { run_until(now_ + span); }
+  void run_for(Duration span) { run_until(now() + span); }
   // Runs until the queue drains completely.
   void run_all();
 
-  [[nodiscard]] std::size_t pending_events() const { return size_; }
-  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const {
+    sim_thread_role.assert_held();
+    return size_;
+  }
+  [[nodiscard]] std::uint64_t executed_events() const {
+    sim_thread_role.assert_held();
+    return executed_;
+  }
 
   // Digest of the executed event schedule so far (see ScheduleDigest).
   [[nodiscard]] const ScheduleDigest& schedule_digest() const {
+    sim_thread_role.assert_held();
     return digest_;
   }
-  [[nodiscard]] std::uint64_t schedule_hash() const { return digest_.hash; }
+  [[nodiscard]] std::uint64_t schedule_hash() const {
+    return schedule_digest().hash;
+  }
 
   // Publishes pending/executed/overflow depths as obs gauges under the
   // given instance label. Off by default: unit tests create thousands of
@@ -125,29 +138,35 @@ class Simulator {
   };
   using EventHeap = std::priority_queue<Event, std::vector<Event>, Later>;
 
-  void push(Event event);
+  void push(Event event) SCIERA_REQUIRES(sim_thread_role);
   // True when at least one event is pending; positions the calendar cursor
   // so that peek_/pop_ see the earliest event.
-  [[nodiscard]] bool prepare_next();
-  [[nodiscard]] SimTime peek_next_time();
+  [[nodiscard]] bool prepare_next() SCIERA_REQUIRES(sim_thread_role);
+  [[nodiscard]] SimTime peek_next_time() SCIERA_REQUIRES(sim_thread_role);
   // Pops the next event, folds it into the digest, and advances time.
-  Event take_next();
+  Event take_next() SCIERA_REQUIRES(sim_thread_role);
 
   // Calendar-queue internals (config_.kind == kCalendarQueue).
-  [[nodiscard]] std::size_t bucket_index(SimTime when) const;
-  void advance_cursor();
-  void jump_to_far();
-  void update_gauges();
+  [[nodiscard]] std::size_t bucket_index(SimTime when) const
+      SCIERA_REQUIRES(sim_thread_role);
+  void advance_cursor() SCIERA_REQUIRES(sim_thread_role);
+  void jump_to_far() SCIERA_REQUIRES(sim_thread_role);
+  void update_gauges() SCIERA_REQUIRES(sim_thread_role);
 
+  // config_ and width_shift_ are construction-time constants; everything
+  // below is event-queue state owned by the driving thread (today the one
+  // global sim_thread_role, one role per shard once the parallel core
+  // lands — see common/thread_annotations.h).
   SchedulerConfig config_;
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
-  std::size_t size_ = 0;
-  ScheduleDigest digest_;
+  int width_shift_ = 0;  // log2(bucket_width); widths are powers of two
+  SimTime now_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  std::uint64_t next_seq_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  std::uint64_t executed_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  std::size_t size_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  ScheduleDigest digest_ SCIERA_GUARDED_BY(sim_thread_role);
 
   // kBinaryHeap backend.
-  EventHeap heap_;
+  EventHeap heap_ SCIERA_GUARDED_BY(sim_thread_role);
 
   // kCalendarQueue backend: `near_` holds the cursor bucket's events as a
   // manual (when, seq) min-heap (std::push_heap/pop_heap over a plain
@@ -155,17 +174,22 @@ class Simulator {
   // make_heap and bucket capacities recycle instead of reallocating);
   // `buckets_` hold unordered events within the wheel horizon; `far_`
   // holds everything past the horizon.
-  std::vector<Event> near_;
-  std::vector<std::vector<Event>> buckets_;
-  std::size_t buckets_occupied_ = 0;  // events currently in buckets_
-  EventHeap far_;
-  std::size_t cursor_ = 0;
-  int width_shift_ = 0;        // log2(bucket_width); widths are powers of two
-  SimTime wheel_start_ = 0;    // start time of the cursor bucket
-  SimTime near_end_ = 0;       // wheel_start_ + bucket_width
-  SimTime horizon_end_ = 0;    // wheel_start_ + width * count
+  std::vector<Event> near_ SCIERA_GUARDED_BY(sim_thread_role);
+  std::vector<std::vector<Event>> buckets_ SCIERA_GUARDED_BY(sim_thread_role);
+  // Events currently in buckets_.
+  std::size_t buckets_occupied_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  EventHeap far_ SCIERA_GUARDED_BY(sim_thread_role);
+  std::size_t cursor_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  // Start time of the cursor bucket.
+  SimTime wheel_start_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  // wheel_start_ + bucket_width.
+  SimTime near_end_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  // wheel_start_ + width * count.
+  SimTime horizon_end_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
 
-  obs_cells::SimulatorGauges* gauges_ = nullptr;  // owned, null when disabled
+  // Owned, null when disabled.
+  obs_cells::SimulatorGauges* gauges_ SCIERA_GUARDED_BY(sim_thread_role) =
+      nullptr;
 };
 
 }  // namespace sciera::simnet

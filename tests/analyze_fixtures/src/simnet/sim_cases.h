@@ -1,0 +1,29 @@
+// Golden fixture for sciera_analyze's directory-scoped rules: this file
+// pretends to live in src/simnet/, so simnet-layering (the event core
+// may include only common/, obs/ and simnet/) and float-accumulation
+// (digest-visible directories accumulate in integers) apply. Scanned,
+// never compiled; line numbers are pinned by expected.json.
+#pragma once
+
+#include "common/time.h"
+#include "simnet/simulator.h"
+#include "topology/topology.h"
+#include "controlplane/beaconing.h"  // NOLINT(simnet-layering) fixture
+
+namespace fixtures {
+
+class SimCases {
+ public:
+  void accumulate(double sample) {
+    jitter_acc_ += sample;
+    budget_acc_ += sample;  // NOLINT(float-accumulation) fixture
+    ticks_ += 1;            // integer accumulation is associative: not flagged
+  }
+
+ private:
+  double jitter_acc_ = 0.0;
+  double budget_acc_ = 0.0;
+  long ticks_ = 0;
+};
+
+}  // namespace fixtures

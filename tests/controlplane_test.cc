@@ -4,9 +4,11 @@
 // combined path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "controlplane/control_plane.h"
+#include "simnet/audit.h"
 #include "topology/sciera_net.h"
 
 namespace sciera::controlplane {
@@ -505,6 +507,43 @@ TEST_F(ScieraFixture, TrcAvailableFromControlService) {
   ASSERT_NE(cs->local_trc(), nullptr);
   EXPECT_EQ(cs->local_trc()->isd, 71);
   EXPECT_TRUE(cs->local_trc()->verify_base().ok());
+}
+
+// Perturbed-insertion-order regression for the analyzer's determinism
+// contract: services_ is an ordered map populated lazily in first-lookup
+// order, and the beaconing/healing sweeps walk it. Whatever order hosts
+// first touch their control services, the executed schedule must come
+// out identical — and each ordering must itself replay bit-identically
+// under simnet::audit_determinism.
+TEST(ControlPlane, ServiceLookupOrderDoesNotPerturbSchedule) {
+  const auto scenario = [](bool reversed) {
+    return [reversed]() -> simnet::ScheduleDigest {
+      ScionNetwork::Options options;
+      options.healing.enabled = true;
+      options.healing.refresh_interval = 500 * kMillisecond;
+      options.healing.segment_lifetime = 1500 * kMillisecond;
+      options.healing.detection_delay = 100 * kMillisecond;
+      ScionNetwork net{topology::build_sciera(), options};
+      std::vector<IsdAs> order = {a::uva(), a::princeton(), a::kisti_dj(),
+                                  a::geant(), a::rnp()};
+      if (reversed) std::reverse(order.begin(), order.end());
+      for (const IsdAs ia : order) {
+        EXPECT_NE(net.control_service_set(ia), nullptr) << ia.to_string();
+      }
+      net.set_link_up("kisti-sg-kaust", false);
+      net.sim().run_until(2 * kSecond);
+      net.set_link_up("kisti-sg-kaust", true);
+      net.sim().run_until(4 * kSecond);
+      return net.sim().schedule_digest();
+    };
+  };
+  const auto forward = simnet::audit_determinism(scenario(false));
+  EXPECT_TRUE(forward.deterministic()) << forward.to_string();
+  const auto reversed = simnet::audit_determinism(scenario(true));
+  EXPECT_TRUE(reversed.deterministic()) << reversed.to_string();
+  EXPECT_TRUE(forward.first == reversed.first)
+      << "lookup order leaked into the schedule: forward "
+      << forward.to_string() << " vs reversed " << reversed.to_string();
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "cppki/ca.h"
 #include "cppki/certificate.h"
 #include "cppki/trc.h"
@@ -221,6 +225,38 @@ TEST(Ca, SignAsProducesVerifiableControlPlaneSignatures) {
   EXPECT_TRUE(crypto::Ed25519::verify(creds->as_cert.subject_key, payload,
                                       sig.value()));
   EXPECT_FALSE(pki.sign_as(a::uva(), payload).ok());  // not enrolled
+}
+
+// Perturbed-insertion-order regression for the analyzer's determinism
+// contract: IsdPki::members_ is an ordered map, so the automated renewal
+// sweep re-issues certificates by AS identifier — the CA serial each AS
+// ends up with must not depend on the order operators happened to enroll.
+// (With a hash map this walks the bucket chains, which DO reorder under
+// reversed insertion.)
+TEST(Pki, RenewalSerialsIndependentOfEnrollmentOrder) {
+  const std::vector<IsdAs> members = {a::uva(), a::princeton(), a::sidn(),
+                                      a::demokritos(), a::ovgu()};
+  const auto build = [&members](bool reversed) {
+    std::vector<IsdAs> order = members;
+    if (reversed) std::reverse(order.begin(), order.end());
+    auto pki = std::make_unique<IsdPki>(
+        71, std::vector<IsdAs>{a::geant(), a::bridges()}, 0, 365 * kDay, 77);
+    for (const IsdAs ia : order) {
+      EXPECT_TRUE(pki->enroll(ia, 0).ok()) << ia.to_string();
+    }
+    // Inside the renewal margin: one sweep re-issues every member.
+    EXPECT_EQ(pki->renew_expiring(2 * kDay + kHour), order.size());
+    return pki;
+  };
+  const auto forward = build(false);
+  const auto reversed = build(true);
+  for (const IsdAs ia : members) {
+    const auto* f = forward->credentials(ia);
+    const auto* r = reversed->credentials(ia);
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(f->as_cert.serial, r->as_cert.serial) << ia.to_string();
+  }
 }
 
 }  // namespace

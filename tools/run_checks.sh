@@ -19,6 +19,19 @@ export ASAN_OPTIONS="suppressions=$SUPP_DIR/asan.supp:detect_stack_use_after_ret
 export UBSAN_OPTIONS="suppressions=$SUPP_DIR/ubsan.supp:print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
 export LSAN_OPTIONS="suppressions=$SUPP_DIR/lsan.supp:${LSAN_OPTIONS:-}"
 
+# Static analysis runs before any build: the determinism/concurrency
+# analyzer (sciera_analyze) must report zero unsuppressed findings over
+# src/, warnings included. A tiny host-compiler build of the two lint
+# tools is enough — they have no dependency on the sciera library.
+echo "== sciera_analyze (determinism & concurrency static analysis) =="
+ANALYZE_DIR="$BUILD_DIR-analyze"
+mkdir -p "$ANALYZE_DIR"
+c++ -std=c++20 -O1 -o "$ANALYZE_DIR/sciera_analyze" \
+  "$ROOT/tools/sciera_analyze.cc"
+"$ANALYZE_DIR/sciera_analyze" --werror --json "$ROOT" src \
+  > "$ANALYZE_DIR/ANALYZE_findings.json" \
+  || { cat "$ANALYZE_DIR/ANALYZE_findings.json"; exit 1; }
+
 echo "== configure (sanitize: $SANITIZE, -Werror on) =="
 cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -52,5 +65,24 @@ echo "== sciera_chaos kreonet-ring-cut --quick soak (sanitized) =="
 echo "== sciera_chaos kreonet-ring-cut --self-healing reconvergence soak (sanitized) =="
 "$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --self-healing --seed 7 \
   --duration-ms 3000 --out "$BUILD_DIR/CHAOS_reconverge_quick.json"
+
+# TSan flavor of the concurrency surfaces. When this script is already
+# running the thread flavor (SCIERA_SANITIZE=thread), the full suite above
+# covered it; otherwise build just the chaos CLI in a separate TSan tree
+# and run the soak smoke plus the multithreaded observability smoke, so
+# the sciera::Mutex discipline the thread-safety annotations promise is
+# checked dynamically on every gate run.
+if [[ "$SANITIZE" != *thread* ]]; then
+  TSAN_DIR="$BUILD_DIR-tsan"
+  echo "== TSan flavor: sciera_chaos soak + thread smoke =="
+  cmake -B "$TSAN_DIR" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSCIERA_SANITIZE=thread \
+    -DSCIERA_WERROR=ON
+  cmake --build "$TSAN_DIR" -j "$JOBS" --target sciera_chaos_cli
+  "$TSAN_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 \
+    --duration-ms 2000 --out "$TSAN_DIR/CHAOS_soak_tsan.json"
+  "$TSAN_DIR/tools/sciera_chaos" --thread-smoke
+fi
 
 echo "== run_checks: all clean =="

@@ -1,0 +1,642 @@
+// sciera_analyze: multi-pass determinism & concurrency static analyzer.
+//
+// Where sciera_lint enforces per-line style conventions with text
+// matching, sciera_analyze runs on a real token stream (tools/cpp_lexer.h)
+// with a per-file symbol table of container declarations, so it can
+// reason about *what* is being iterated, not just what a line looks
+// like. Three rule families guard the project's determinism contract
+// (ROADMAP: the parallel simulation core needs a statically-enforced
+// floor before shards can interleave):
+//
+// determinism hazards
+//   unordered-iteration   (error) iterating a std::unordered_map/set —
+//                         range-for, explicit .begin()/.cbegin(), or
+//                         std::erase_if over a hash container. Iteration
+//                         order depends on hashing/libstdc++ internals,
+//                         so anything digest-visible must use an ordered
+//                         container or a sorted view. Membership lookups
+//                         (find/count/contains/operator[]) are fine and
+//                         never flagged. A pure-predicate erase_if is
+//                         set-like and may be suppressed with
+//                         justification.
+//   pointer-key-container (error) a map/set keyed by a pointer type:
+//                         even std::map iterates in address order, which
+//                         varies run to run.
+//   float-accumulation    (warn) `+=`/`-=` on a float/double variable in
+//                         digest-visible directories (src/simnet,
+//                         src/dataplane, src/controlplane, src/chaos) —
+//                         accumulation order changes the result once the
+//                         parallel core reorders work. Integers (Duration)
+//                         are associative; use them, or suppress with a
+//                         justification that the value never reaches a
+//                         digest.
+//   unseeded-rng          (error) std::mt19937 & friends or
+//                         std::random_device outside src/common/rng.* —
+//                         all randomness flows from sciera::Rng so every
+//                         run replays from an explicit seed.
+//
+// concurrency readiness
+//   std-mutex-member      (error) naming std::mutex / std::lock_guard /
+//                         std::scoped_lock / std::unique_lock (or
+//                         including <mutex>) outside
+//                         src/common/thread_annotations.h. Those types
+//                         are invisible to Clang thread-safety analysis
+//                         under libstdc++; use sciera::Mutex +
+//                         sciera::MutexLock, which carry the capability
+//                         annotations.
+//
+// layering
+//   simnet-layering       (error) src/simnet may include only common/,
+//                         obs/ and simnet/ project headers. The event
+//                         core must not know about the layers above it.
+//
+// suppression hygiene
+//   legacy-nolint         (warn) a bare `// NOLINT` (no rule list). It
+//                         still suppresses everything on its line, but
+//                         name the rule: `// NOLINT(rule-name)`.
+//
+// Suppressions use the unified grammar of tools/nolint.h:
+// NOLINT(rule), NOLINT(rule-a, rule-b), NOLINTNEXTLINE(rule), with
+// `sciera-` prefixes accepted. Symbols are resolved per file; a foo.cc
+// also sees the container members declared in its companion foo.h.
+//
+// Usage: sciera_analyze [--json] [--werror] <repo_root> [subdir ...]
+//        (default subdirs: src)
+// Exit: 0 clean (warnings allowed unless --werror), 1 findings, 2 usage.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpp_lexer.h"
+#include "nolint.h"
+
+namespace fs = std::filesystem;
+using sciera::lintutil::LexedFile;
+using sciera::lintutil::SuppressionIndex;
+using sciera::lintutil::Token;
+
+namespace {
+
+enum class Severity { kError, kWarning };
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Symbol table: container-typed declarations visible in one file.
+
+struct SymbolTable {
+  std::set<std::string> unordered_vars;     // variables of hash-container type
+  std::set<std::string> unordered_aliases;  // using-aliases to such types
+  std::set<std::string> float_vars;         // variables declared float/double
+};
+
+bool is_unordered_container(std::string_view name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+bool is_assoc_container(std::string_view name) {
+  return is_unordered_container(name) || name == "map" || name == "set" ||
+         name == "multimap" || name == "multiset";
+}
+
+struct TokenCursor {
+  const std::vector<Token>& toks;
+  [[nodiscard]] bool ident(std::size_t i, std::string_view text) const {
+    return i < toks.size() && toks[i].kind == Token::Kind::kIdent &&
+           toks[i].text == text;
+  }
+  [[nodiscard]] bool punct(std::size_t i, std::string_view text) const {
+    return i < toks.size() && toks[i].kind == Token::Kind::kPunct &&
+           toks[i].text == text;
+  }
+  [[nodiscard]] bool any_ident(std::size_t i) const {
+    return i < toks.size() && toks[i].kind == Token::Kind::kIdent;
+  }
+};
+
+// Walks the template argument list starting at the `<` token; returns the
+// index one past the matching `>`, or npos. `first_arg` receives the
+// tokens of the first top-level argument.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t open, std::vector<Token>* first_arg) {
+  int depth = 0;
+  bool in_first = true;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "<") {
+        ++depth;
+        if (depth == 1) continue;  // don't record the opening bracket
+      } else if (t.text == ">") {
+        --depth;
+        if (depth == 0) return i + 1;
+        if (depth < 0) return std::string::npos;
+      } else if (t.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return i + 1;
+      } else if (t.text == "," && depth == 1) {
+        in_first = false;
+        continue;
+      } else if (t.text == ";") {
+        return std::string::npos;  // statement ended: not a template
+      }
+    }
+    if (depth >= 1 && in_first && first_arg != nullptr) {
+      first_arg->push_back(t);
+    }
+  }
+  return std::string::npos;
+}
+
+bool first_arg_is_pointer(const std::vector<Token>& first_arg) {
+  return !first_arg.empty() && first_arg.back().kind == Token::Kind::kPunct &&
+         first_arg.back().text == "*";
+}
+
+// After a complete type (index of the token following the closing `>`),
+// find the declared variable name, skipping cv/ref/ptr decorations.
+// Returns npos if this type mention is not a declaration (e.g. a function
+// parameter type in a call expression, a return type of `&` expression).
+std::size_t declared_name_index(const TokenCursor& cur, std::size_t i) {
+  while (i < cur.toks.size() &&
+         (cur.punct(i, "&") || cur.punct(i, "*") || cur.ident(i, "const"))) {
+    ++i;
+  }
+  if (!cur.any_ident(i)) return std::string::npos;
+  // The next token decides whether this is a declaration: initializers,
+  // terminators and separators qualify; `(` means a function call or
+  // declaration of a function — skip those.
+  const std::size_t after = i + 1;
+  if (after >= cur.toks.size()) return i;
+  const Token& t = cur.toks[after];
+  if (t.kind == Token::Kind::kPunct &&
+      (t.text == ";" || t.text == "=" || t.text == "{" || t.text == "," ||
+       t.text == ")" || t.text == "[")) {
+    return i;
+  }
+  return std::string::npos;
+}
+
+// Builds the symbol table and reports pointer-keyed containers (they are
+// findings at the declaration site, not at iteration sites).
+void scan_declarations(const LexedFile& lexed, SymbolTable& table,
+                       const std::string& rel, bool in_scope_src,
+                       std::vector<Finding>& findings) {
+  const TokenCursor cur{lexed.tokens};
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // using Alias = std::unordered_map<...>;
+    if (cur.ident(i, "using") && cur.any_ident(i + 1) && cur.punct(i + 2, "=")) {
+      const std::string alias = toks[i + 1].text;
+      for (std::size_t j = i + 3;
+           j < toks.size() && !cur.punct(j, ";"); ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            is_assoc_container(toks[j].text) && cur.punct(j + 1, "<")) {
+          std::vector<Token> first_arg;
+          skip_template_args(toks, j + 1, &first_arg);
+          if (is_unordered_container(toks[j].text)) {
+            table.unordered_aliases.insert(alias);
+          }
+          if (in_scope_src && first_arg_is_pointer(first_arg)) {
+            findings.push_back(
+                {rel, toks[j].line, "pointer-key-container", Severity::kError,
+                 "associative container keyed by a pointer — iteration order "
+                 "is address order, which varies run to run; key by a stable "
+                 "identifier instead"});
+          }
+          break;
+        }
+      }
+      continue;
+    }
+    // std::unordered_map<...> name  /  std::map<...> name
+    if (toks[i].kind == Token::Kind::kIdent &&
+        is_assoc_container(toks[i].text) && cur.punct(i + 1, "<") && i >= 2 &&
+        cur.ident(i - 2, "std") && cur.punct(i - 1, "::")) {
+      std::vector<Token> first_arg;
+      const std::size_t after = skip_template_args(toks, i + 1, &first_arg);
+      if (after == std::string::npos) continue;
+      if (in_scope_src && first_arg_is_pointer(first_arg)) {
+        findings.push_back(
+            {rel, toks[i].line, "pointer-key-container", Severity::kError,
+             "associative container keyed by a pointer — iteration order is "
+             "address order, which varies run to run; key by a stable "
+             "identifier instead"});
+      }
+      if (is_unordered_container(toks[i].text)) {
+        const std::size_t name = declared_name_index(cur, after);
+        if (name != std::string::npos) {
+          table.unordered_vars.insert(toks[name].text);
+        }
+      }
+      continue;
+    }
+    // AliasOfUnordered name;  (declaration through a tracked alias)
+    if (toks[i].kind == Token::Kind::kIdent &&
+        table.unordered_aliases.count(toks[i].text) != 0) {
+      const std::size_t name = declared_name_index(cur, i + 1);
+      if (name != std::string::npos) {
+        table.unordered_vars.insert(toks[name].text);
+      }
+      continue;
+    }
+    // double name / float name
+    if ((cur.ident(i, "double") || cur.ident(i, "float"))) {
+      const std::size_t name = declared_name_index(cur, i + 1);
+      if (name != std::string::npos) {
+        table.float_vars.insert(toks[name].text);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules over the token stream.
+
+struct RuleContext {
+  const LexedFile& lexed;
+  const SymbolTable& table;
+  std::string rel;           // path relative to the scan root
+  std::vector<Finding>* out;
+
+  void add(std::size_t line, std::string rule, Severity sev,
+           std::string message) const {
+    out->push_back({rel, line, std::move(rule), sev, std::move(message)});
+  }
+};
+
+// unordered-iteration: range-for over a hash container, explicit
+// begin()/cbegin()/rbegin(), or std::erase_if on one.
+void rule_unordered_iteration(const RuleContext& ctx) {
+  const TokenCursor cur{ctx.lexed.tokens};
+  const auto& toks = ctx.lexed.tokens;
+  const auto known = [&](const Token& t) {
+    return t.kind == Token::Kind::kIdent &&
+           ctx.table.unordered_vars.count(t.text) != 0;
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for: for ( decl : range-expr )
+    if (cur.ident(i, "for") && cur.punct(i + 1, "(")) {
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind != Token::Kind::kPunct) continue;
+        if (toks[j].text == "(") {
+          ++depth;
+        } else if (toks[j].text == ")") {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && toks[j].text == ";") {
+          break;  // classic three-clause for
+        } else if (depth == 1 && toks[j].text == ":" &&
+                   colon == std::string::npos) {
+          colon = j;
+        }
+      }
+      if (colon != std::string::npos && close != std::string::npos &&
+          close > colon + 1) {
+        // The range expression's *last* token decides: `m` or `obj.m_`
+        // iterates the container itself; `m[key]` (ends in `]`) or
+        // `sorted(m)` (ends in `)`) does not.
+        const Token& last = toks[close - 1];
+        if (known(last)) {
+          ctx.add(last.line, "unordered-iteration", Severity::kError,
+                  "range-for over hash container '" + last.text +
+                      "' — iteration order is not deterministic; use an "
+                      "ordered container or a sorted view");
+        }
+      }
+    }
+    // x.begin() / x.cbegin() / x.rbegin()
+    if (known(toks[i]) && (cur.punct(i + 1, ".") || cur.punct(i + 1, "->")) &&
+        i + 2 < toks.size() && toks[i + 2].kind == Token::Kind::kIdent &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+         toks[i + 2].text == "rbegin") &&
+        cur.punct(i + 3, "(")) {
+      ctx.add(toks[i].line, "unordered-iteration", Severity::kError,
+              "iterator walk over hash container '" + toks[i].text +
+                  "' — iteration order is not deterministic; use an ordered "
+                  "container or a sorted view");
+    }
+    // std::erase_if(x, ...) — iterates internally; order-independent only
+    // when the predicate is pure, hence suppressible with justification.
+    if (cur.ident(i, "erase_if") && cur.punct(i + 1, "(") &&
+        i + 2 < toks.size() && known(toks[i + 2]) &&
+        (cur.punct(i + 3, ",") || cur.punct(i + 3, ")"))) {
+      ctx.add(toks[i].line, "unordered-iteration", Severity::kError,
+              "std::erase_if over hash container '" + toks[i + 2].text +
+                  "' — set-like and safe only if the predicate is pure; "
+                  "suppress with '// NOLINT(unordered-iteration)' plus a "
+                  "justification, or use an ordered container");
+    }
+  }
+}
+
+void rule_float_accumulation(const RuleContext& ctx) {
+  const auto& toks = ctx.lexed.tokens;
+  const TokenCursor cur{toks};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent &&
+        ctx.table.float_vars.count(toks[i].text) != 0 &&
+        (cur.punct(i + 1, "+=") || cur.punct(i + 1, "-="))) {
+      ctx.add(toks[i].line, "float-accumulation", Severity::kWarning,
+              "accumulation into floating-point '" + toks[i].text +
+                  "' in a digest-visible path — the result depends on "
+                  "summation order; accumulate in integers (Duration) or "
+                  "suppress with a justification that the value never "
+                  "reaches a digest");
+    }
+  }
+}
+
+void rule_unseeded_rng(const RuleContext& ctx) {
+  static constexpr std::string_view kEngines[] = {
+      "mt19937",    "mt19937_64",        "minstd_rand", "minstd_rand0",
+      "ranlux24",   "ranlux48",          "knuth_b",     "default_random_engine",
+      "random_device",
+  };
+  for (const Token& t : ctx.lexed.tokens) {
+    if (t.kind != Token::Kind::kIdent) continue;
+    for (const std::string_view engine : kEngines) {
+      if (t.text == engine) {
+        ctx.add(t.line, "unseeded-rng", Severity::kError,
+                "std::" + t.text +
+                    " outside src/common/rng.* — all randomness must flow "
+                    "from sciera::Rng so runs replay from an explicit seed");
+      }
+    }
+  }
+}
+
+void rule_std_mutex_member(const RuleContext& ctx) {
+  static constexpr std::string_view kTypes[] = {
+      "mutex",        "recursive_mutex", "timed_mutex", "shared_mutex",
+      "lock_guard",   "scoped_lock",     "unique_lock", "shared_lock",
+      "condition_variable",
+  };
+  const auto& toks = ctx.lexed.tokens;
+  const TokenCursor cur{toks};
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!cur.ident(i, "std") || !cur.punct(i + 1, "::")) continue;
+    for (const std::string_view type : kTypes) {
+      if (toks[i + 2].kind == Token::Kind::kIdent && toks[i + 2].text == type) {
+        ctx.add(toks[i].line, "std-mutex-member", Severity::kError,
+                "std::" + toks[i + 2].text +
+                    " is invisible to thread-safety analysis — use "
+                    "sciera::Mutex / sciera::MutexLock "
+                    "(src/common/thread_annotations.h)");
+      }
+    }
+  }
+  for (const auto& inc : ctx.lexed.includes) {
+    if (!inc.quoted && inc.path == "mutex") {
+      ctx.add(inc.line, "std-mutex-member", Severity::kError,
+              "#include <mutex> outside src/common/thread_annotations.h — "
+              "include \"common/thread_annotations.h\" and use sciera::Mutex");
+    }
+  }
+}
+
+void rule_simnet_layering(const RuleContext& ctx) {
+  static constexpr std::string_view kAllowed[] = {"common/", "obs/", "simnet/"};
+  for (const auto& inc : ctx.lexed.includes) {
+    if (!inc.quoted) continue;  // system/vendor headers are fine
+    bool ok = false;
+    for (const std::string_view prefix : kAllowed) {
+      if (std::string_view{inc.path}.starts_with(prefix)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      ctx.add(inc.line, "simnet-layering", Severity::kError,
+              "src/simnet may not include '" + inc.path +
+                  "' — the event core depends only on common/, obs/ and "
+                  "simnet/; upper layers hook in via callbacks");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+bool is_header(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".hh";
+}
+
+bool is_source(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct FileAnalysis {
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+};
+
+// Analyzes one file; `rel` is forward-slash relative to the scan root.
+FileAnalysis analyze_file(const fs::path& file, const std::string& rel) {
+  FileAnalysis result;
+  const std::string content = read_file(file);
+  const LexedFile lexed = sciera::lintutil::lex(content);
+
+  SymbolTable table;
+  std::vector<Finding> raw;
+
+  const bool in_src = std::string_view{rel}.starts_with("src/");
+  scan_declarations(lexed, table, rel, in_src, raw);
+
+  // Companion header: foo.cc sees the members declared in foo.h (same
+  // directory). Its declarations feed the symbol table only — findings in
+  // the header are reported when the header itself is scanned.
+  if (is_source(file)) {
+    fs::path companion = file;
+    companion.replace_extension(".h");
+    if (fs::exists(companion)) {
+      const LexedFile header = sciera::lintutil::lex(read_file(companion));
+      std::vector<Finding> ignored;
+      scan_declarations(header, table, rel, false, ignored);
+    }
+  }
+
+  const RuleContext ctx{lexed, table, rel, &raw};
+  if (in_src) {
+    rule_unordered_iteration(ctx);
+    const bool digest_visible = std::string_view{rel}.starts_with("src/simnet/") ||
+                                std::string_view{rel}.starts_with("src/dataplane/") ||
+                                std::string_view{rel}.starts_with("src/controlplane/") ||
+                                std::string_view{rel}.starts_with("src/chaos/");
+    if (digest_visible) rule_float_accumulation(ctx);
+    if (rel != "src/common/rng.cc" && rel != "src/common/rng.h") {
+      rule_unseeded_rng(ctx);
+    }
+    if (rel != "src/common/thread_annotations.h") rule_std_mutex_member(ctx);
+    if (std::string_view{rel}.starts_with("src/simnet/")) {
+      rule_simnet_layering(ctx);
+    }
+  }
+
+  // Suppression pass: NOLINT markers live in comments.
+  SuppressionIndex index;
+  for (const auto& [line, text] : lexed.comments) {
+    index.add_line(line, text);
+  }
+  for (const Finding& f : raw) {
+    if (index.suppressed(f.line, f.rule)) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(f);
+    }
+  }
+  // legacy-nolint is a meta rule about the marker itself, so the bare
+  // marker does not suppress it.
+  for (const std::size_t line : index.legacy_lines()) {
+    result.findings.push_back(
+        {rel, line, "legacy-nolint", Severity::kWarning,
+         "bare NOLINT suppresses every rule — name the rule: "
+         "'// NOLINT(rule-name)'"});
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg.starts_with("--")) {
+      std::cerr << "sciera_analyze: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    std::cerr << "usage: sciera_analyze [--json] [--werror] <repo_root> "
+                 "[subdir ...]\n";
+    return 2;
+  }
+  const fs::path root = positional.front();
+  std::vector<std::string> subdirs(positional.begin() + 1, positional.end());
+  if (subdirs.empty()) subdirs = {"src"};
+
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+  for (const auto& subdir : subdirs) {
+    const fs::path dir = root / subdir;
+    if (!fs::exists(dir)) {
+      std::cerr << "sciera_analyze: no such directory: " << dir << "\n";
+      return 2;
+    }
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (is_header(entry.path()) || is_source(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& p : files) {
+      FileAnalysis fa =
+          analyze_file(p, fs::relative(p, root).generic_string());
+      suppressed += fa.suppressed;
+      findings.insert(findings.end(), fa.findings.begin(), fa.findings.end());
+      ++files_scanned;
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Finding& f : findings) {
+    (f.severity == Severity::kError ? errors : warnings) += 1;
+  }
+
+  if (json) {
+    std::cout << "{\n  \"schema\": \"sciera.analyze.v1\",\n";
+    std::cout << "  \"files_scanned\": " << files_scanned << ",\n";
+    std::cout << "  \"suppressed\": " << suppressed << ",\n";
+    std::cout << "  \"errors\": " << errors << ",\n";
+    std::cout << "  \"warnings\": " << warnings << ",\n";
+    std::cout << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i == 0 ? "\n" : ",\n");
+      std::cout << "    {\"file\": \"" << json_escape(f.file)
+                << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+                << "\", \"severity\": \""
+                << (f.severity == Severity::kError ? "error" : "warning")
+                << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  } else {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": "
+                << (f.severity == Severity::kError ? "error" : "warning")
+                << " [" << f.rule << "] " << f.message << "\n";
+    }
+    std::cout << "sciera_analyze: " << files_scanned << " files, " << errors
+              << " error" << (errors == 1 ? "" : "s") << ", " << warnings
+              << " warning" << (warnings == 1 ? "" : "s") << " (" << suppressed
+              << " suppressed)\n";
+  }
+  if (errors > 0) return 1;
+  if (werror && warnings > 0) return 1;
+  return 0;
+}

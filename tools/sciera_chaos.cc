@@ -12,12 +12,17 @@
 // Usage: sciera_chaos <plan> [--seed N] [--duration-ms N]
 //                            [--no-resilience] [--self-healing] [--out FILE]
 //        sciera_chaos --list-plans
+//        sciera_chaos --thread-smoke
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "chaos/soak.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -25,7 +30,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
                "[--no-resilience] [--self-healing] [--out FILE]\n"
-               "       sciera_chaos --list-plans\n");
+               "       sciera_chaos --list-plans\n"
+               "       sciera_chaos --thread-smoke\n");
   return 2;
 }
 
@@ -36,6 +42,82 @@ int list_plans() {
   return 0;
 }
 
+// Hammers the genuinely thread-safe observability surfaces from
+// concurrent threads: MetricsRegistry series registration /
+// instance_label and the FlightRecorder ring (record, snapshot, size are
+// all mutex-protected). Counter cells themselves are single-writer by
+// design — each worker increments only its own series, and the verifying
+// registry snapshot happens after the join. Run under
+// SCIERA_SANITIZE=thread this checks the sciera::Mutex discipline the
+// thread-safety annotations promise.
+int thread_smoke() {
+  using sciera::obs::FlightRecorder;
+  using sciera::obs::Labels;
+  using sciera::obs::MetricsRegistry;
+  using sciera::obs::TraceType;
+
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kIterations = 2000;
+  constexpr std::size_t kRecorderCapacity = 512;
+
+  MetricsRegistry registry;
+  FlightRecorder recorder(kRecorderCapacity);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&registry, &recorder, w] {
+      const std::string worker = "w" + std::to_string(w);
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        // Registration path: same key re-resolved every iteration, plus a
+        // rotating slot label so fresh series keep being created while
+        // other threads snapshot the recorder.
+        auto& total = registry.counter(
+            "sciera_smoke_total", Labels{{"worker", worker}});
+        total.inc();
+        auto& slot = registry.counter(
+            "sciera_smoke_slot_total",
+            Labels{{"worker", worker},
+                   {"slot", std::to_string(i % 8)}});
+        slot.inc();
+        (void)registry.instance_label("smoke", "smoke-" + worker);
+        recorder.record(TraceType::kProbeBurst, static_cast<sciera::SimTime>(i),
+                        i, worker, "thread-smoke");
+        if (i % 64 == 0) {
+          (void)recorder.snapshot();
+          (void)recorder.size();
+          (void)registry.series();
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  // Single-threaded verification: every increment and record must have
+  // landed exactly once.
+  std::uint64_t total = 0;
+  std::uint64_t slot_total = 0;
+  for (const auto& sample : registry.snapshot()) {
+    if (sample.name == "sciera_smoke_total") total += sample.counter_value;
+    if (sample.name == "sciera_smoke_slot_total") {
+      slot_total += sample.counter_value;
+    }
+  }
+  const std::uint64_t expected = kWorkers * kIterations;
+  bool ok = total == expected && slot_total == expected;
+  if (recorder.recorded() != expected) ok = false;
+  if (recorder.size() != kRecorderCapacity) ok = false;
+  if (recorder.overwritten() != expected - kRecorderCapacity) ok = false;
+  std::printf(
+      "thread smoke: workers=%zu iterations=%zu counted=%llu/%llu "
+      "recorded=%llu retained=%zu %s\n",
+      kWorkers, kIterations, static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(expected),
+      static_cast<unsigned long long>(recorder.recorded()), recorder.size(),
+      ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,6 +126,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "--list") == 0 ||
       std::strcmp(argv[1], "--list-plans") == 0) {
     return list_plans();
+  }
+  if (std::strcmp(argv[1], "--thread-smoke") == 0) {
+    return thread_smoke();
   }
 
   const std::string plan_name = argv[1];

@@ -43,6 +43,13 @@
 // Comments and string/char literals are stripped before matching, so
 // documentation may mention banned names freely.
 //
+// Every rule is suppressible through the unified grammar of
+// tools/nolint.h (shared with sciera_analyze): `// NOLINT(rule-name)` on
+// the offending line or `// NOLINTNEXTLINE(rule-name)` above it, with
+// rule names accepted with or without the historical `sciera-` prefix.
+// A bare `// NOLINT` still suppresses everything on its line but is
+// reported as a (non-fatal) legacy-nolint warning — name the rule.
+//
 // Usage: sciera_lint <repo_root> [subdir ...]   (default: src tests bench)
 #include <algorithm>
 #include <cctype>
@@ -54,6 +61,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "nolint.h"
 
 namespace fs = std::filesystem;
 
@@ -187,6 +196,7 @@ bool contains_call(std::string_view line, std::string_view word) {
 
 struct FileReport {
   std::vector<Violation> violations;
+  std::vector<Violation> warnings;  // non-fatal (legacy-nolint)
   void add(const fs::path& file, std::size_t line, std::string rule,
            std::string message) {
     violations.push_back(
@@ -230,6 +240,12 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
   const auto lines = strip_source(content);
   const std::string rel_str = rel.generic_string();
 
+  // Unified suppression grammar (tools/nolint.h): markers are parsed from
+  // the raw lines, violations filtered at the end of the scan.
+  sciera::lintutil::SuppressionIndex nolint;
+  for (const auto& line : lines) nolint.add_line(line.number, line.raw);
+  FileReport local;
+
   const bool is_rng = rel_str == "src/common/rng.cc";
   const bool is_buffer_code = rel_str == "src/common/buffer.cc" ||
                               rel_str == "src/common/buffer.h";
@@ -242,7 +258,7 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
   for (const auto& line : lines) {
     for (const auto banned : kBannedCalls) {
       if (contains_call(line.text, banned)) {
-        report.add(rel, line.number, "banned-function",
+        local.add(rel, line.number, "banned-function",
                    "call to banned function '" + std::string{banned} + "'");
       }
     }
@@ -256,7 +272,7 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
         const std::size_t stop = line.text.find_first_of(";,)({", pos + 4);
         if (bracket != std::string::npos &&
             (stop == std::string::npos || bracket < stop)) {
-          report.add(rel, line.number, "banned-function",
+          local.add(rel, line.number, "banned-function",
                      "raw array new[] outside src/common/buffer.*");
         }
       }
@@ -264,18 +280,18 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
     if (!is_rng) {
       for (const auto banned : kWallClockCalls) {
         if (contains_call(line.text, banned)) {
-          report.add(rel, line.number, "wall-clock-seed",
+          local.add(rel, line.number, "wall-clock-seed",
                      "wall-clock source '" + std::string{banned} +
                          "' outside src/common/rng.cc");
         }
       }
       if (contains_call(line.text, "time")) {
-        report.add(rel, line.number, "wall-clock-seed",
+        local.add(rel, line.number, "wall-clock-seed",
                    "call to time() outside src/common/rng.cc");
       }
       for (const auto banned : kWallClockWords) {
         if (contains_word(line.text, banned)) {
-          report.add(rel, line.number, "wall-clock-seed",
+          local.add(rel, line.number, "wall-clock-seed",
                      "nondeterministic clock/entropy '" + std::string{banned} +
                          "' outside src/common/rng.cc");
         }
@@ -283,16 +299,15 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
     }
     if (is_header(rel) && contains_word(line.text, "using") &&
         line.text.find("using namespace") != std::string::npos) {
-      report.add(rel, line.number, "using-namespace",
+      local.add(rel, line.number, "using-namespace",
                  "'using namespace' in a header leaks into every includer");
     }
     // HostEnvironment is deprecated in favor of the validated
     // PanContext::Builder; only the PAN library itself (which implements
     // the shim) may name it. NOLINT is checked on the raw line because
     // the marker lives in a comment.
-    if (!is_pan_library && contains_word(line.text, "HostEnvironment") &&
-        line.raw.find("NOLINT(sciera-deprecated-api)") == std::string::npos) {
-      report.add(rel, line.number, "deprecated-api",
+    if (!is_pan_library && contains_word(line.text, "HostEnvironment")) {
+      local.add(rel, line.number, "deprecated-api",
                  "HostEnvironment is deprecated — build contexts with "
                  "endhost::PanContext::Builder (suppress with "
                  "'// NOLINT(sciera-deprecated-api)')");
@@ -302,10 +317,8 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
     // the per-replica breakers apply. `control_service_set(...)` does not
     // match — contains_call requires '(' right after the token.
     if (rel_str.starts_with("src/endhost/") &&
-        contains_call(line.text, "control_service") &&
-        line.raw.find("NOLINT(sciera-direct-control-lookup)") ==
-            std::string::npos) {
-      report.add(rel, line.number, "direct-control-lookup",
+        contains_call(line.text, "control_service")) {
+      local.add(rel, line.number, "direct-control-lookup",
                  "direct ControlService lookup from endhost code — use "
                  "ScionNetwork::control_service_set() so replica failover "
                  "applies (suppress with "
@@ -318,15 +331,14 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
     // retry state directly.
     if (rel_str.starts_with("src/") && !owns_retry_policy &&
         (contains_word(line.text, "for") ||
-         contains_word(line.text, "while")) &&
-        line.raw.find("NOLINT(sciera-raw-retry-loop)") == std::string::npos) {
+         contains_word(line.text, "while"))) {
       std::string lowered = line.text;
       std::transform(lowered.begin(), lowered.end(), lowered.begin(),
                      [](unsigned char c) { return std::tolower(c); });
       if (lowered.find("retry") != std::string::npos ||
           lowered.find("retries") != std::string::npos ||
           lowered.find("attempt") != std::string::npos) {
-        report.add(rel, line.number, "raw-retry-loop",
+        local.add(rel, line.number, "raw-retry-loop",
                    "ad-hoc retry loop — use sciera::BackoffPolicy / "
                    "CircuitBreaker (src/common/backoff.h); suppress "
                    "deliberate cases with '// NOLINT(sciera-raw-retry-loop)'");
@@ -340,7 +352,7 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
         contains_word(line.text, "struct") &&
         contains_word(line.text, "Stats") &&
         line.raw.find("registry-backed snapshot") == std::string::npos) {
-      report.add(rel, line.number, "adhoc-stats",
+      local.add(rel, line.number, "adhoc-stats",
                  "ad-hoc 'struct Stats' outside src/obs/ — report through "
                  "obs::MetricsRegistry (mark registry-backed snapshot "
                  "structs with '// registry-backed snapshot')");
@@ -353,7 +365,7 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
           return l.text.find("#pragma once") != std::string::npos;
         });
     if (!has_pragma) {
-      report.add(rel, 1, "pragma-once", "header is missing '#pragma once'");
+      local.add(rel, 1, "pragma-once", "header is missing '#pragma once'");
     }
   }
 
@@ -386,11 +398,24 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
           (first_include.size() > expected_suffix.size() &&
            first_include.ends_with("/" + expected_suffix));
       if (!matches) {
-        report.add(rel, first_line == 0 ? 1 : first_line, "own-header-first",
+        local.add(rel, first_line == 0 ? 1 : first_line, "own-header-first",
                    "first #include must be the file's own header '" +
                        expected_suffix + "' (found '" + first_include + "')");
       }
     }
+  }
+
+  // Apply suppressions and surface legacy bare-NOLINT markers.
+  for (auto& v : local.violations) {
+    if (!nolint.suppressed(v.line, v.rule)) {
+      report.violations.push_back(std::move(v));
+    }
+  }
+  for (const std::size_t legacy_line : nolint.legacy_lines()) {
+    report.warnings.push_back(
+        {rel.generic_string(), legacy_line, "legacy-nolint",
+         "bare NOLINT suppresses every rule — name the rule: "
+         "'// NOLINT(rule-name)'"});
   }
 }
 
@@ -427,12 +452,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  for (const auto& w : report.warnings) {
+    std::cout << w.file << ":" << w.line << ": warning [" << w.rule << "] "
+              << w.message << "\n";
+  }
   for (const auto& v : report.violations) {
     std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
   }
   std::cout << "sciera_lint: " << files_scanned << " files, "
             << report.violations.size() << " violation"
-            << (report.violations.size() == 1 ? "" : "s") << "\n";
+            << (report.violations.size() == 1 ? "" : "s") << " ("
+            << report.warnings.size() << " warning"
+            << (report.warnings.size() == 1 ? "" : "s") << ")\n";
   return report.violations.empty() ? 0 : 1;
 }
