@@ -52,6 +52,7 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
   controlplane::ScionNetwork::Options net_options;
   net_options.seed = options.seed;
   net_options.scheduler = options.scheduler;
+  net_options.router.batched = options.batched_router;
   if (options.self_healing) {
     // Healing cadence tuned to the soak timescale: refresh every second,
     // segments live 2.5 sweeps, detection lag 200ms — a multi-second

@@ -29,6 +29,10 @@ struct SoakOptions {
   // Scheduler backend for the network simulator (calendar queue by
   // default; the jump_to_far replay test A/Bs against the binary heap).
   simnet::SchedulerConfig scheduler{};
+  // Border-router fast path A/B: batched (default) vs scalar frame
+  // processing. Reports must be byte-identical either way — the chaos
+  // suite gates on it.
+  bool batched_router = true;
   workload::WorkloadConfig workload = soak_default_workload();
 };
 

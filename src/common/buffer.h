@@ -103,6 +103,16 @@ class Reader {
     pos_ += n;
     return out;
   }
+  // Zero-copy variant of raw(): the returned view aliases the reader's
+  // underlying buffer and is only valid while that buffer lives. The
+  // dataplane parse path copies out of it into reused storage, which is
+  // what keeps per-packet parsing allocation-free.
+  Result<BytesView> raw_view(std::size_t n) {
+    if (remaining() < n) return overflow(n);
+    BytesView out = view_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
   Result<std::string> str() {
     auto len = u32();
     if (!len) return len.error();

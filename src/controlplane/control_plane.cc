@@ -68,7 +68,8 @@ void ScionNetwork::build_data_plane() {
   for (const auto& as_info : topo_.ases()) {
     routers_.emplace(as_info.ia,
                      std::make_unique<dataplane::BorderRouter>(
-                         sim_, as_info.ia, fwd_keys_.at(as_info.ia)));
+                         sim_, as_info.ia, fwd_keys_.at(as_info.ia),
+                         options_.router));
   }
   for (const auto& link_info : topo_.links()) {
     simnet::LinkConfig cfg;

@@ -63,6 +63,10 @@ class ScionNetwork {
     // metric naming, so 1 is byte-identical to the pre-replication stack.
     std::size_t control_replicas = 1;
     SelfHealingOptions healing{};
+    // Border-router forwarding configuration (batched fast path, MAC
+    // cache). Batched and scalar modes execute identical schedules; the
+    // scalar referee exists for equivalence testing.
+    dataplane::BorderRouter::Config router{};
   };
 
   ScionNetwork(topology::Topology topo, Options options);

@@ -53,9 +53,16 @@ std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1B : 0x00));
 }
 
+// Not atomic: construction happens on the sim thread (or in single-threaded
+// tests); the counter exists so regressions can prove schedule reuse.
+std::uint64_t g_key_schedules_run = 0;
+
 }  // namespace
 
+std::uint64_t Aes128::key_schedules_run() { return g_key_schedules_run; }
+
 Aes128::Aes128(const Key& key) {
+  ++g_key_schedules_run;
   const auto& s = sbox().fwd;
   std::memcpy(round_keys_.data(), key.data(), 16);
   std::uint8_t rcon = 0x01;

@@ -23,6 +23,12 @@ class Aes128 {
   void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
   [[nodiscard]] Block encrypt(const Block& in) const;
 
+  // Process-wide count of key expansions run (each construction is one).
+  // The key schedule is the expensive part of context setup; the dataplane
+  // regression suite asserts it runs once per forwarding key, not once per
+  // packet. Monotonic, sim-thread only — tests read deltas.
+  [[nodiscard]] static std::uint64_t key_schedules_run();
+
  private:
   // 11 round keys x 16 bytes.
   std::array<std::uint8_t, 176> round_keys_{};

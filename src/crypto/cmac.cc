@@ -59,9 +59,13 @@ AesCmac::Mac AesCmac::compute(BytesView message) const {
 }
 
 bool AesCmac::verify(BytesView message, BytesView mac) const {
+  // Length policy first: an empty or too-short tag must never reach the
+  // comparison (comparing zero bytes would succeed vacuously).
+  if (mac.size() < kMinTagLen || mac.size() > std::tuple_size_v<Mac>) {
+    return false;
+  }
   const Mac computed = compute(message);
-  return constant_time_equal(BytesView{computed.data(), mac.size() <= 16 ? mac.size() : 16},
-                             mac);
+  return constant_time_equal(BytesView{computed.data(), mac.size()}, mac);
 }
 
 }  // namespace sciera::crypto

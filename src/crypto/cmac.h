@@ -14,9 +14,19 @@ class AesCmac {
  public:
   using Mac = std::array<std::uint8_t, 16>;
 
+  // Shortest tag verify() accepts. SCION hop fields carry 6-byte
+  // truncated MACs (Mac6); anything shorter gives an attacker a
+  // better-than-2^-48 forgery bound — and an empty tag would compare
+  // zero bytes and trivially "verify".
+  static constexpr std::size_t kMinTagLen = 6;
+
   explicit AesCmac(const Aes128::Key& key);
 
   [[nodiscard]] Mac compute(BytesView message) const;
+
+  // Constant-time comparison of a truncated tag against the computed
+  // MAC. Tags shorter than kMinTagLen or longer than the full MAC are
+  // rejected outright (never compared).
   [[nodiscard]] bool verify(BytesView message, BytesView mac) const;
 
  private:

@@ -1,5 +1,7 @@
 #include "dataplane/frame_pool.h"
 
+#include <new>
+
 #include "obs/metrics.h"
 
 namespace sciera::dataplane {
@@ -7,6 +9,10 @@ namespace sciera::dataplane {
 FramePool& FramePool::global() {
   static FramePool pool;
   return pool;
+}
+
+FramePool::~FramePool() {
+  for (void* ptr : ctrl_free_) ::operator delete(ptr);
 }
 
 std::shared_ptr<UnderlayFrame> FramePool::acquire() {
@@ -23,11 +29,35 @@ std::shared_ptr<UnderlayFrame> FramePool::acquire() {
     free_list_.pop_back();
     --stats_.pooled;
   }
-  // The deleter routes the frame back here instead of freeing it. The
+  // The deleter routes the frame back here instead of freeing it, and the
+  // allocator recycles the shared_ptr control block through the pool. The
   // pool is a process-lifetime singleton (or outlives every frame in
   // tests), so capturing `this` is safe.
   return std::shared_ptr<UnderlayFrame>(
-      frame, [this](UnderlayFrame* released) { release(released); });
+      frame, [this](UnderlayFrame* released) { release(released); },
+      CtrlAlloc<UnderlayFrame>{this});
+}
+
+void* FramePool::alloc_ctrl(std::size_t size) {
+  sim_thread_role.assert_held();
+  if (ctrl_size_ == 0) ctrl_size_ = size;
+  if (size == ctrl_size_ && !ctrl_free_.empty()) {
+    void* ptr = ctrl_free_.back();
+    ctrl_free_.pop_back();
+    ++stats_.ctrl_reused;
+    return ptr;
+  }
+  ++stats_.ctrl_allocated;
+  return ::operator new(size);
+}
+
+void FramePool::free_ctrl(void* ptr, std::size_t size) {
+  sim_thread_role.assert_held();
+  if (size == ctrl_size_ && ctrl_free_.size() < config_.max_pooled) {
+    ctrl_free_.push_back(ptr);
+    return;
+  }
+  ::operator delete(ptr);
 }
 
 void FramePool::release(UnderlayFrame* frame) {
@@ -51,6 +81,8 @@ void FramePool::trim() {
   sim_thread_role.assert_held();
   stats_.pooled -= static_cast<std::int64_t>(free_list_.size());
   free_list_.clear();
+  for (void* ptr : ctrl_free_) ::operator delete(ptr);
+  ctrl_free_.clear();
 }
 
 void FramePool::publish_metrics() const {
@@ -64,6 +96,10 @@ void FramePool::publish_metrics() const {
       .set(static_cast<std::int64_t>(stats_.reused));
   registry.gauge("sciera_frame_pool_outstanding").set(stats_.outstanding);
   registry.gauge("sciera_frame_pool_pooled").set(stats_.pooled);
+  registry.gauge("sciera_frame_pool_ctrl_allocated")
+      .set(static_cast<std::int64_t>(stats_.ctrl_allocated));
+  registry.gauge("sciera_frame_pool_ctrl_reused")
+      .set(static_cast<std::int64_t>(stats_.ctrl_reused));
 }
 
 }  // namespace sciera::dataplane

@@ -35,10 +35,13 @@ class FramePool {
     std::uint64_t reused = 0;     // acquires served from the free list
     std::int64_t outstanding = 0;  // acquired and not yet released
     std::int64_t pooled = 0;       // currently on the free list
+    std::uint64_t ctrl_allocated = 0;  // control blocks from the allocator
+    std::uint64_t ctrl_reused = 0;     // control blocks from the free list
   };
 
   explicit FramePool(Config config) : config_(config) {}
   FramePool() : FramePool(Config{}) {}
+  ~FramePool();
   FramePool(const FramePool&) = delete;
   FramePool& operator=(const FramePool&) = delete;
 
@@ -68,11 +71,39 @@ class FramePool {
   // than requiring it (the capture site cannot carry the annotation).
   void release(UnderlayFrame* frame);
 
+  // Allocator handed to the frame shared_ptr so the control block itself
+  // recycles through the pool: without it every acquire() heap-allocates
+  // one fixed-size shared_ptr node even when the frame is warm. The
+  // shared_ptr internals rebind this to their node type; every
+  // (de)allocation routes to alloc_ctrl/free_ctrl below.
+  template <typename T>
+  struct CtrlAlloc {
+    using value_type = T;
+    FramePool* pool = nullptr;
+    explicit CtrlAlloc(FramePool* p) : pool(p) {}
+    template <typename U>
+    explicit(false) CtrlAlloc(const CtrlAlloc<U>& other) : pool(other.pool) {}
+    T* allocate(std::size_t n) {
+      return static_cast<T*>(pool->alloc_ctrl(n * sizeof(T)));
+    }
+    void deallocate(T* ptr, std::size_t n) {
+      pool->free_ctrl(ptr, n * sizeof(T));
+    }
+    friend bool operator==(const CtrlAlloc&, const CtrlAlloc&) = default;
+  };
+
+  void* alloc_ctrl(std::size_t size);
+  void free_ctrl(void* ptr, std::size_t size);
+
   // Free list and counters are thread-affine to the simulation thread
   // (per-shard pools once the parallel core lands).
   Config config_;
   std::vector<std::unique_ptr<UnderlayFrame>> free_list_
       SCIERA_GUARDED_BY(sim_thread_role);
+  // Recycled shared_ptr control-block nodes. Single fixed size (the one
+  // node type acquire() mints); ctrl_size_ latches it on first use.
+  std::vector<void*> ctrl_free_ SCIERA_GUARDED_BY(sim_thread_role);
+  std::size_t ctrl_size_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
   Stats stats_ SCIERA_GUARDED_BY(sim_thread_role);
 };
 

@@ -1,22 +1,18 @@
 #include "dataplane/hopfield.h"
 
+#include <map>
+
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "crypto/hmac.h"
 
 namespace sciera::dataplane {
+namespace {
 
-FwdKey derive_fwd_key(BytesView as_master_secret) {
-  const auto digest =
-      crypto::derive_key(as_master_secret, "scion-forwarding-key-v1");
-  FwdKey key{};
-  SCIERA_CHECK(digest.size() >= key.size(), "dataplane.fwd_key_derivation");
-  std::copy_n(digest.begin(), key.size(), key.begin());
-  return key;
-}
-
-Mac6 compute_hop_mac(const FwdKey& key, std::uint16_t beta,
-                     std::uint32_t timestamp, const HopField& hop) {
-  // One 16-byte input block, zero padded: beta | ts | exp | in | out.
+// One 16-byte input block, zero padded: beta | ts | exp | in | out.
+std::array<std::uint8_t, 16> mac_input_block(std::uint16_t beta,
+                                             std::uint32_t timestamp,
+                                             const HopField& hop) {
   std::array<std::uint8_t, 16> block{};
   block[0] = static_cast<std::uint8_t>(beta >> 8);
   block[1] = static_cast<std::uint8_t>(beta);
@@ -30,11 +26,113 @@ Mac6 compute_hop_mac(const FwdKey& key, std::uint16_t beta,
   block[10] = static_cast<std::uint8_t>(hop.cons_egress);
   // The peering flag changes chaining semantics, so it must be covered.
   block[11] = hop.peering ? 1 : 0;
-  const crypto::AesCmac cmac{key};
-  const auto full = cmac.compute(block);
+  return block;
+}
+
+Mac6 truncate_mac(const crypto::AesCmac::Mac& full) {
   Mac6 mac{};
   std::copy_n(full.begin(), mac.size(), mac.begin());
   return mac;
+}
+
+// FNV-1a over the input block — the cache index. Any fixed hash works;
+// FNV keeps slot choice identical across runs and platforms.
+std::size_t block_slot(const std::array<std::uint8_t, 16>& block,
+                       std::size_t mask) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : block) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h) & mask;
+}
+
+// Per-key contexts backing the free-function entry points (beacon
+// construction, tests). Ordered by key bytes for deterministic lifetime;
+// bounded by clear-on-full — cardinality is one key per AS, far below
+// the cap, so the clear is a safety valve, not a steady-state event.
+crypto::AesCmac& context_for(const FwdKey& key) {
+  sim_thread_role.assert_held();
+  static std::map<FwdKey, crypto::AesCmac> contexts;
+  constexpr std::size_t kMaxContexts = 1024;
+  auto it = contexts.find(key);
+  if (it == contexts.end()) {
+    if (contexts.size() >= kMaxContexts) contexts.clear();
+    // The fix: one key schedule per distinct key, where this previously
+    // ran once per packet.
+    it = contexts
+             .emplace(key,
+                      crypto::AesCmac{key})  // NOLINT(percall-keyschedule) fill-once per key, not per packet
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+FwdKey derive_fwd_key(BytesView as_master_secret) {
+  const auto digest =
+      crypto::derive_key(as_master_secret, "scion-forwarding-key-v1");
+  FwdKey key{};
+  SCIERA_CHECK(digest.size() >= key.size(), "dataplane.fwd_key_derivation");
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+HopVerifier::HopVerifier(const FwdKey& key, Config config)
+    : key_(key), config_(config), cmac_(key) {
+  if (config_.cache_entries > 0) {
+    SCIERA_CHECK((config_.cache_entries & (config_.cache_entries - 1)) == 0,
+                 "dataplane.mac_cache_pow2");
+    cache_.resize(config_.cache_entries);
+  }
+}
+
+void HopVerifier::rekey(const FwdKey& key) {
+  key_ = key;
+  cmac_ = crypto::AesCmac{key};  // NOLINT(percall-keyschedule) one schedule per rollover
+  for (CacheEntry& entry : cache_) entry.valid = false;
+}
+
+Mac6 HopVerifier::compute(std::uint16_t beta, std::uint32_t timestamp,
+                          const HopField& hop) {
+  const auto block = mac_input_block(beta, timestamp, hop);
+  if (config_.per_packet_keyschedule) {
+    // Measurable pre-fix baseline: redo the whole schedule per packet.
+    const crypto::AesCmac cmac{key_};  // NOLINT(percall-keyschedule) bench baseline mode
+    return truncate_mac(cmac.compute(block));
+  }
+  if (cache_.empty()) return truncate_mac(cmac_.compute(block));
+  CacheEntry& entry = cache_[block_slot(block, cache_.size() - 1)];
+  if (entry.valid && entry.block == block) {
+    ++counters_.hits;
+    if (hit_counter_ != nullptr) hit_counter_->inc();
+    return entry.mac;
+  }
+  ++counters_.misses;
+  if (miss_counter_ != nullptr) miss_counter_->inc();
+  entry.block = block;
+  entry.mac = truncate_mac(cmac_.compute(block));
+  entry.valid = true;
+  return entry.mac;
+}
+
+bool HopVerifier::verify(std::uint16_t beta, std::uint32_t timestamp,
+                         const HopField& hop) {
+  const Mac6 expected = compute(beta, timestamp, hop);
+  const bool ok = crypto::constant_time_equal(
+      BytesView{expected.data(), expected.size()},
+      BytesView{hop.mac.data(), hop.mac.size()});
+  // Adversary-driven, so non-fatal — but audited: campaigns compare this
+  // counter against router drop stats to prove the MAC chain held.
+  if (!ok) count_violation("dataplane.hop_mac_mismatch");
+  return ok;
+}
+
+Mac6 compute_hop_mac(const FwdKey& key, std::uint16_t beta,
+                     std::uint32_t timestamp, const HopField& hop) {
+  return truncate_mac(
+      context_for(key).compute(mac_input_block(beta, timestamp, hop)));
 }
 
 bool verify_hop_mac(const FwdKey& key, std::uint16_t beta,
@@ -43,8 +141,6 @@ bool verify_hop_mac(const FwdKey& key, std::uint16_t beta,
   const bool ok = crypto::constant_time_equal(
       BytesView{expected.data(), expected.size()},
       BytesView{hop.mac.data(), hop.mac.size()});
-  // Adversary-driven, so non-fatal — but audited: campaigns compare this
-  // counter against router drop stats to prove the MAC chain held.
   if (!ok) count_violation("dataplane.hop_mac_mismatch");
   return ok;
 }

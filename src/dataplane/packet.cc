@@ -106,12 +106,19 @@ void ScionPath::serialize(Writer& w) const {
 }
 
 Result<ScionPath> ScionPath::parse(Reader& r) {
+  ScionPath path;
+  if (auto status = parse_into(r, path); !status.ok()) return status.error();
+  return path;
+}
+
+Status ScionPath::parse_into(Reader& r, ScionPath& path) {
+  path.info.clear();
+  path.hops.clear();
   auto meta = r.u32();
   if (!meta) return meta.error();
   if (((*meta >> 18) & 0x3F) != 0) {
     return Error{Errc::kParseError, "reserved path-meta bits set"};
   }
-  ScionPath path;
   path.curr_inf = static_cast<std::uint8_t>((*meta >> 30) & 0x3);
   path.curr_hf = static_cast<std::uint8_t>((*meta >> 24) & 0x3F);
   path.seg_len[0] = static_cast<std::uint8_t>((*meta >> 12) & 0x3F);
@@ -150,7 +157,7 @@ Result<ScionPath> ScionPath::parse(Reader& r) {
     auto exp = r.u8();
     auto ing = r.u16();
     auto egr = r.u16();
-    auto mac = r.raw(6);
+    auto mac = r.raw_view(6);
     if (!flags || !exp || !ing || !egr || !mac) {
       return Error{Errc::kParseError, "truncated hop field"};
     }
@@ -165,8 +172,7 @@ Result<ScionPath> ScionPath::parse(Reader& r) {
     std::copy(mac->begin(), mac->end(), hop.mac.begin());
     path.hops.push_back(hop);
   }
-  if (auto status = path.validate(); !status.ok()) return status.error();
-  return path;
+  return path.validate();
 }
 
 std::string Address::to_string() const {
@@ -208,6 +214,14 @@ Status ScionPacket::serialize_into(Bytes& out) const {
 }
 
 Result<ScionPacket> ScionPacket::parse(BytesView bytes) {
+  ScionPacket pkt;
+  if (auto status = parse_into(bytes, pkt); !status.ok()) {
+    return status.error();
+  }
+  return pkt;
+}
+
+Status ScionPacket::parse_into(BytesView bytes, ScionPacket& pkt) {
   Reader r{bytes};
   auto vtf = r.u32();
   auto next = r.u8();
@@ -221,7 +235,6 @@ Result<ScionPacket> ScionPacket::parse(BytesView bytes) {
   if (*rsv != 0 || (*vtf >> 28) != 0) {
     return Error{Errc::kParseError, "reserved common-header bits set"};
   }
-  ScionPacket pkt;
   pkt.traffic_class = static_cast<std::uint8_t>((*vtf >> 20) & 0xFF);
   pkt.flow_id = *vtf & 0xFFFFF;
   pkt.next_hdr = *next;
@@ -240,17 +253,21 @@ Result<ScionPacket> ScionPacket::parse(BytesView bytes) {
   pkt.dst = Address{IsdAs::from_packed(*dst_ia), *dst_host};
   pkt.src = Address{IsdAs::from_packed(*src_ia), *src_host};
   if (pkt.path_type == PathType::kScion) {
-    auto path = ScionPath::parse(r);
-    if (!path) return path.error();
-    pkt.path = std::move(path).value();
+    if (auto status = ScionPath::parse_into(r, pkt.path); !status.ok()) {
+      return status;
+    }
+  } else {
+    // A reused scratch packet may carry a stale path; an empty-path
+    // parse must leave the same state a freshly parsed packet would.
+    pkt.path = ScionPath{};
   }
-  auto payload = r.raw(*payload_len);
+  auto payload = r.raw_view(*payload_len);
   if (!payload) return payload.error();
-  pkt.payload = std::move(payload).value();
+  pkt.payload.assign(payload->begin(), payload->end());
   if (r.remaining() != 0) {
     return Error{Errc::kParseError, "trailing bytes after payload"};
   }
-  return pkt;
+  return {};
 }
 
 std::size_t ScionPacket::wire_size() const {

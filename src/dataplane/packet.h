@@ -82,6 +82,9 @@ struct ScionPath {
 
   void serialize(Writer& w) const;
   static Result<ScionPath> parse(Reader& r);
+  // Parses into `out`, reusing its info/hops allocations (contents
+  // replaced). On error `out` is left in an unspecified valid state.
+  static Status parse_into(Reader& r, ScionPath& out);
 
   friend bool operator==(const ScionPath&, const ScionPath&) = default;
 };
@@ -116,6 +119,11 @@ struct ScionPacket {
   // here without a per-hop heap allocation.
   [[nodiscard]] Status serialize_into(Bytes& out) const;
   static Result<ScionPacket> parse(BytesView bytes);
+  // Parses into `out`, reusing its path/payload allocations — the
+  // batched-router twin of serialize_into: a pooled scratch packet
+  // round-trips through here with zero per-packet heap allocations.
+  // On error `out` is left in an unspecified valid state.
+  static Status parse_into(BytesView bytes, ScionPacket& out);
 
   [[nodiscard]] std::size_t wire_size() const;
 

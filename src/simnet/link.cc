@@ -61,13 +61,14 @@ void Link::set_up(bool up) {
     // mid-delivery in the running batch) from being resurrected.
     ++down_epoch_;
     for (End& end : ends_) {
-      for (const auto& [deliver_at, items] : end.batches) {
-        for (std::size_t i = 0; i < items.size(); ++i) {
+      for (TimeBatch& batch : end.batches) {
+        for (std::size_t i = 0; i < batch.items.size(); ++i) {
           metrics().dropped_down->inc();
           obs::FlightRecorder::global().record(
               obs::TraceType::kPacketDrop, sim_.now(), sim_.executed_events(),
               display_name(), "cut-in-flight");
         }
+        recycle_batch(std::move(batch.items));
       }
       end.batches.clear();
       end.tx_free_at = 0;
@@ -122,26 +123,49 @@ void Link::send(int from_side, const MessagePtr& message) {
   // ride one scheduler event. The epoch is captured per frame — a down
   // transition can land between two sends of the same tick.
   const int to_side = from_side ^ 1;
-  auto [batch, is_new] = rx.batches.try_emplace(deliver_at);
-  batch->second.push_back(Pending{message, down_epoch_});
-  if (is_new) {
-    sim_.at(deliver_at, [this, to_side, deliver_at] {
-      deliver_batch(to_side, deliver_at);
-    });
+  TimeBatch* batch = nullptr;
+  for (TimeBatch& candidate : rx.batches) {
+    if (candidate.when == deliver_at) {
+      batch = &candidate;
+      break;
+    }
   }
+  if (batch == nullptr) {
+    TimeBatch& fresh = rx.batches.emplace_back();
+    fresh.when = deliver_at;
+    if (!spare_batches_.empty()) {
+      fresh.items = std::move(spare_batches_.back());
+      spare_batches_.pop_back();
+    }
+    batch = &fresh;
+    // The closure captures {this, to_side} only — small enough for the
+    // std::function small-buffer optimization, so scheduling a batch
+    // does not heap-allocate. The event fires exactly at deliver_at, so
+    // the simulator clock recovers the batch key.
+    sim_.at(deliver_at, [this, to_side] { deliver_batch(to_side, sim_.now()); });
+  }
+  batch->items.push_back(Pending{message, down_epoch_});
 }
 
 void Link::deliver_batch(int to_side, SimTime deliver_at) {
   End& rx = ends_[static_cast<std::size_t>(to_side)];
-  const auto it = rx.batches.find(deliver_at);
-  if (it == rx.batches.end()) return;
-  std::vector<Pending> items = std::move(it->second);
-  rx.batches.erase(it);
+  std::size_t index = rx.batches.size();
+  for (std::size_t i = 0; i < rx.batches.size(); ++i) {
+    if (rx.batches[i].when == deliver_at) {
+      index = i;
+      break;
+    }
+  }
+  if (index == rx.batches.size()) return;
+  std::vector<Pending> items = std::move(rx.batches[index].items);
+  rx.batches[index] = std::move(rx.batches.back());
+  rx.batches.pop_back();
+  // Filter the batch down to the frames still alive, then hand the
+  // survivors to the receiver in one call. Safety net: set_up(false)
+  // drains pending batches at the cut, but a cut that lands after this
+  // batch was moved out only shows up as an epoch mismatch here.
+  delivery_scratch_.clear();
   for (Pending& item : items) {
-    // Safety net: set_up(false) drains pending batches at the cut, but a
-    // reentrant cut from a receiver inside this very batch only sees the
-    // frames still queued — the ones already moved into `items` are
-    // cancelled here via the epoch they were sent under.
     if (!up_ || item.epoch != down_epoch_) {
       metrics().dropped_down->inc();
       obs::FlightRecorder::global().record(
@@ -150,7 +174,26 @@ void Link::deliver_batch(int to_side, SimTime deliver_at) {
       continue;
     }
     metrics().delivered->inc();
-    rx.node->receive(item.message, Arrival{this, rx.iface, deliver_at});
+    delivery_scratch_.push_back(std::move(item.message));
+  }
+  items.clear();
+  recycle_batch(std::move(items));
+  if (!delivery_scratch_.empty()) {
+    rx.node->receive_batch(delivery_scratch_,
+                           Arrival{this, rx.iface, deliver_at});
+  }
+  // Drop the frame references promptly so pooled frames recycle at the
+  // end of the tick, not at the next delivery on this link.
+  delivery_scratch_.clear();
+}
+
+void Link::recycle_batch(std::vector<Pending> items) {
+  // Bounded: more retired vectors than this means a burst already paid
+  // its allocations; keeping a few covers the steady state.
+  constexpr std::size_t kMaxSpareBatches = 64;
+  items.clear();
+  if (spare_batches_.size() < kMaxSpareBatches) {
+    spare_batches_.push_back(std::move(items));
   }
 }
 

@@ -7,7 +7,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -113,6 +112,15 @@ class Link {
     std::uint64_t epoch = 0;
   };
 
+  // Frames due at one delivery instant. Kept in a flat vector (a handful
+  // of in-flight ticks per direction at most): exact-key linear scan, and
+  // retired item vectors recycle through spare_batches_ so steady-state
+  // batching does not allocate.
+  struct TimeBatch {
+    SimTime when = 0;
+    std::vector<Pending> items;
+  };
+
   struct End {
     Node* node = nullptr;
     IfaceId iface = 0;
@@ -121,11 +129,16 @@ class Link {
     // Same-tick delivery batching: frames due at the same instant share
     // one scheduler event instead of one event each. Keyed by delivery
     // time; the simulator event for a key fires exactly once.
-    std::map<SimTime, std::vector<Pending>> batches;
+    std::vector<TimeBatch> batches;
   };
 
   // Fires every frame batched for `deliver_at` toward endpoint `to_side`.
   void deliver_batch(int to_side, SimTime deliver_at)
+      SCIERA_REQUIRES(sim_thread_role);
+
+  // Returns a retired per-tick item vector to the spare pool (capacity
+  // kept) so the next batch reuses it.
+  void recycle_batch(std::vector<Pending> items)
       SCIERA_REQUIRES(sim_thread_role);
 
   // Registry cells, registered lazily on first use so test-created links
@@ -152,6 +165,12 @@ class Link {
   // Bumped on every up->down transition; deliveries scheduled before the
   // cut carry the epoch they were sent under and are dropped on mismatch.
   std::uint64_t down_epoch_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
+  // Capacity-recycling pools for the delivery path: retired per-tick item
+  // vectors, and the scratch the survivors of a batch are handed to the
+  // receiver in. Cleared after every delivery; never shrunk.
+  std::vector<std::vector<Pending>> spare_batches_
+      SCIERA_GUARDED_BY(sim_thread_role);
+  std::vector<MessagePtr> delivery_scratch_ SCIERA_GUARDED_BY(sim_thread_role);
   StateObserver on_state_change_;
 };
 

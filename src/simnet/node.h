@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/isd_as.h"
@@ -45,6 +46,16 @@ class Node {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   virtual void receive(const MessagePtr& message, const Arrival& arrival) = 0;
+
+  // Batched delivery: every surviving message of one link's same-tick
+  // batch in a single call (shared Arrival — same link, iface, time).
+  // The default unrolls to receive() per message in order, so the two
+  // entry points are behaviorally identical by construction; fast-path
+  // nodes (the border router) override this to amortize per-batch work.
+  virtual void receive_batch(std::span<const MessagePtr> batch,
+                             const Arrival& arrival) {
+    for (const MessagePtr& message : batch) receive(message, arrival);
+  }
 
  private:
   std::string name_;

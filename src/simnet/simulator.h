@@ -64,13 +64,18 @@ struct SchedulerConfig {
   SchedulerKind kind = SchedulerKind::kCalendarQueue;
   // Calendar-queue geometry. The wheel covers bucket_width * bucket_count
   // of simulated time ahead of the cursor; anything beyond waits in the
-  // overflow heap. Defaults suit the SCIERA hot path (link serialization
-  // in microseconds, propagation in low milliseconds): ~65.5us x 2048
-  // buckets = a ~134ms horizon. Both values must be powers of two — the
-  // per-push bucket mapping then compiles to shift+mask instead of a
-  // 64-bit division.
-  Duration bucket_width = Duration{1} << 16;  // 65.536us in ns units
-  std::size_t bucket_count = 2048;
+  // overflow heap. Defaults suit the SCIERA workloads end to end: link
+  // serialization lands within one ~262us bucket, and the horizon
+  // (~262us x 4096 buckets ≈ 1.07s of simulated time) also covers the
+  // control-plane timescale — workload start windows, daemon TTLs, and
+  // healing sweeps run on hundreds of milliseconds to a second, and the
+  // previous ~134ms horizon pushed all of those through the overflow
+  // heap twice (heap insert + wheel migration), which is how the macro
+  // bench briefly measured the calendar queue *behind* the heap it
+  // replaced. Both values must be powers of two — the per-push bucket
+  // mapping then compiles to shift+mask instead of a 64-bit division.
+  Duration bucket_width = Duration{1} << 18;  // 262.144us in ns units
+  std::size_t bucket_count = 4096;
 };
 
 class Simulator {

@@ -1,0 +1,32 @@
+// Golden fixture for the directory-scoped percall-keyschedule rule: the
+// analyzer treats this tree as src/, so this file sits under
+// src/dataplane/ where the rule is armed. One unsuppressed construction
+// and one suppressed once-per-key construction. Scanned, never
+// compiled; line numbers are load-bearing — append, don't reshuffle.
+#pragma once
+
+namespace fixtures {
+
+class PercallCases {
+ public:
+  // percall-keyschedule: a fresh AesCmac per call reruns the AES key
+  // expansion and subkey derivation on every packet.
+  void positive_per_packet_mac() {
+    crypto::AesCmac cmac{key_};
+    (void)cmac;
+  }
+
+  // Once-per-key fills suppress with a justification.
+  void suppressed_cache_fill() {
+    // NOLINTNEXTLINE(percall-keyschedule) fixture: fill-once per key
+    const crypto::Aes128 cipher{key_};
+    (void)cipher;
+  }
+
+  // Nested-name uses (types, statics) must NOT be flagged.
+  crypto::AesCmac::Mac last_mac_{};
+  // A bare member declaration runs no schedule and must NOT be flagged.
+  crypto::Aes128::Key key_{};
+};
+
+}  // namespace fixtures

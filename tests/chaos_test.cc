@@ -686,6 +686,28 @@ TEST(Chaos, SelfHealingSoakBeatsResilientBaseline) {
   EXPECT_TRUE(validate_report_json(resilient->to_json()));
 }
 
+// Batched vs scalar border-router A/B under the full ring-cut soak:
+// fault injection, SCMP error generation, retries, stale serving — the
+// batched fast path must be invisible to all of it. Not just the same
+// delivery ratio: the entire survivability report, byte for byte.
+TEST(Chaos, BatchedRouterReportMatchesScalar) {
+  SoakOptions batched;
+  batched.seed = 7;
+  batched.duration = 2 * kSecond;
+  SoakOptions scalar = batched;
+  scalar.batched_router = false;
+
+  const auto on_batched = run_soak(kreonet_ring_cut_plan(), batched);
+  const auto on_scalar = run_soak(kreonet_ring_cut_plan(), scalar);
+  ASSERT_TRUE(on_batched.ok());
+  ASSERT_TRUE(on_scalar.ok());
+  EXPECT_GT(on_batched->packets_delivered, 0u);
+  EXPECT_GT(on_batched->faults_injected, 0u);
+  EXPECT_EQ(on_batched->schedule_hash, on_scalar->schedule_hash);
+  EXPECT_EQ(on_batched->executed_events, on_scalar->executed_events);
+  EXPECT_EQ(on_batched->to_json(), on_scalar->to_json());
+}
+
 // Chaos-plan replay across the calendar queue's jump_to_far teleport:
 // plan events parked seconds in the future live in the overflow heap and
 // are reached by cursor teleports once the wheel drains. The executed
@@ -694,7 +716,7 @@ TEST(Chaos, SelfHealingSoakBeatsResilientBaseline) {
 TEST(Chaos, SoakReplaysAcrossSchedulerTeleport) {
   FaultPlan plan = kreonet_ring_cut_plan();
   plan.name = "kreonet-ring-cut-far";
-  // Far-future events: ~10s beyond the wheel's ~134ms horizon, landing in
+  // Far-future events: ~10s beyond the wheel's ~1.07s horizon, landing in
   // a stretch where the workload has gone quiet and the only periodic
   // traffic is the healing tick.
   plan.add({10 * kSecond, FaultKind::kLinkDown, "geant-bridges", 0.0,

@@ -211,11 +211,50 @@ TEST_F(CmacRfc4493, SixtyFourBytes) {
 }
 
 TEST_F(CmacRfc4493, VerifyAcceptsTruncatedMac) {
+  // Truncation is allowed down to kMinTagLen (the 6-byte SCION hop-field
+  // tag) and up to the full 16-byte MAC — never below.
   const auto mac = cmac_.compute(msg_);
-  EXPECT_TRUE(cmac_.verify(msg_, BytesView{mac.data(), 6}));
+  for (std::size_t len = AesCmac::kMinTagLen; len <= mac.size(); ++len) {
+    EXPECT_TRUE(cmac_.verify(msg_, BytesView{mac.data(), len}))
+        << "genuine " << len << "-byte tag rejected";
+  }
   auto tampered = mac;
   tampered[0] ^= 1;
   EXPECT_FALSE(cmac_.verify(msg_, BytesView{tampered.data(), 6}));
+}
+
+TEST_F(CmacRfc4493, VerifyRejectsEmptyAndShortMac) {
+  // Regression: verify() used to accept any length <= 16, so an empty
+  // tag compared zero bytes and "verified", and a 1-byte prefix gave a
+  // 2^-8 forgery bound. Too-short tags — even byte-correct prefixes of
+  // the genuine MAC — must be rejected before any comparison runs.
+  const auto mac = cmac_.compute(msg_);
+  EXPECT_FALSE(cmac_.verify(msg_, BytesView{}));
+  for (std::size_t len = 1; len < AesCmac::kMinTagLen; ++len) {
+    EXPECT_FALSE(cmac_.verify(msg_, BytesView{mac.data(), len}))
+        << len << "-byte tag accepted below kMinTagLen";
+  }
+  // Over-long tags cannot match anything the algorithm produces either.
+  std::array<std::uint8_t, 17> oversized{};
+  std::copy(mac.begin(), mac.end(), oversized.begin());
+  EXPECT_FALSE(cmac_.verify(msg_, oversized));
+}
+
+TEST_F(CmacRfc4493, ConstructionRunsExactlyOneKeySchedule) {
+  // The key schedule (plus subkey derivation) happens once, at
+  // construction; compute()/verify() afterwards never re-expand the key.
+  // The dataplane fast path depends on this split: it caches AesCmac
+  // contexts per forwarding key and expects MAC checks to be
+  // schedule-free.
+  const auto before = Aes128::key_schedules_run();
+  const AesCmac fresh{array_from_hex<16>("000102030405060708090a0b0c0d0e0f")};
+  const auto constructed = Aes128::key_schedules_run();
+  EXPECT_EQ(constructed - before, 1u);
+  for (int i = 0; i < 32; ++i) {
+    const auto mac = fresh.compute(msg_);
+    (void)fresh.verify(msg_, BytesView{mac.data(), AesCmac::kMinTagLen});
+  }
+  EXPECT_EQ(Aes128::key_schedules_run(), constructed);
 }
 
 // --- Ed25519 (RFC 8032 test vectors) ---------------------------------------------

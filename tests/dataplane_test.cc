@@ -77,6 +77,60 @@ TEST(Packet, EmptyPathPacketRoundTrips) {
   EXPECT_EQ(parsed.value(), pkt);
 }
 
+TEST(Packet, SerializeIntoMatchesSerializeAndReplacesContents) {
+  const ScionPacket pkt = sample_packet();
+  Bytes out = bytes_of("stale bytes from the buffer's previous life");
+  ASSERT_TRUE(pkt.serialize_into(out).ok());
+  EXPECT_EQ(out, pkt.serialize().value());
+  // Round again into the same (now larger-capacity) buffer: identical.
+  const auto first = out;
+  ASSERT_TRUE(pkt.serialize_into(out).ok());
+  EXPECT_EQ(out, first);
+}
+
+TEST(Packet, ParseIntoMatchesParseAcrossReusedScratch) {
+  // The batched router parses every packet of a batch into the same
+  // scratch ScionPacket; whatever the previous packet left behind must
+  // never leak into the next parse.
+  ScionPacket scratch;
+  const ScionPacket big = sample_packet();
+  ASSERT_TRUE(
+      ScionPacket::parse_into(big.serialize().value(), scratch).ok());
+  EXPECT_EQ(scratch, big);
+
+  ScionPacket small = sample_packet();
+  small.flow_id = 0x11111;
+  small.payload = bytes_of("x");  // shorter than big's payload
+  ASSERT_TRUE(
+      ScionPacket::parse_into(small.serialize().value(), scratch).ok());
+  EXPECT_EQ(scratch, small);
+
+  // Empty-path packet after a full-path one: the stale 5-hop path must
+  // be cleared, not merely overwritten.
+  ScionPacket empty = sample_packet();
+  empty.path_type = PathType::kEmpty;
+  empty.path = {};
+  ASSERT_TRUE(
+      ScionPacket::parse_into(empty.serialize().value(), scratch).ok());
+  EXPECT_EQ(scratch, empty);
+}
+
+TEST(Packet, ParseIntoRejectsWhatParseRejects) {
+  const auto bytes = sample_packet().serialize().value();
+  ScionPacket scratch;
+  for (std::size_t cut : {1ul, 8ul, 20ul, 40ul, bytes.size() - 1}) {
+    Bytes truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ScionPacket::parse_into(truncated, scratch).ok())
+        << "cut=" << cut;
+  }
+  Bytes trailing = bytes;
+  trailing.push_back(0xAA);
+  EXPECT_FALSE(ScionPacket::parse_into(trailing, scratch).ok());
+  // The scratch still works after error paths left it unspecified.
+  ASSERT_TRUE(ScionPacket::parse_into(bytes, scratch).ok());
+  EXPECT_EQ(scratch, sample_packet());
+}
+
 TEST(Packet, ValidateCatchesBadSegLens) {
   ScionPath path = sample_path();
   path.seg_len = {2, 2, 0};  // sum != hops
@@ -163,6 +217,157 @@ TEST(HopMac, ExpiryRespectsExpTime)
   hop.exp_time = 255;  // full 24h
   EXPECT_FALSE(hop_expired(hop, 1000, 1000 + 86000));
   EXPECT_TRUE(hop_expired(hop, 1000, 1000 + 86500));
+}
+
+// --- HopVerifier (cached per-key MAC context) ------------------------------
+
+HopField verifier_hop(IfaceId in, IfaceId out) {
+  HopField hop;
+  hop.exp_time = 63;
+  hop.cons_ingress = in;
+  hop.cons_egress = out;
+  return hop;
+}
+
+TEST(HopVerifier, MatchesFreeFunctionsAndPerPacketMode) {
+  // Three implementations of the same function — the cached verifier,
+  // the per-packet-keyschedule baseline, and the free functions' context
+  // cache — must agree bit for bit on every MAC.
+  const FwdKey key = derive_fwd_key(bytes_of("verifier-equivalence"));
+  HopVerifier cached{key};
+  HopVerifier legacy{key, {.cache_entries = 0, .per_packet_keyschedule = true}};
+  Rng rng{0x600D, "verifier"};
+  for (int i = 0; i < 64; ++i) {
+    const auto beta = static_cast<std::uint16_t>(rng.next_u64());
+    const auto ts = static_cast<std::uint32_t>(rng.next_u64());
+    const auto hop = verifier_hop(static_cast<IfaceId>(i), IfaceId{2});
+    const Mac6 mac = cached.compute(beta, ts, hop);
+    EXPECT_EQ(mac, legacy.compute(beta, ts, hop));
+    EXPECT_EQ(mac, compute_hop_mac(key, beta, ts, hop));
+    auto stamped = hop;
+    stamped.mac = mac;
+    EXPECT_TRUE(cached.verify(beta, ts, stamped));
+  }
+}
+
+TEST(HopVerifier, OneKeySchedulePerKeyNotPerPacket) {
+  // The regression this PR fixed: MAC-ing N packets used to run N AES
+  // key schedules. A verifier runs exactly one (at construction) no
+  // matter how many packets it processes.
+  const FwdKey key = derive_fwd_key(bytes_of("one-schedule-per-key"));
+  const auto before = crypto::Aes128::key_schedules_run();
+  HopVerifier verifier{key};
+  const auto constructed = crypto::Aes128::key_schedules_run();
+  EXPECT_EQ(constructed - before, 1u);
+  for (int i = 0; i < 128; ++i) {
+    (void)verifier.compute(static_cast<std::uint16_t>(i), 1700000000,
+                           verifier_hop(IfaceId{1}, IfaceId{2}));
+  }
+  EXPECT_EQ(crypto::Aes128::key_schedules_run(), constructed);
+}
+
+TEST(HopVerifier, PerPacketModeSchedulesEveryCall) {
+  // The measurable baseline really does what its name says — otherwise
+  // the micro-bench's "speedup" would be comparing the fix to itself.
+  const FwdKey key = derive_fwd_key(bytes_of("per-packet-baseline"));
+  HopVerifier legacy{key, {.cache_entries = 0, .per_packet_keyschedule = true}};
+  const auto before = crypto::Aes128::key_schedules_run();
+  for (int i = 0; i < 16; ++i) {
+    (void)legacy.compute(static_cast<std::uint16_t>(i), 1700000000,
+                         verifier_hop(IfaceId{1}, IfaceId{2}));
+  }
+  EXPECT_EQ(crypto::Aes128::key_schedules_run() - before, 16u);
+}
+
+TEST(HopVerifier, MacCacheHitsRepeatedBlocks) {
+  const FwdKey key = derive_fwd_key(bytes_of("cache-hit-counting"));
+  HopVerifier verifier{key, {.cache_entries = 16}};
+  const auto hop = verifier_hop(IfaceId{3}, IfaceId{9});
+  const Mac6 cold = verifier.compute(0xBEEF, 1700000000, hop);
+  EXPECT_EQ(verifier.cache_counters().hits, 0u);
+  EXPECT_EQ(verifier.cache_counters().misses, 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(verifier.compute(0xBEEF, 1700000000, hop), cold);
+  }
+  EXPECT_EQ(verifier.cache_counters().hits, 5u);
+  EXPECT_EQ(verifier.cache_counters().misses, 1u);
+}
+
+TEST(HopVerifier, RekeyInvalidatesCacheAndChangesMacs) {
+  const FwdKey k1 = derive_fwd_key(bytes_of("rollover-epoch-1"));
+  const FwdKey k2 = derive_fwd_key(bytes_of("rollover-epoch-2"));
+  HopVerifier verifier{k1};
+  const auto hop = verifier_hop(IfaceId{1}, IfaceId{2});
+  const Mac6 old_mac = verifier.compute(0x1234, 1700000000, hop);
+  (void)verifier.compute(0x1234, 1700000000, hop);  // now cached
+  EXPECT_EQ(verifier.cache_counters().hits, 1u);
+
+  verifier.rekey(k2);
+  EXPECT_EQ(verifier.key(), k2);
+  // Same input block, new key: a stale cache entry would replay old_mac.
+  const Mac6 new_mac = verifier.compute(0x1234, 1700000000, hop);
+  EXPECT_NE(new_mac, old_mac);
+  EXPECT_EQ(new_mac, compute_hop_mac(k2, 0x1234, 1700000000, hop));
+  // The lookup after rekey() must have been a miss, not a poisoned hit.
+  EXPECT_EQ(verifier.cache_counters().hits, 1u);
+  auto stamped = hop;
+  stamped.mac = old_mac;
+  EXPECT_FALSE(verifier.verify(0x1234, 1700000000, stamped));
+}
+
+TEST(HopVerifier, SingleSlotCacheEvictsDeterministically) {
+  // cache_entries = 1: every distinct input block maps to slot 0, so
+  // alternating two blocks evicts on every call (all misses), while a
+  // repeated block stays resident (all hits). Eviction is pure
+  // overwrite — bounded, clock-free, identical across runs.
+  const FwdKey key = derive_fwd_key(bytes_of("single-slot-eviction"));
+  HopVerifier verifier{key, {.cache_entries = 1}};
+  const auto hop_a = verifier_hop(IfaceId{1}, IfaceId{2});
+  const auto hop_b = verifier_hop(IfaceId{7}, IfaceId{8});
+  const Mac6 mac_a = verifier.compute(1, 1700000000, hop_a);
+  const Mac6 mac_b = verifier.compute(1, 1700000000, hop_b);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(verifier.compute(1, 1700000000, hop_a), mac_a);
+    EXPECT_EQ(verifier.compute(1, 1700000000, hop_b), mac_b);
+  }
+  EXPECT_EQ(verifier.cache_counters().hits, 0u);
+  EXPECT_EQ(verifier.cache_counters().misses, 10u);
+
+  HopVerifier resident{key, {.cache_entries = 1}};
+  (void)resident.compute(1, 1700000000, hop_a);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(resident.compute(1, 1700000000, hop_a), mac_a);
+  }
+  EXPECT_EQ(resident.cache_counters().hits, 4u);
+  EXPECT_EQ(resident.cache_counters().misses, 1u);
+}
+
+TEST(HopVerifier, DisabledCacheStillComputesCorrectly) {
+  const FwdKey key = derive_fwd_key(bytes_of("cache-disabled"));
+  HopVerifier verifier{key, {.cache_entries = 0}};
+  const auto hop = verifier_hop(IfaceId{4}, IfaceId{5});
+  const Mac6 mac = verifier.compute(7, 1700000000, hop);
+  EXPECT_EQ(mac, compute_hop_mac(key, 7, 1700000000, hop));
+  EXPECT_EQ(verifier.compute(7, 1700000000, hop), mac);
+  EXPECT_EQ(verifier.cache_counters().hits, 0u);
+  EXPECT_EQ(verifier.cache_counters().misses, 0u);
+}
+
+TEST(HopMac, FreeFunctionsReuseCachedContexts) {
+  // The free functions route through a process-wide per-key context
+  // cache: repeated calls under keys this process has already seen run
+  // zero new key schedules.
+  const FwdKey k1 = derive_fwd_key(bytes_of("ctx-cache-one"));
+  const FwdKey k2 = derive_fwd_key(bytes_of("ctx-cache-two"));
+  const auto hop = verifier_hop(IfaceId{1}, IfaceId{2});
+  (void)compute_hop_mac(k1, 1, 1700000000, hop);  // warm both contexts
+  (void)compute_hop_mac(k2, 1, 1700000000, hop);
+  const auto warm = crypto::Aes128::key_schedules_run();
+  for (int i = 0; i < 32; ++i) {
+    (void)compute_hop_mac(i % 2 ? k1 : k2, static_cast<std::uint16_t>(i),
+                          1700000000, hop);
+  }
+  EXPECT_EQ(crypto::Aes128::key_schedules_run(), warm);
 }
 
 TEST(Scmp, EchoRoundTrip) {

@@ -5,6 +5,7 @@
 // FramePool reuse/leak assertions (run under ASan in the sanitizer job).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -129,10 +130,8 @@ TEST(SchedulerEquivalence, RunUntilDeadlineAgrees) {
 
 // --- Full-network scenarios ----------------------------------------------
 
-simnet::ScheduleDigest run_failover_scenario(simnet::SchedulerConfig config) {
-  controlplane::ScionNetwork::Options options;
-  options.seed = 0x5EED;
-  options.scheduler = config;
+simnet::ScheduleDigest run_failover_with(
+    controlplane::ScionNetwork::Options options) {
   controlplane::ScionNetwork net{topology::build_sciera(), options};
 
   const dataplane::Address host{a::uva(), 0x0A000001};
@@ -170,17 +169,22 @@ simnet::ScheduleDigest run_failover_scenario(simnet::SchedulerConfig config) {
   return net.sim().schedule_digest();
 }
 
+simnet::ScheduleDigest run_failover_scenario(simnet::SchedulerConfig config) {
+  controlplane::ScionNetwork::Options options;
+  options.seed = 0x5EED;
+  options.scheduler = config;
+  return run_failover_with(options);
+}
+
 TEST(SchedulerEquivalence, FailoverScenario) {
   const auto digest = expect_backends_agree(run_failover_scenario);
   EXPECT_GT(digest.executed, 0u);
 }
 
-simnet::ScheduleDigest run_many_flow_scenario(simnet::SchedulerConfig config) {
+simnet::ScheduleDigest run_many_flow_with(
+    controlplane::ScionNetwork::Options options) {
   // Campaign-scale shape: many concurrent flows across every AS, the
   // population the calendar queue exists for.
-  controlplane::ScionNetwork::Options options;
-  options.seed = 0xCA4FA16;
-  options.scheduler = config;
   controlplane::ScionNetwork net{topology::build_sciera(), options};
   workload::WorkloadConfig wconfig;
   wconfig.hosts = 6;
@@ -193,9 +197,63 @@ simnet::ScheduleDigest run_many_flow_scenario(simnet::SchedulerConfig config) {
   return net.sim().schedule_digest();
 }
 
+simnet::ScheduleDigest run_many_flow_scenario(simnet::SchedulerConfig config) {
+  controlplane::ScionNetwork::Options options;
+  options.seed = 0xCA4FA16;
+  options.scheduler = config;
+  return run_many_flow_with(options);
+}
+
 TEST(SchedulerEquivalence, ManyFlowWorkload) {
   const auto digest = expect_backends_agree(run_many_flow_scenario);
   EXPECT_GT(digest.executed, 0u);
+}
+
+// --- Batched router equivalence -------------------------------------------
+// The batched border-router fast path (parse the whole same-tick batch,
+// then verify/forward it) must be schedule-invisible: a full seeded
+// scenario run with batching on and off produces the identical
+// ScheduleDigest, not merely the same delivery counts. Parsing schedules
+// no events, so staging it per-batch cannot reorder anything — these
+// tests pin that argument against future batch-stage changes.
+
+controlplane::ScionNetwork::Options router_mode_options(std::uint64_t seed,
+                                                        bool batched) {
+  controlplane::ScionNetwork::Options options;
+  options.seed = seed;
+  options.router.batched = batched;
+  return options;
+}
+
+TEST(BatchedRouterEquivalence, FailoverScenarioDigestsMatch) {
+  const auto scalar = run_failover_with(router_mode_options(0x5EED, false));
+  const auto batched = run_failover_with(router_mode_options(0x5EED, true));
+  EXPECT_EQ(scalar, batched)
+      << "scalar hash " << scalar.hash << " (" << scalar.executed
+      << " events) vs batched hash " << batched.hash << " ("
+      << batched.executed << " events)";
+  EXPECT_GT(scalar.executed, 0u);
+}
+
+TEST(BatchedRouterEquivalence, ManyFlowWorkloadDigestsMatch) {
+  const auto scalar = run_many_flow_with(router_mode_options(0xCA4FA16, false));
+  const auto batched = run_many_flow_with(router_mode_options(0xCA4FA16, true));
+  EXPECT_EQ(scalar, batched)
+      << "scalar hash " << scalar.hash << " (" << scalar.executed
+      << " events) vs batched hash " << batched.hash << " ("
+      << batched.executed << " events)";
+  EXPECT_GT(scalar.executed, 0u);
+}
+
+TEST(BatchedRouterEquivalence, BatchedModeAgreesAcrossSchedulers) {
+  // Batching composes with the scheduler-equivalence contract: the
+  // batched fast path under the calendar queue still reproduces the
+  // binary heap's schedule.
+  expect_backends_agree([](simnet::SchedulerConfig config) {
+    auto options = router_mode_options(0x5EED, true);
+    options.scheduler = config;
+    return run_failover_with(options);
+  });
 }
 
 // --- FramePool ------------------------------------------------------------
@@ -240,6 +298,26 @@ TEST(FramePoolTest, DedicatedPoolRecyclesBufferCapacity) {
   }
   EXPECT_EQ(pool.stats().reused, 1u);
   EXPECT_EQ(pool.stats().outstanding, 0);
+}
+
+TEST(FramePoolTest, ControlBlocksRecycleWithTheFrames) {
+  // The shared_ptr control block must recycle alongside the frame:
+  // steady-state acquire/release cycles may not touch the allocator at
+  // all. One node is minted on the cold first acquire; every later
+  // acquire reuses it.
+  dataplane::FramePool pool{{.max_pooled = 2}};
+  { auto frame = pool.acquire(); }
+  const auto cold = pool.stats();
+  EXPECT_EQ(cold.ctrl_allocated, 1u);
+  EXPECT_EQ(cold.ctrl_reused, 0u);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    auto frame = pool.acquire();
+    frame->scion_bytes.assign(64, std::uint8_t{0xAB});
+  }
+  const auto warm = pool.stats();
+  EXPECT_EQ(warm.ctrl_allocated, 1u);  // no new allocator hits
+  EXPECT_EQ(warm.ctrl_reused, 8u);
+  EXPECT_EQ(warm.outstanding, 0);
 }
 
 TEST(FramePoolTest, MaxPooledBoundsTheFreeList) {

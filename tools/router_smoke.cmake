@@ -1,0 +1,78 @@
+# bench.router_smoke: runs the border-router fast-path benchmark alone
+# (--router-only --quick) and validates its contract:
+#   - the harness exits 0 (the scalar-legacy and batched-cached runs
+#     executed the identical event schedule),
+#   - the JSON carries the router_fastpath schema fields,
+#   - the batched run performed ZERO AES key schedules and zero heap
+#     allocations per packet in the measured window — the two hot-path
+#     regressions this PR fixed, both exactly countable and therefore
+#     gated exactly (throughput is timing, these are not),
+#   - a second process reproduces every deterministic field byte for byte.
+# Invoked by ctest with -DBIN=<sciera_bench> -DOUT_DIR=<scratch dir>.
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(run IN ITEMS 1 2)
+  execute_process(
+    COMMAND ${BIN} --router-only --quick --out ${OUT_DIR}/router_run${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout_${run}
+    ERROR_VARIABLE stderr_${run})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "sciera_bench --router-only run ${run} failed (rc=${rc}):\n"
+            "${stdout_${run}}\n${stderr_${run}}")
+  endif()
+endforeach()
+
+file(READ ${OUT_DIR}/router_run1.json json1)
+file(READ ${OUT_DIR}/router_run2.json json2)
+
+foreach(field
+    "\"schema\": \"sciera.bench.simcore.v2\""
+    "\"router_fastpath\""
+    "\"scalar_legacy\""
+    "\"batched_cached\""
+    "\"packets_per_sec\""
+    "\"allocs_per_packet\""
+    "\"mac_cache_hit_rate\""
+    "\"key_schedules\""
+    "\"speedup\""
+    "\"hashes_match\": true")
+  string(FIND "${json1}" "${field}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "router bench JSON missing field ${field}:\n${json1}")
+  endif()
+endforeach()
+
+# The batched fast path must run the measured window with zero key
+# schedules and zero allocations per packet. Both counts are exact and
+# deterministic, so the gate is exact string presence inside the
+# batched_cached object (scalar_legacy serializes first, so a regex
+# anchored at batched_cached sees only the fast-path numbers).
+string(REGEX MATCH "\"batched_cached\": \\{[^}]*\\}" batched "${json1}")
+if("${batched}" STREQUAL "")
+  message(FATAL_ERROR "no batched_cached object found:\n${json1}")
+endif()
+string(FIND "${batched}" "\"key_schedules\": 0," ks_pos)
+if(ks_pos EQUAL -1)
+  message(FATAL_ERROR "batched router ran per-packet key schedules:\n${batched}")
+endif()
+string(FIND "${batched}" "\"allocs_per_packet\": 0.000," alloc_pos)
+if(alloc_pos EQUAL -1)
+  message(FATAL_ERROR "batched router allocates on the hot path:\n${batched}")
+endif()
+
+# Cross-process determinism: everything except wall-clock throughput must
+# be byte-identical — executed events, schedule hashes, key schedules,
+# cache hit rate, packet counts.
+foreach(run IN ITEMS 1 2)
+  string(REGEX MATCHALL "\"(executed_events|schedule_hash|key_schedules|mac_cache_hit_rate|allocs_per_packet|packets)\": \"?[0-9a-f.]+\"?"
+         stable_${run} "${json${run}}")
+endforeach()
+if(NOT "${stable_1}" STREQUAL "${stable_2}")
+  message(FATAL_ERROR "nondeterministic router bench fields across runs:\n"
+                      "run1: ${stable_1}\nrun2: ${stable_2}")
+endif()
+if("${stable_1}" STREQUAL "")
+  message(FATAL_ERROR "no deterministic fields found in router bench JSON")
+endif()

@@ -52,6 +52,23 @@ echo "== sciera_bench --quick (scheduler digest parity under sanitizers) =="
 "$BUILD_DIR/tools/sciera_bench" --quick \
   --out "$BUILD_DIR/BENCH_simcore_quick.json"
 
+# Router fast-path in isolation: the scalar/batched digest-parity and
+# zero-key-schedule contracts hold under sanitizers too, and a sanitized
+# pass over the batched parse/verify/forward pipeline is exactly where a
+# scratch-reuse bug (stale spans, buffer aliasing) would surface.
+echo "== sciera_bench --router-only --quick (batched fast path, sanitized) =="
+"$BUILD_DIR/tools/sciera_bench" --router-only --quick \
+  --out "$BUILD_DIR/BENCH_router_quick.json"
+
+# Batched vs scalar A/B at the soak level: the full KREONET ring-cut
+# report must be byte-identical whichever router fast path is in play.
+echo "== sciera_chaos batched vs scalar router report parity =="
+"$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 --duration-ms 2000 \
+  --out "$BUILD_DIR/CHAOS_router_batched.json"
+"$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 --duration-ms 2000 \
+  --scalar-router --out "$BUILD_DIR/CHAOS_router_scalar.json"
+cmp "$BUILD_DIR/CHAOS_router_batched.json" "$BUILD_DIR/CHAOS_router_scalar.json"
+
 # A short chaos soak under sanitizers: fault injection, the daemons'
 # retry/degradation machinery, and the survivability reporting all get a
 # memory-safety pass beyond what the smoke ctest already proved.

@@ -35,6 +35,17 @@
 //                         all randomness flows from sciera::Rng so every
 //                         run replays from an explicit seed.
 //
+// hot-path hygiene
+//   percall-keyschedule   (error) constructing crypto::AesCmac or
+//                         crypto::Aes128 inside src/dataplane/ — each
+//                         construction reruns the AES key expansion and
+//                         CMAC subkey derivation, which is exactly the
+//                         per-packet cost the cached per-key contexts
+//                         (dataplane::HopVerifier and hopfield's context
+//                         cache) exist to avoid. A construction that is
+//                         provably once-per-key (cache fill, rollover)
+//                         is suppressible with justification.
+//
 // concurrency readiness
 //   std-mutex-member      (error) naming std::mutex / std::lock_guard /
 //                         std::scoped_lock / std::unique_lock (or
@@ -436,6 +447,48 @@ void rule_simnet_layering(const RuleContext& ctx) {
   }
 }
 
+// percall-keyschedule: constructing crypto::AesCmac or crypto::Aes128 in
+// dataplane code reruns the AES key schedule. Per-packet paths must go
+// through a cached per-key context; once-per-key constructions (cache
+// fill, key rollover) suppress with justification.
+void rule_percall_keyschedule(const RuleContext& ctx) {
+  const auto& toks = ctx.lexed.tokens;
+  const TokenCursor cur{toks};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        (toks[i].text != "AesCmac" && toks[i].text != "Aes128")) {
+      continue;
+    }
+    // Nested-name uses (AesCmac::Mac, Aes128::Key) are not constructions.
+    if (cur.punct(i + 1, "::")) continue;
+    bool constructs = false;
+    if (cur.punct(i + 1, "(") || cur.punct(i + 1, "{")) {
+      // Temporary / direct-initialization: AesCmac{key}, AesCmac(key).
+      constructs = true;
+    } else if (i + 2 < toks.size() &&
+               toks[i + 1].kind == Token::Kind::kIdent &&
+               (cur.punct(i + 2, "(") || cur.punct(i + 2, "{") ||
+                cur.punct(i + 2, "="))) {
+      // Named declaration with an initializer: AesCmac cmac{key};
+      // A bare member declaration (`AesCmac cmac_;`) never runs the
+      // schedule by itself and is not flagged.
+      constructs = true;
+    } else if (cur.punct(i + 1, ">") && cur.punct(i + 2, "(")) {
+      // make_unique<crypto::AesCmac>(key) and friends.
+      constructs = true;
+    }
+    if (!constructs) continue;
+    ctx.add(toks[i].line, "percall-keyschedule", Severity::kError,
+            "constructing crypto::" + toks[i].text +
+                " in src/dataplane reruns the AES key schedule — "
+                "per-packet paths must reuse a cached per-key context "
+                "(dataplane::HopVerifier / compute_hop_mac's context "
+                "cache); if this site is provably once-per-key, suppress "
+                "with '// NOLINT(percall-keyschedule)' plus a "
+                "justification");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 
@@ -515,6 +568,9 @@ FileAnalysis analyze_file(const fs::path& file, const std::string& rel) {
     if (rel != "src/common/thread_annotations.h") rule_std_mutex_member(ctx);
     if (std::string_view{rel}.starts_with("src/simnet/")) {
       rule_simnet_layering(ctx);
+    }
+    if (std::string_view{rel}.starts_with("src/dataplane/")) {
+      rule_percall_keyschedule(ctx);
     }
   }
 

@@ -10,7 +10,8 @@
 // (including an unknown plan name).
 //
 // Usage: sciera_chaos <plan> [--seed N] [--duration-ms N]
-//                            [--no-resilience] [--self-healing] [--out FILE]
+//                            [--no-resilience] [--self-healing]
+//                            [--scalar-router] [--out FILE]
 //        sciera_chaos --list-plans
 //        sciera_chaos --thread-smoke
 #include <cstdio>
@@ -29,7 +30,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
-               "[--no-resilience] [--self-healing] [--out FILE]\n"
+               "[--no-resilience] [--self-healing] [--scalar-router] "
+               "[--out FILE]\n"
                "       sciera_chaos --list-plans\n"
                "       sciera_chaos --thread-smoke\n");
   return 2;
@@ -152,6 +154,10 @@ int main(int argc, char** argv) {
       options.resilience = false;
     } else if (std::strcmp(argv[i], "--self-healing") == 0) {
       options.self_healing = true;
+    } else if (std::strcmp(argv[i], "--scalar-router") == 0) {
+      // Fast-path A/B: scalar frame-by-frame border routers. The report
+      // must be byte-identical to the batched default.
+      options.batched_router = false;
     } else if (has_value("--out")) {
       out_path = argv[++i];
     } else {

@@ -1,7 +1,12 @@
 # bench.simcore_smoke: runs the simulation-core benchmark in --quick mode
 # and validates the BENCH_simcore.json contract:
-#   - the harness exits 0 (heap/calendar digests and event counts agree),
+#   - the harness exits 0 (heap/calendar digests and event counts agree,
+#     and the scalar/batched router runs agree),
 #   - the JSON carries the expected schema marker and fields,
+#   - the calendar queue is not slower than the binary heap on the macro
+#     workload (the regression this guards: a default wheel horizon
+#     shorter than the workload's own timescale double-handles every
+#     control-plane timer through the overflow heap),
 #   - a second run reproduces the exact event counts and schedule hashes
 #     (wall-clock throughput may differ; the schedule must not).
 # Invoked by ctest with -DBIN=<sciera_bench> -DOUT_DIR=<scratch dir>.
@@ -24,8 +29,15 @@ file(READ ${OUT_DIR}/bench_run2.json json2)
 
 # Schema validation: the marker and every field the roadmap tooling reads.
 foreach(field
-    "\"schema\": \"sciera.bench.simcore.v1\""
+    "\"schema\": \"sciera.bench.simcore.v2\""
     "\"baseline_scheduler\": \"binary-heap\""
+    "\"router_fastpath\""
+    "\"scalar_legacy\""
+    "\"batched_cached\""
+    "\"packets_per_sec\""
+    "\"allocs_per_packet\""
+    "\"mac_cache_hit_rate\""
+    "\"key_schedules\""
     "\"micro_hold\""
     "\"macro_sciera\""
     "\"binary_heap\""
@@ -44,13 +56,45 @@ endforeach()
 
 string(FIND "${json1}" "\"hashes_match\": false" bad_pos)
 if(NOT bad_pos EQUAL -1)
-  message(FATAL_ERROR "scheduler backends produced mismatching digests:\n${json1}")
+  message(FATAL_ERROR "paired runs produced mismatching digests:\n${json1}")
+endif()
+
+# Macro speedup gate: the calendar queue must not lose to the baseline it
+# replaced on the end-to-end workload. The bench takes the best of three
+# alternating-order reps per backend, so this is a genuine geometry/
+# algorithm signal, not one noisy wall-clock sample. Speedups are X.YY
+# with a threshold of 1.0, so VERSION_LESS compares them correctly.
+# Sanitized builds (-DSANITIZED=1) skip this one gate: instrumentation
+# changes the relative cost of the two schedulers, so the ratio stops
+# measuring wheel geometry. All exact gates above and below still run.
+# Both bench runs measure independently; the best of the two gates, so
+# one sample taken while the machine was briefly loaded does not fail a
+# correct geometry (a real regression depresses every sample).
+set(macro_speedup "")
+foreach(run IN ITEMS 1 2)
+  string(REGEX MATCH "\"macro_sciera\": [^#]*" macro_section "${json${run}}")
+  string(REGEX MATCH "\"speedup\": [0-9.]+" macro_speedup_kv "${macro_section}")
+  string(REGEX MATCH "[0-9.]+" run_speedup "${macro_speedup_kv}")
+  if("${run_speedup}" STREQUAL "")
+    message(FATAL_ERROR "no macro speedup found in BENCH_simcore.json:\n${json${run}}")
+  endif()
+  if("${macro_speedup}" STREQUAL "" OR "${macro_speedup}" VERSION_LESS "${run_speedup}")
+    set(macro_speedup "${run_speedup}")
+  endif()
+endforeach()
+if(SANITIZED)
+  message(STATUS "sanitized build: macro speedup ${macro_speedup} recorded, "
+                 "wall-clock gate skipped")
+elseif("${macro_speedup}" VERSION_LESS "1.0")
+  message(FATAL_ERROR "macro calendar-queue speedup ${macro_speedup} < 1.0 "
+                      "— the default wheel geometry is regressing the "
+                      "end-to-end workload:\n${json1}")
 endif()
 
 # Determinism: event counts and schedule hashes must be identical across
 # two separate processes. Strip the timing-dependent fields and compare.
 foreach(run IN ITEMS 1 2)
-  string(REGEX MATCHALL "\"(executed_events|schedule_hash|packets_sent|packets_delivered)\": \"?[0-9a-f]+\"?"
+  string(REGEX MATCHALL "\"(executed_events|schedule_hash|packets_sent|packets_delivered|key_schedules)\": \"?[0-9a-f]+\"?"
          stable_${run} "${json${run}}")
 endforeach()
 if(NOT "${stable_1}" STREQUAL "${stable_2}")
