@@ -182,7 +182,11 @@ Status ChaosEngine::arm(const FaultPlan& plan) {
 }
 
 void ChaosEngine::schedule(const FaultEvent& event) {
-  net_.sim().at(event.at, [this, event] { apply(event); });
+  // Fault injection mutates cross-shard state (links span shards, control
+  // outages touch whole service sets), so every chaos event executes in
+  // the global domain — exclusively, with all shards at the barrier.
+  net_.sim().schedule(simnet::Domain::global(), event.at,
+                      [this, event] { apply(event); });
 }
 
 void ChaosEngine::note(const FaultEvent& event, const char* action) {
@@ -235,10 +239,11 @@ void ChaosEngine::apply(const FaultEvent& event) {
       const double before = link->config().loss_probability;
       link->set_loss_probability(event.magnitude);
       if (reverts) {
-        net_.sim().after(event.hold, [this, event, link, before] {
-          note(event, "revert");
-          link->set_loss_probability(before);
-        });
+        net_.sim().schedule_after(simnet::Domain::global(), event.hold,
+                                  [this, event, link, before] {
+                                    note(event, "revert");
+                                    link->set_loss_probability(before);
+                                  });
       }
       return;
     }
@@ -247,16 +252,18 @@ void ChaosEngine::apply(const FaultEvent& event) {
       const double before = link->config().jitter_sigma;
       link->set_jitter_sigma(event.magnitude);
       if (reverts) {
-        net_.sim().after(event.hold, [this, event, link, before] {
-          note(event, "revert");
-          link->set_jitter_sigma(before);
-        });
+        net_.sim().schedule_after(simnet::Domain::global(), event.hold,
+                                  [this, event, link, before] {
+                                    note(event, "revert");
+                                    link->set_jitter_sigma(before);
+                                  });
       }
       return;
     }
   }
   if (reverts) {
-    net_.sim().after(event.hold, [this, event] { revert(event); });
+    net_.sim().schedule_after(simnet::Domain::global(), event.hold,
+                              [this, event] { revert(event); });
   }
 }
 

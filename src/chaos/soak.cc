@@ -69,12 +69,24 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
   workload::WorkloadConfig workload_config = options.workload;
   workload_config.seed = options.seed;
   workload_config.daemon.resilience.enabled = options.resilience;
-  workload::TrafficMatrix workload(net, workload_config);
+  auto built = workload::TrafficMatrix::Builder{}
+                   .net(net)
+                   .config(workload_config)
+                   .build();
+  if (!built) return built.error();
+  workload::TrafficMatrix& workload = **built;
 
-  std::vector<SimTime> delivery_times;
+  // Per-destination delivery buffers: under the sharded core the delivery
+  // callback fires on the destination host's shard thread, so each host
+  // gets its own pre-sized slot (no two shards share a vector). The
+  // buffers are merged and sorted below — the legacy single-thread stream
+  // was already time-ordered, so the sorted multiset (and therefore every
+  // gap statistic) is byte-identical to the pre-shard harness.
+  std::vector<std::vector<SimTime>> deliveries_by_host(workload_config.hosts);
   workload.set_on_delivery(
-      [&delivery_times](const dataplane::Address&, std::size_t, SimTime at) {
-        delivery_times.push_back(at);
+      [&deliveries_by_host](const dataplane::Address&, std::size_t host,
+                            SimTime at) {
+        deliveries_by_host[host].push_back(at);
       });
   if (auto status = workload.launch(); !status.ok()) return status.error();
 
@@ -88,7 +100,7 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
   report.seed = options.seed;
   report.resilience = options.resilience;
   report.duration = options.duration;
-  const workload::WorkloadReport& wr = workload.report();
+  const workload::WorkloadReport wr = workload.report();
   report.packets_sent = wr.packets_sent;
   report.packets_delivered = wr.packets_delivered;
   report.send_failures = wr.send_failures;
@@ -99,8 +111,19 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
                     : static_cast<double>(wr.packets_delivered) /
                           static_cast<double>(attempts);
 
-  // Delivery-gap distribution: the arrival stream is sim-time ordered, so
-  // consecutive differences are the network-wide delivery gaps.
+  // Delivery-gap distribution: merge the per-host streams and sort by
+  // time; consecutive differences are the network-wide delivery gaps.
+  std::vector<SimTime> delivery_times;
+  std::size_t total_deliveries = 0;
+  for (const auto& host_times : deliveries_by_host) {
+    total_deliveries += host_times.size();
+  }
+  delivery_times.reserve(total_deliveries);
+  for (const auto& host_times : deliveries_by_host) {
+    delivery_times.insert(delivery_times.end(), host_times.begin(),
+                          host_times.end());
+  }
+  std::sort(delivery_times.begin(), delivery_times.end());
   std::vector<Duration> gaps;
   gaps.reserve(delivery_times.empty() ? 0 : delivery_times.size() - 1);
   for (std::size_t i = 1; i < delivery_times.size(); ++i) {

@@ -12,23 +12,28 @@ FramePool& FramePool::global() {
 }
 
 FramePool::~FramePool() {
+  sciera::MutexLock lock(mutex_);
   for (void* ptr : ctrl_free_) ::operator delete(ptr);
 }
 
 std::shared_ptr<UnderlayFrame> FramePool::acquire() {
-  sim_thread_role.assert_held();
-  ++stats_.acquired;
-  ++stats_.outstanding;
   UnderlayFrame* frame = nullptr;
-  if (free_list_.empty()) {
-    ++stats_.allocated;
-    frame = new UnderlayFrame;
-  } else {
-    ++stats_.reused;
-    frame = free_list_.back().release();
-    free_list_.pop_back();
-    --stats_.pooled;
+  {
+    sciera::MutexLock lock(mutex_);
+    ++stats_.acquired;
+    ++stats_.outstanding;
+    if (free_list_.empty()) {
+      ++stats_.allocated;
+    } else {
+      ++stats_.reused;
+      frame = free_list_.back().release();
+      free_list_.pop_back();
+      --stats_.pooled;
+    }
   }
+  // Allocate outside the lock: the allocator only runs on cold starts and
+  // bursts, and there is no reason to serialize it.
+  if (frame == nullptr) frame = new UnderlayFrame;
   // The deleter routes the frame back here instead of freeing it, and the
   // allocator recycles the shared_ptr control block through the pool. The
   // pool is a process-lifetime singleton (or outlives every frame in
@@ -39,46 +44,53 @@ std::shared_ptr<UnderlayFrame> FramePool::acquire() {
 }
 
 void* FramePool::alloc_ctrl(std::size_t size) {
-  sim_thread_role.assert_held();
-  if (ctrl_size_ == 0) ctrl_size_ = size;
-  if (size == ctrl_size_ && !ctrl_free_.empty()) {
-    void* ptr = ctrl_free_.back();
-    ctrl_free_.pop_back();
-    ++stats_.ctrl_reused;
-    return ptr;
+  {
+    sciera::MutexLock lock(mutex_);
+    if (ctrl_size_ == 0) ctrl_size_ = size;
+    if (size == ctrl_size_ && !ctrl_free_.empty()) {
+      void* ptr = ctrl_free_.back();
+      ctrl_free_.pop_back();
+      ++stats_.ctrl_reused;
+      return ptr;
+    }
+    ++stats_.ctrl_allocated;
   }
-  ++stats_.ctrl_allocated;
   return ::operator new(size);
 }
 
 void FramePool::free_ctrl(void* ptr, std::size_t size) {
-  sim_thread_role.assert_held();
-  if (size == ctrl_size_ && ctrl_free_.size() < config_.max_pooled) {
-    ctrl_free_.push_back(ptr);
-    return;
+  {
+    sciera::MutexLock lock(mutex_);
+    if (size == ctrl_size_ && ctrl_free_.size() < config_.max_pooled) {
+      ctrl_free_.push_back(ptr);
+      return;
+    }
   }
   ::operator delete(ptr);
 }
 
 void FramePool::release(UnderlayFrame* frame) {
-  sim_thread_role.assert_held();
-  --stats_.outstanding;
-  if (free_list_.size() >= config_.max_pooled) {
-    delete frame;
-    return;
+  {
+    sciera::MutexLock lock(mutex_);
+    --stats_.outstanding;
+    if (free_list_.size() < config_.max_pooled) {
+      // Scrub the frame for its next life, keeping the buffer's
+      // allocation.
+      frame->scion_bytes.clear();
+      frame->src_ip = 0;
+      frame->dst_ip = 0;
+      frame->src_port = kDispatcherPort;
+      frame->dst_port = kDispatcherPort;
+      free_list_.emplace_back(frame);
+      ++stats_.pooled;
+      return;
+    }
   }
-  // Scrub the frame for its next life, keeping the buffer's allocation.
-  frame->scion_bytes.clear();
-  frame->src_ip = 0;
-  frame->dst_ip = 0;
-  frame->src_port = kDispatcherPort;
-  frame->dst_port = kDispatcherPort;
-  free_list_.emplace_back(frame);
-  ++stats_.pooled;
+  delete frame;
 }
 
 void FramePool::trim() {
-  sim_thread_role.assert_held();
+  sciera::MutexLock lock(mutex_);
   stats_.pooled -= static_cast<std::int64_t>(free_list_.size());
   free_list_.clear();
   for (void* ptr : ctrl_free_) ::operator delete(ptr);
@@ -86,20 +98,20 @@ void FramePool::trim() {
 }
 
 void FramePool::publish_metrics() const {
-  sim_thread_role.assert_held();
+  const Stats snapshot = stats();
   auto& registry = obs::MetricsRegistry::global();
   registry.gauge("sciera_frame_pool_acquired")
-      .set(static_cast<std::int64_t>(stats_.acquired));
+      .set(static_cast<std::int64_t>(snapshot.acquired));
   registry.gauge("sciera_frame_pool_allocated")
-      .set(static_cast<std::int64_t>(stats_.allocated));
+      .set(static_cast<std::int64_t>(snapshot.allocated));
   registry.gauge("sciera_frame_pool_reused")
-      .set(static_cast<std::int64_t>(stats_.reused));
-  registry.gauge("sciera_frame_pool_outstanding").set(stats_.outstanding);
-  registry.gauge("sciera_frame_pool_pooled").set(stats_.pooled);
+      .set(static_cast<std::int64_t>(snapshot.reused));
+  registry.gauge("sciera_frame_pool_outstanding").set(snapshot.outstanding);
+  registry.gauge("sciera_frame_pool_pooled").set(snapshot.pooled);
   registry.gauge("sciera_frame_pool_ctrl_allocated")
-      .set(static_cast<std::int64_t>(stats_.ctrl_allocated));
+      .set(static_cast<std::int64_t>(snapshot.ctrl_allocated));
   registry.gauge("sciera_frame_pool_ctrl_reused")
-      .set(static_cast<std::int64_t>(stats_.ctrl_reused));
+      .set(static_cast<std::int64_t>(snapshot.ctrl_reused));
 }
 
 }  // namespace sciera::dataplane

@@ -7,9 +7,13 @@
 // pops a warm frame, ScionPacket::serialize_into() reuses its buffer, and
 // the shared_ptr deleter returns it when the delivery completes.
 //
-// Single-threaded by design, like the simulator it feeds. Determinism is
-// unaffected: recycling changes *where* a frame lives, never what the
-// schedule does.
+// The pool is process-wide and mutex-guarded: under the sharded parallel
+// core a frame acquired on one shard can be released by the receiving
+// shard's thread (the shared_ptr deleter runs wherever the last reference
+// drops), so the free list is genuinely cross-thread. The lock is
+// uncontended in single-shard runs and short (pointer push/pop) in
+// parallel ones. Determinism is unaffected: recycling changes *where* a
+// frame lives, never what the schedule does.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +58,7 @@ class FramePool {
   [[nodiscard]] std::shared_ptr<UnderlayFrame> acquire();
 
   [[nodiscard]] Stats stats() const {
-    sim_thread_role.assert_held();
+    sciera::MutexLock lock(mutex_);
     return stats_;
   }
   // Drops every pooled frame (tests; bounds memory after huge runs).
@@ -95,16 +99,15 @@ class FramePool {
   void* alloc_ctrl(std::size_t size);
   void free_ctrl(void* ptr, std::size_t size);
 
-  // Free list and counters are thread-affine to the simulation thread
-  // (per-shard pools once the parallel core lands).
   Config config_;
+  mutable sciera::Mutex mutex_;
   std::vector<std::unique_ptr<UnderlayFrame>> free_list_
-      SCIERA_GUARDED_BY(sim_thread_role);
+      SCIERA_GUARDED_BY(mutex_);
   // Recycled shared_ptr control-block nodes. Single fixed size (the one
   // node type acquire() mints); ctrl_size_ latches it on first use.
-  std::vector<void*> ctrl_free_ SCIERA_GUARDED_BY(sim_thread_role);
-  std::size_t ctrl_size_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
-  Stats stats_ SCIERA_GUARDED_BY(sim_thread_role);
+  std::vector<void*> ctrl_free_ SCIERA_GUARDED_BY(mutex_);
+  std::size_t ctrl_size_ SCIERA_GUARDED_BY(mutex_) = 0;
+  Stats stats_ SCIERA_GUARDED_BY(mutex_);
 };
 
 }  // namespace sciera::dataplane

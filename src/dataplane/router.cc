@@ -328,9 +328,10 @@ void BorderRouter::deliver_local(const ScionPacket& packet) {
   // The endpoint handoff copies the packet (it outlives the scratch slot
   // it may live in); the forwarding fast path never takes this branch
   // for transit traffic, so the copy is off the hot path.
-  sim_.after(config_.intra_as_delay, [delivery, packet, &sim = sim_] {
-    delivery(packet, sim.now());
-  });
+  sim_.schedule_after(simnet::Domain::current(), config_.intra_as_delay,
+                      [delivery, packet, &sim = sim_] {
+                        delivery(packet, sim.now());
+                      });
 }
 
 void BorderRouter::forward(const ScionPacket& packet, IfaceId egress) {

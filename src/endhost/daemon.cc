@@ -186,9 +186,9 @@ void Daemon::paths_async_detailed(IsdAs dst,
     // asynchronous (callers cannot observe a reentrant answer).
     PathLookup result{filter_alive(entry->paths), PathSource::kFreshCache,
                       false};
-    net_.sim().after(0, [cb = std::move(cb), result = std::move(result)] {
-      cb(result);
-    });
+    net_.sim().schedule_after(
+        simnet::Domain::current(), 0,
+        [cb = std::move(cb), result = std::move(result)] { cb(result); });
     return;
   }
   auto lookup = std::make_shared<AsyncLookup>();
@@ -240,20 +240,23 @@ void Daemon::start_attempt(const std::shared_ptr<AsyncLookup>& lookup) {
   // Legacy mode: no timeout — during an outage the callback simply never
   // fires (the dropped-RPC behaviour the chaos campaigns surfaced).
   if (!res.enabled) return;
-  net_.sim().after(res.lookup_timeout, [this, lookup, settled, dst, target] {
-    if (*settled) return;
-    *settled = true;
-    lookup_timeouts_->inc();
-    record_fetch_failure(dst, target);
-    if (lookup->attempts < config_.resilience.backoff.max_attempts) {
-      lookup_retries_->inc();
-      const Duration delay =
-          config_.resilience.backoff.delay(lookup->attempts, rng_);
-      net_.sim().after(delay, [this, lookup] { start_attempt(lookup); });
-      return;
-    }
-    lookup->cb(degraded(dst));
-  });
+  net_.sim().schedule_after(
+      simnet::Domain::current(), res.lookup_timeout,
+      [this, lookup, settled, dst, target] {
+        if (*settled) return;
+        *settled = true;
+        lookup_timeouts_->inc();
+        record_fetch_failure(dst, target);
+        if (lookup->attempts < config_.resilience.backoff.max_attempts) {
+          lookup_retries_->inc();
+          const Duration delay =
+              config_.resilience.backoff.delay(lookup->attempts, rng_);
+          net_.sim().schedule_after(simnet::Domain::current(), delay,
+                                    [this, lookup] { start_attempt(lookup); });
+          return;
+        }
+        lookup->cb(degraded(dst));
+      });
 }
 
 const cppki::Trc* Daemon::trc(Isd isd) const {

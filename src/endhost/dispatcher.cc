@@ -70,9 +70,10 @@ void HostStack::on_local_delivery(const dataplane::ScionPacket& packet,
     auto message = dataplane::ScmpMessage::parse(packet.payload);
     if (!message) return;
     auto receiver = scmp_receiver_;
-    net_.sim().after(config_.local_hop,
-                     [receiver, packet, message = std::move(message).value(),
-                      &sim = net_.sim()] { receiver(packet, message, sim.now()); });
+    net_.sim().schedule_after(
+        simnet::Domain::current(), config_.local_hop,
+        [receiver, packet, message = std::move(message).value(),
+         &sim = net_.sim()] { receiver(packet, message, sim.now()); });
     return;
   }
   if (packet.next_hdr != dataplane::kProtoUdp) return;
@@ -103,9 +104,10 @@ void HostStack::on_local_delivery(const dataplane::ScionPacket& packet,
   delivered_->inc();
   Receiver& receiver = it->second;
   auto dg = std::move(datagram).value();
-  net_.sim().after(extra, [receiver, packet, dg, &sim = net_.sim()] {
-    receiver(packet, dg, sim.now());
-  });
+  net_.sim().schedule_after(simnet::Domain::current(), extra,
+                            [receiver, packet, dg, &sim = net_.sim()] {
+                              receiver(packet, dg, sim.now());
+                            });
 }
 
 }  // namespace sciera::endhost

@@ -5,14 +5,17 @@
 // locking and no lookup — the registration map's mutex is only taken when
 // a new series is created or a snapshot is exported.
 //
-// Determinism contract: storage is plain integers (the simulator is
-// single-threaded; the mutex exists for exporter/registration safety, not
-// the data path), snapshot() orders series by (name, canonical labels),
-// and instance_label() hands out per-kind instance names purely from
-// registration order — two processes that construct the same objects in
-// the same order export byte-identical snapshots.
+// Determinism contract: snapshot() orders series by (name, canonical
+// labels), and instance_label() hands out per-kind instance names purely
+// from registration order — two processes that construct the same objects
+// in the same order export byte-identical snapshots. Counters are relaxed
+// atomics so shard worker threads of the parallel core may increment the
+// same cell concurrently (a pure sum is interleaving-independent); gauges
+// and histograms stay plain integers and remain single-writer (per-shard
+// or global-domain owners).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -37,12 +40,18 @@ enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
 // for delta-based tooling.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { value_ += by; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  // Relaxed: counts are pure sums, so no ordering is needed — the window
+  // barrier orders any read that feeds a deterministic report.
+  void inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class MetricsRegistry;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 // Point-in-time signed level (queue depths, quarantine sizes, ...).

@@ -19,6 +19,43 @@ struct SimulatorGauges {
 };
 }  // namespace obs_cells
 
+namespace {
+
+// Identity of the event currently executing on this thread: which
+// simulator, which queue, and the exclusive end of the window it may
+// schedule same-shard work into. Null sim means "not inside an event"
+// (setup code, the driver between windows) — such callers schedule with
+// global-domain rights.
+struct ExecCtx {
+  const void* sim = nullptr;
+  std::uint32_t qi = 0;
+  SimTime window_end = 0;
+};
+thread_local ExecCtx t_exec{};
+
+class ExecScope {
+ public:
+  ExecScope(const void* sim, std::uint32_t qi, SimTime window_end)
+      : saved_(t_exec) {
+    t_exec = ExecCtx{sim, qi, window_end};
+  }
+  ~ExecScope() { t_exec = saved_; }
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+
+ private:
+  ExecCtx saved_;
+};
+
+SimTime saturating_add(SimTime a, Duration b) {
+  if (a > std::numeric_limits<SimTime>::max() - b) {
+    return std::numeric_limits<SimTime>::max();
+  }
+  return a + b;
+}
+
+}  // namespace
+
 const char* scheduler_kind_name(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kBinaryHeap: return "binary-heap";
@@ -27,25 +64,61 @@ const char* scheduler_kind_name(SchedulerKind kind) {
   return "?";
 }
 
-Simulator::Simulator(SchedulerConfig config) : config_(config) {
-  if (config_.kind == SchedulerKind::kCalendarQueue) {
-    SCIERA_CHECK(config_.bucket_width > 0 &&
-                     (config_.bucket_width & (config_.bucket_width - 1)) == 0,
-                 "simnet.scheduler_config");
-    SCIERA_CHECK(config_.bucket_count >= 2 &&
-                     (config_.bucket_count & (config_.bucket_count - 1)) == 0,
-                 "simnet.scheduler_config");
-    width_shift_ =
-        std::countr_zero(static_cast<std::uint64_t>(config_.bucket_width));
-    buckets_.resize(config_.bucket_count);
-    near_end_ = wheel_start_ + config_.bucket_width;
-    horizon_end_ = wheel_start_ +
-                   config_.bucket_width *
-                       static_cast<Duration>(config_.bucket_count);
+Status validate_scheduler_config(const SchedulerConfig& config) {
+  if (config.kind == SchedulerKind::kCalendarQueue) {
+    if (config.bucket_width <= 0 ||
+        (config.bucket_width & (config.bucket_width - 1)) != 0) {
+      return Error{Errc::kInvalidArgument,
+                   "calendar bucket_width must be a positive power of two "
+                   "nanoseconds, got " +
+                       std::to_string(config.bucket_width)};
+    }
+    if (config.bucket_count < 2 ||
+        (config.bucket_count & (config.bucket_count - 1)) != 0) {
+      return Error{Errc::kInvalidArgument,
+                   "calendar bucket_count must be a power of two >= 2, got " +
+                       std::to_string(config.bucket_count)};
+    }
+  }
+  if (config.shards == 0) {
+    return Error{Errc::kInvalidArgument, "shards must be >= 1"};
+  }
+  if (config.threads == 0) {
+    return Error{Errc::kInvalidArgument, "threads must be >= 1"};
+  }
+  return {};
+}
+
+Simulator::EventQueue::EventQueue(const SchedulerConfig& config)
+    : kind(config.kind),
+      bucket_width(config.bucket_width),
+      bucket_count(config.bucket_count) {
+  if (kind == SchedulerKind::kCalendarQueue) {
+    width_shift = std::countr_zero(static_cast<std::uint64_t>(bucket_width));
+    buckets_.resize(bucket_count);
+    near_end_ = wheel_start_ + bucket_width;
+    horizon_end_ =
+        wheel_start_ + bucket_width * static_cast<Duration>(bucket_count);
   }
 }
 
-Simulator::~Simulator() { delete gauges_; }
+Simulator::Simulator(SchedulerConfig config) : config_(config) {
+  const Status valid = validate_scheduler_config(config_);
+  SCIERA_CHECK(valid.ok(), "simnet.scheduler_config");
+  shards_ = config_.shards;
+  thread_count_ = std::min(config_.threads, shards_);
+  if (thread_count_ == 0) thread_count_ = 1;
+  // Single shard: one queue, the classic core. Sharded: queue 0 is the
+  // global domain, queues 1..shards are the shards.
+  const std::size_t queue_count = shards_ <= 1 ? 1 : shards_ + 1;
+  queues_.reserve(queue_count);
+  for (std::size_t i = 0; i < queue_count; ++i) queues_.emplace_back(config_);
+}
+
+Simulator::~Simulator() {
+  stop_workers();
+  delete gauges_;
+}
 
 void Simulator::enable_metrics(const std::string& label) {
   sim_thread_role.assert_held();
@@ -62,20 +135,32 @@ void Simulator::enable_metrics(const std::string& label) {
 
 void Simulator::update_gauges() {
   if (gauges_ == nullptr) return;
-  gauges_->pending->set(static_cast<std::int64_t>(size_));
-  gauges_->executed->set(static_cast<std::int64_t>(executed_));
-  gauges_->overflow->set(static_cast<std::int64_t>(far_.size()));
+  std::size_t pending = 0;
+  std::uint64_t executed = 0;
+  std::size_t overflow = 0;
+  for (const EventQueue& q : queues_) {
+    pending += q.size_;
+    executed += q.executed_;
+    overflow += q.far_.size();
+  }
+  gauges_->pending->set(static_cast<std::int64_t>(pending));
+  gauges_->executed->set(static_cast<std::int64_t>(executed));
+  gauges_->overflow->set(static_cast<std::int64_t>(overflow));
 }
 
-std::size_t Simulator::bucket_index(SimTime when) const {
+void Simulator::set_lookahead(Duration lookahead) {
+  lookahead_ = lookahead < 1 ? 1 : lookahead;
+}
+
+std::size_t Simulator::EventQueue::bucket_index(SimTime when) const {
   const auto offset =
-      static_cast<std::uint64_t>(when - wheel_start_) >> width_shift_;
-  return (cursor_ + offset) & (config_.bucket_count - 1);
+      static_cast<std::uint64_t>(when - wheel_start_) >> width_shift;
+  return (cursor_ + offset) & (bucket_count - 1);
 }
 
-void Simulator::push(Event event) {
+void Simulator::EventQueue::push(Event event) {
   ++size_;
-  if (config_.kind == SchedulerKind::kBinaryHeap) {
+  if (kind == SchedulerKind::kBinaryHeap) {
     heap_.push(std::move(event));
     return;
   }
@@ -93,11 +178,11 @@ void Simulator::push(Event event) {
   }
 }
 
-void Simulator::advance_cursor() {
-  cursor_ = (cursor_ + 1) & (config_.bucket_count - 1);
-  wheel_start_ += config_.bucket_width;
-  near_end_ += config_.bucket_width;
-  horizon_end_ += config_.bucket_width;
+void Simulator::EventQueue::advance_cursor() {
+  cursor_ = (cursor_ + 1) & (bucket_count - 1);
+  wheel_start_ += bucket_width;
+  near_end_ += bucket_width;
+  horizon_end_ += bucket_width;
   auto& slot = buckets_[cursor_];
   if (!slot.empty()) {
     buckets_occupied_ -= slot.size();
@@ -131,18 +216,17 @@ void Simulator::advance_cursor() {
   }
 }
 
-void Simulator::jump_to_far() {
+void Simulator::EventQueue::jump_to_far() {
   // Nothing lives in the wheel: rather than rotating bucket by bucket
   // through empty time (a 20-day campaign at 10-minute probe intervals
   // would touch billions of empty slots), teleport the wheel to the
   // earliest overflow event.
   SCIERA_DCHECK(!far_.empty(), "simnet.scheduler_jump_empty");
   const SimTime t = far_.top().when;
-  wheel_start_ = t & ~(config_.bucket_width - 1);
-  near_end_ = wheel_start_ + config_.bucket_width;
-  horizon_end_ = wheel_start_ +
-                 config_.bucket_width *
-                     static_cast<Duration>(config_.bucket_count);
+  wheel_start_ = t & ~(bucket_width - 1);
+  near_end_ = wheel_start_ + bucket_width;
+  horizon_end_ =
+      wheel_start_ + bucket_width * static_cast<Duration>(bucket_count);
   while (!far_.empty() && far_.top().when < horizon_end_) {
     Event event = std::move(const_cast<Event&>(far_.top()));
     far_.pop();
@@ -156,8 +240,8 @@ void Simulator::jump_to_far() {
   }
 }
 
-bool Simulator::prepare_next() {
-  if (config_.kind == SchedulerKind::kBinaryHeap) return !heap_.empty();
+bool Simulator::EventQueue::prepare_next() {
+  if (kind == SchedulerKind::kBinaryHeap) return !heap_.empty();
   if (size_ == 0) return false;
   while (near_.empty()) {
     if (buckets_occupied_ == 0) jump_to_far();
@@ -166,31 +250,14 @@ bool Simulator::prepare_next() {
   return true;
 }
 
-SimTime Simulator::peek_next_time() {
-  return config_.kind == SchedulerKind::kBinaryHeap ? heap_.top().when
-                                                    : near_.front().when;
+SimTime Simulator::EventQueue::peek_next_time() const {
+  return kind == SchedulerKind::kBinaryHeap ? heap_.top().when
+                                            : near_.front().when;
 }
 
-void Simulator::at(SimTime when, Action action) {
-  sim_thread_role.assert_held();
-  SCIERA_DCHECK(when >= now_, "simnet.schedule_in_past");
-  if (when < now_) {
-    // Release builds clamp instead of dying, but the clamp is audited so
-    // determinism sweeps can flag the offending component.
-    count_violation("simnet.schedule_in_past");
-    when = now_;
-  }
-  push(Event{when, next_seq_++, std::move(action)});
-}
-
-void Simulator::after(Duration delay, Action action) {
-  sim_thread_role.assert_held();
-  at(now_ + (delay < 0 ? 0 : delay), std::move(action));
-}
-
-Simulator::Event Simulator::take_next() {
+Simulator::Event Simulator::EventQueue::take_next() {
   Event ev;
-  if (config_.kind == SchedulerKind::kBinaryHeap) {
+  if (kind == SchedulerKind::kBinaryHeap) {
     // priority_queue::top() is const; moving through const_cast is fine
     // here because pop() discards the moved-from element immediately.
     ev = std::move(const_cast<Event&>(heap_.top()));
@@ -214,21 +281,281 @@ Simulator::Event Simulator::take_next() {
   return ev;
 }
 
-void Simulator::run_until(SimTime deadline) {
+SimTime Simulator::now() const {
+  if (!sharded()) return queues_.front().now_;
+  if (t_exec.sim == this) return queues_[t_exec.qi].now_;
+  return queues_.front().now_;
+}
+
+std::size_t Simulator::pending_events() const {
+  if (sharded() && t_exec.sim == this) return queues_[t_exec.qi].size_;
+  std::size_t total = 0;
+  for (const EventQueue& q : queues_) total += q.size_;
+  return total;
+}
+
+std::uint64_t Simulator::executed_events() const {
+  if (sharded() && t_exec.sim == this) return queues_[t_exec.qi].executed_;
+  std::uint64_t total = 0;
+  for (const EventQueue& q : queues_) total += q.executed_;
+  return total;
+}
+
+ScheduleDigest Simulator::schedule_digest() const {
+  if (!sharded()) return queues_.front().digest_;
+  ScheduleDigest merged;
+  std::uint64_t executed = 0;
+  for (const EventQueue& q : queues_) {
+    merged.fold(q.digest_.hash);
+    merged.fold(q.digest_.executed);
+    executed += q.digest_.executed;
+  }
+  merged.executed = executed;
+  return merged;
+}
+
+std::uint32_t Simulator::queue_index(Domain domain,
+                                     std::uint32_t ctx_qi) const {
+  if (domain.is_current()) {
+    return ctx_qi == kNoContext ? 0 : ctx_qi;
+  }
+  if (domain.is_global()) return 0;
+  const ShardId id = domain.id();
+  if (id >= shards_) {
+    // A shard id from a different partition (or a stale map). Audited and
+    // routed to the global queue rather than corrupting a shard schedule.
+    count_violation("simnet.bad_domain");
+    return 0;
+  }
+  return 1 + id;
+}
+
+void Simulator::schedule(Domain domain, SimTime when, Action action) {
+  if (!sharded()) {
+    // Single-shard fast path: every domain is the one queue. Identical
+    // event stream (sequence numbers included) to the pre-shard core.
+    EventQueue& q = queues_.front();
+    SCIERA_DCHECK(when >= q.now_, "simnet.schedule_in_past");
+    if (when < q.now_) {
+      // Release builds clamp instead of dying, but the clamp is audited so
+      // determinism sweeps can flag the offending component.
+      count_violation("simnet.schedule_in_past");
+      when = q.now_;
+    }
+    q.push(Event{when, q.next_seq_++, std::move(action)});
+    return;
+  }
+
+  const bool in_event = t_exec.sim == this;
+  const std::uint32_t ctx_qi = in_event ? t_exec.qi : kNoContext;
+  const std::uint32_t dst = queue_index(domain, ctx_qi);
+  if (!in_event || ctx_qi == dst || ctx_qi == 0) {
+    // Direct push: setup/driver code (all queues idle), same-queue
+    // scheduling, or a global event (global events run exclusively while
+    // every shard parks at the barrier, so they may seed any queue).
+    EventQueue& q = queues_[dst];
+    SCIERA_DCHECK(when >= q.now_, "simnet.schedule_in_past");
+    if (when < q.now_) {
+      count_violation("simnet.schedule_in_past");
+      when = q.now_;
+    }
+    q.push(Event{when, q.next_seq_++, std::move(action)});
+    return;
+  }
+  // Cross-shard from inside a shard event: park in the sender's outbox
+  // until the window barrier. Conservative synchronization requires the
+  // target time to be outside the current window; anything earlier would
+  // have to rewind a queue that may already be past it.
+  if (when < t_exec.window_end) {
+    count_violation("simnet.cross_shard_lookahead");
+    when = t_exec.window_end;
+  }
+  queues_[ctx_qi].outbox_.push_back(OutboundEvent{dst, when, std::move(action)});
+}
+
+void Simulator::schedule_after(Domain domain, Duration delay, Action action) {
+  schedule(domain, now() + (delay < 0 ? 0 : delay), std::move(action));
+}
+
+SimTime Simulator::queue_peek(std::uint32_t qi) {
+  EventQueue& q = queues_[qi];
+  return q.prepare_next() ? q.peek_next_time() : kNever;
+}
+
+void Simulator::run_queue_window(std::uint32_t qi, SimTime window_end) {
   sim_thread_role.assert_held();
-  while (prepare_next() && peek_next_time() <= deadline) {
-    Event ev = take_next();
+  ExecScope scope(this, qi, window_end);
+  EventQueue& q = queues_[qi];
+  while (q.prepare_next() && q.peek_next_time() < window_end) {
+    Event ev = q.take_next();
     ev.action();
   }
-  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::merge_outboxes() {
+  for (EventQueue& src : queues_) {
+    for (OutboundEvent& out : src.outbox_) {
+      EventQueue& dst = queues_[out.dst];
+      SimTime when = out.when;
+      if (when < dst.now_) {
+        count_violation("simnet.schedule_in_past");
+        when = dst.now_;
+      }
+      dst.push(Event{when, dst.next_seq_++, std::move(out.action)});
+    }
+    src.outbox_.clear();
+  }
+}
+
+void Simulator::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(thread_count_ - 1);
+  for (std::size_t w = 1; w < thread_count_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void Simulator::stop_workers() {
+  if (workers_.empty()) return;
+  pool_mutex_.lock();
+  pool_shutdown_ = true;
+  pool_mutex_.unlock();
+  pool_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void Simulator::worker_main(std::size_t worker) {
+  std::uint64_t seen_round = 0;
+  pool_mutex_.lock();
+  for (;;) {
+    while (!pool_shutdown_ && pool_round_ == seen_round) {
+      pool_cv_.wait(pool_mutex_);
+    }
+    if (pool_shutdown_) {
+      pool_mutex_.unlock();
+      return;
+    }
+    seen_round = pool_round_;
+    const SimTime window_end = pool_window_end_;
+    pool_mutex_.unlock();
+    // Static shard->thread mapping: worker w owns shards s with
+    // s % thread_count_ == w, in increasing shard order.
+    for (std::uint32_t qi = 1 + static_cast<std::uint32_t>(worker);
+         qi < queues_.size(); qi += static_cast<std::uint32_t>(thread_count_)) {
+      run_queue_window(qi, window_end);
+    }
+    pool_mutex_.lock();
+    if (--pool_pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void Simulator::execute_window(SimTime window_end) {
+  if (thread_count_ <= 1) {
+    for (std::uint32_t qi = 1; qi < queues_.size(); ++qi) {
+      run_queue_window(qi, window_end);
+    }
+    return;
+  }
+  start_workers();
+  pool_mutex_.lock();
+  pool_window_end_ = window_end;
+  pool_pending_ = thread_count_ - 1;
+  ++pool_round_;
+  pool_mutex_.unlock();
+  pool_cv_.notify_all();
+  // The driver is worker 0.
+  for (std::uint32_t qi = 1; qi < queues_.size();
+       qi += static_cast<std::uint32_t>(thread_count_)) {
+    run_queue_window(qi, window_end);
+  }
+  pool_mutex_.lock();
+  while (pool_pending_ != 0) done_cv_.wait(pool_mutex_);
+  pool_mutex_.unlock();
+}
+
+void Simulator::run_sharded(SimTime deadline) {
+  for (;;) {
+    const SimTime t_global = queue_peek(0);
+    SimTime t_shard = kNever;
+    for (std::uint32_t qi = 1; qi < queues_.size(); ++qi) {
+      t_shard = std::min(t_shard, queue_peek(qi));
+    }
+    const SimTime t_min = std::min(t_global, t_shard);
+    if (t_min == kNever || t_min > deadline) return;
+
+    if (t_global <= t_shard) {
+      // Global events run exclusively: every shard is parked, so the
+      // event may touch cross-shard state (chaos cutting a link, a
+      // healing sweep over all path services) and seed any queue
+      // directly. Re-check the earliest shard event after every global
+      // event — it may just have created one.
+      ExecScope scope(this, 0, kNever);
+      EventQueue& global = queues_.front();
+      while (global.prepare_next()) {
+        const SimTime t_next = global.peek_next_time();
+        if (t_next > deadline) break;
+        SimTime earliest_shard = kNever;
+        for (std::uint32_t qi = 1; qi < queues_.size(); ++qi) {
+          earliest_shard = std::min(earliest_shard, queue_peek(qi));
+        }
+        if (t_next > earliest_shard) break;
+        Event ev = global.take_next();
+        ev.action();
+      }
+      continue;
+    }
+
+    // Shard window: conservative bound from the lookahead (minimum
+    // cross-shard latency), capped by the next global event (it must see
+    // a quiesced network at its timestamp) and by the deadline
+    // (+1 because the window end is exclusive and events *at* the
+    // deadline must still run).
+    SimTime window_end = saturating_add(t_shard, lookahead_);
+    window_end = std::min(window_end, t_global);
+    window_end = std::min(window_end, saturating_add(deadline, 1));
+    execute_window(window_end);
+    merge_outboxes();
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  sim_thread_role.assert_held();
+  if (!sharded()) {
+    EventQueue& q = queues_.front();
+    while (q.prepare_next() && q.peek_next_time() <= deadline) {
+      Event ev = q.take_next();
+      ev.action();
+    }
+    if (q.now_ < deadline) q.now_ = deadline;
+    update_gauges();
+    return;
+  }
+  run_sharded(deadline);
+  for (EventQueue& q : queues_) {
+    if (q.now_ < deadline) q.now_ = deadline;
+  }
   update_gauges();
 }
 
 void Simulator::run_all() {
   sim_thread_role.assert_held();
-  while (prepare_next()) {
-    Event ev = take_next();
-    ev.action();
+  if (!sharded()) {
+    EventQueue& q = queues_.front();
+    while (q.prepare_next()) {
+      Event ev = q.take_next();
+      ev.action();
+    }
+    update_gauges();
+    return;
+  }
+  run_sharded(kNever);
+  // Align the clocks: after a drain every queue reports the same "end of
+  // simulation" time (the latest event executed anywhere).
+  SimTime latest = 0;
+  for (const EventQueue& q : queues_) latest = std::max(latest, q.now_);
+  for (EventQueue& q : queues_) {
+    if (q.now_ < latest) q.now_ = latest;
   }
   update_gauges();
 }

@@ -1,21 +1,82 @@
 #include "workload/workload.h"
 
+#include <algorithm>
+#include <string>
+
 namespace sciera::workload {
 
 namespace {
 constexpr std::uint16_t kWorkloadPort = 40000;
+
+// Placement list for host attachment: the configured restriction when
+// present, otherwise every AS of the topology in its canonical order.
+std::vector<IsdAs> placement_ases(const controlplane::ScionNetwork& net,
+                                  const WorkloadConfig& config) {
+  if (!config.ases.empty()) return config.ases;
+  std::vector<IsdAs> all;
+  all.reserve(net.topology().ases().size());
+  for (const auto& as_info : net.topology().ases()) all.push_back(as_info.ia);
+  return all;
+}
 }  // namespace
+
+Result<std::unique_ptr<TrafficMatrix>> TrafficMatrix::Builder::build() const {
+  if (net_ == nullptr) {
+    return Error{Errc::kInvalidArgument,
+                 "TrafficMatrix::Builder requires net()"};
+  }
+  if (net_->topology().ases().empty()) {
+    return Error{Errc::kInvalidArgument,
+                 "workload needs a topology with ASes"};
+  }
+  if (config_.hosts < 2) {
+    return Error{Errc::kInvalidArgument,
+                 "workload needs at least two hosts, got " +
+                     std::to_string(config_.hosts)};
+  }
+  if (config_.flows == 0) {
+    return Error{Errc::kInvalidArgument,
+                 "workload needs at least one flow (zero-flow matrix)"};
+  }
+  if (config_.packets_per_flow == 0) {
+    return Error{Errc::kInvalidArgument,
+                 "workload needs at least one packet per flow"};
+  }
+  if (config_.mean_interval <= 0) {
+    return Error{Errc::kInvalidArgument,
+                 "workload mean_interval must be positive, got " +
+                     std::to_string(config_.mean_interval)};
+  }
+  if (config_.start_window < 0) {
+    return Error{Errc::kInvalidArgument,
+                 "workload start_window must be non-negative, got " +
+                     std::to_string(config_.start_window)};
+  }
+  for (const IsdAs ia : config_.ases) {
+    if (net_->topology().find_as(ia) == nullptr) {
+      return Error{Errc::kNotFound,
+                   "workload placement names unknown AS " + ia.to_string()};
+    }
+  }
+  return std::make_unique<TrafficMatrix>(*net_, config_);
+}
 
 TrafficMatrix::TrafficMatrix(controlplane::ScionNetwork& net,
                              WorkloadConfig config)
-    : net_(net), config_(config), rng_(config.seed, "workload") {}
+    : net_(net), config_(std::move(config)), rng_(config_.seed, "workload") {}
 
 TrafficMatrix::~TrafficMatrix() = default;
 
 Status TrafficMatrix::launch() {
-  const auto& ases = net_.topology().ases();
+  const std::vector<IsdAs> ases = placement_ases(net_, config_);
   if (ases.empty()) {
     return Error{Errc::kInvalidArgument, "workload needs a topology with ASes"};
+  }
+  for (const IsdAs ia : ases) {
+    if (net_.topology().find_as(ia) == nullptr) {
+      return Error{Errc::kNotFound,
+                   "workload placement names unknown AS " + ia.to_string()};
+    }
   }
   if (config_.hosts < 2) {
     return Error{Errc::kInvalidArgument, "workload needs at least two hosts"};
@@ -25,7 +86,7 @@ Status TrafficMatrix::launch() {
   hosts_.reserve(config_.hosts);
   for (std::size_t i = 0; i < config_.hosts; ++i) {
     Host host;
-    host.address = {ases[i % ases.size()].ia,
+    host.address = {ases[i % ases.size()],
                     static_cast<std::uint32_t>(0x0B000000 + i)};
     host.daemon = std::make_unique<endhost::Daemon>(net_, host.address.ia,
                                                     config_.daemon);
@@ -40,7 +101,7 @@ Status TrafficMatrix::launch() {
         *host.ctx, kWorkloadPort,
         [this, i](const dataplane::Address& from, std::uint16_t,
                   const Bytes&, SimTime at) {
-          ++report_.packets_delivered;
+          delivered_.fetch_add(1, std::memory_order_relaxed);
           if (on_delivery_) on_delivery_(from, i, at);
         });
     if (!socket) return socket.error();
@@ -63,6 +124,10 @@ Status TrafficMatrix::launch() {
 void TrafficMatrix::schedule_flow(const Flow& flow) {
   auto& sim = net_.sim();
   endhost::PanSocket* socket = hosts_[flow.src].socket.get();
+  // Send events belong to the source host's shard: the whole send path
+  // (daemon lookup, PAN context, first-hop router inject) lives in the
+  // source AS's domain.
+  const simnet::Domain domain = net_.domain_of(hosts_[flow.src].address.ia);
   const dataplane::Address to = hosts_[flow.dst].address;
   SimTime t = sim.now() +
               static_cast<Duration>(rng_.uniform(
@@ -70,14 +135,14 @@ void TrafficMatrix::schedule_flow(const Flow& flow) {
   for (std::size_t k = 0; k < config_.packets_per_flow; ++k) {
     t += 1 + static_cast<Duration>(rng_.exponential(
                  static_cast<double>(config_.mean_interval)));
-    sim.at(t, [this, socket, to] {
+    sim.schedule(domain, t, [this, socket, to] {
       auto receipt = socket->send_to(to, kWorkloadPort, payload_);
       if (!receipt.ok()) {
-        ++report_.send_failures;
+        send_failures_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      ++report_.packets_sent;
-      if (receipt->failover) ++report_.failover_sends;
+      sent_.fetch_add(1, std::memory_order_relaxed);
+      if (receipt->failover) failovers_.fetch_add(1, std::memory_order_relaxed);
     });
   }
 }

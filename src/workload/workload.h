@@ -5,8 +5,14 @@
 // a given seed so the heap-vs-calendar digest comparison is meaningful,
 // which is why every random draw comes from one forked Rng stream and no
 // container iteration order leaks into the schedule.
+//
+// Under the sharded parallel core each flow's send events are scheduled
+// into the source host's shard, deliveries fire on the destination's
+// shard, and the report counters are relaxed atomics — the totals are
+// pure sums, so they are identical for any thread count.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -18,22 +24,26 @@ namespace sciera::workload {
 
 struct WorkloadConfig {
   std::uint64_t seed = 0x10AD;
-  // Hosts are spread round-robin over the topology's ASes.
+  // Hosts are spread round-robin over the placement ASes (below).
   std::size_t hosts = 16;
   // Flows pick (src, dst) host pairs; dst is always a different host.
   std::size_t flows = 64;
   std::size_t packets_per_flow = 20;
   std::size_t payload_bytes = 256;
-  // Exponential inter-packet spacing within a flow.
+  // Exponential inter-packet spacing within a flow. Must be positive.
   Duration mean_interval = 5 * kMillisecond;
   // Flow starts are spread uniformly over this window.
   Duration start_window = 50 * kMillisecond;
   // Daemon configuration shared by every host (the chaos soak harness
   // A/Bs resilience on/off through this).
   endhost::Daemon::Config daemon{};
+  // Placement restriction: hosts attach round-robin to these ASes.
+  // Empty (the default) means every AS of the topology. Every entry must
+  // name an AS the topology knows — the builder rejects unknown IAs.
+  std::vector<IsdAs> ases;
 };
 
-struct WorkloadReport {  // registry-backed snapshot
+struct WorkloadReport {  // value snapshot, safe to copy around
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t send_failures = 0;
@@ -44,6 +54,30 @@ struct WorkloadReport {  // registry-backed snapshot
 // the caller then drives net.sim() (run_for/run_all) and reads report().
 class TrafficMatrix {
  public:
+  // Validated construction, mirroring endhost::PanContext::Builder: the
+  // builder rejects degenerate matrices (fewer than two hosts, zero
+  // flows, zero packets per flow, non-positive send rates) and placement
+  // over ASes the topology does not contain, so a misconfigured
+  // experiment fails at build time with a clear error instead of
+  // producing an empty or crashing run. build() returns the constructed
+  // (not yet launched) matrix.
+  class Builder {
+   public:
+    Builder& net(controlplane::ScionNetwork& net) {
+      net_ = &net;
+      return *this;
+    }
+    Builder& config(WorkloadConfig config) {
+      config_ = std::move(config);
+      return *this;
+    }
+    [[nodiscard]] Result<std::unique_ptr<TrafficMatrix>> build() const;
+
+   private:
+    controlplane::ScionNetwork* net_ = nullptr;
+    WorkloadConfig config_{};
+  };
+
   TrafficMatrix(controlplane::ScionNetwork& net, WorkloadConfig config);
   ~TrafficMatrix();
   TrafficMatrix(const TrafficMatrix&) = delete;
@@ -53,15 +87,29 @@ class TrafficMatrix {
   // sends on the network's simulator.
   [[nodiscard]] Status launch();
 
-  [[nodiscard]] const WorkloadReport& report() const { return report_; }
+  [[nodiscard]] WorkloadReport report() const {
+    WorkloadReport snapshot;
+    snapshot.packets_sent = sent_.load(std::memory_order_relaxed);
+    snapshot.packets_delivered = delivered_.load(std::memory_order_relaxed);
+    snapshot.send_failures = send_failures_.load(std::memory_order_relaxed);
+    snapshot.failover_sends = failovers_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
   [[nodiscard]] const endhost::Daemon& daemon(std::size_t host) const {
     return *hosts_[host].daemon;
   }
+  [[nodiscard]] const dataplane::Address& host_address(std::size_t host) const {
+    return hosts_[host].address;
+  }
 
   // Observer invoked on every delivered packet (after the report counter
   // updates): source address, destination host index, delivery time. The
-  // soak harness uses it to time failover gaps per destination.
+  // soak harness uses it to time failover gaps per destination. Under the
+  // sharded core the callback fires on the destination host's shard
+  // thread — observers must either be per-destination (indexed by the
+  // host argument; different hosts of one shard never race, different
+  // shards need disjoint slots) or internally synchronized.
   void set_on_delivery(
       std::function<void(const dataplane::Address&, std::size_t, SimTime)>
           on_delivery) {
@@ -88,7 +136,13 @@ class TrafficMatrix {
   std::vector<Host> hosts_;
   std::vector<Flow> flows_;
   Bytes payload_;
-  WorkloadReport report_;
+  // Relaxed atomics: sends bump them on source shards, deliveries on
+  // destination shards; report() snapshots after the run (or between
+  // windows), when the barrier has ordered everything.
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> failovers_{0};
   std::function<void(const dataplane::Address&, std::size_t, SimTime)>
       on_delivery_;
 };

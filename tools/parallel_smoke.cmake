@@ -1,0 +1,88 @@
+# bench.parallel_smoke: runs the sharded parallel benchmark in --quick
+# --parallel-only mode and validates the parallel-scaling contract:
+#   - the harness exits 0 (the merged ScheduleDigest is identical at every
+#     thread count and the workload delivered traffic),
+#   - the JSON carries the parallel_scaling section with the schema
+#     marker, shard geometry, host_cores, the serial baseline, and one
+#     curve entry per thread count,
+#   - digest_parity is reported true,
+#   - a second independent process reproduces the exact event counts and
+#     schedule hashes (wall-clock throughput may differ; the schedule must
+#     not — cross-process byte-identity of every deterministic field).
+# Invoked by ctest with -DBIN=<sciera_bench> -DOUT_DIR=<scratch dir>.
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(run IN ITEMS 1 2)
+  execute_process(
+    COMMAND ${BIN} --quick --parallel-only --shards 8
+            --out ${OUT_DIR}/parallel_run${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout_${run}
+    ERROR_VARIABLE stderr_${run})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "sciera_bench --parallel-only run ${run} failed (rc=${rc}):\n"
+            "${stdout_${run}}\n${stderr_${run}}")
+  endif()
+endforeach()
+
+file(READ ${OUT_DIR}/parallel_run1.json json1)
+file(READ ${OUT_DIR}/parallel_run2.json json2)
+
+# Schema validation: the marker and every field the scaling tooling reads.
+foreach(field
+    "\"schema\": \"sciera.bench.simcore.v2\""
+    "\"parallel_scaling\""
+    "\"shards\": 8"
+    "\"policy\": \"per-as\""
+    "\"host_cores\""
+    "\"serial\""
+    "\"curve\""
+    "\"threads\": 1"
+    "\"threads\": 2"
+    "\"threads\": 4"
+    "\"threads\": 8"
+    "\"events_per_sec\""
+    "\"speedup\""
+    "\"executed_events\""
+    "\"schedule_hash\""
+    "\"digest_parity\": true")
+  string(FIND "${json1}" "${field}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "parallel_scaling section missing field ${field}:\n${json1}")
+  endif()
+endforeach()
+
+# Thread parity inside one process: every curve entry must report the
+# same schedule hash (digest_parity above asserts it too; this check
+# keeps the gate honest if the flag's computation ever drifts).
+string(REGEX MATCHALL "\"threads\": [0-9]+, [^}]*\"schedule_hash\": \"[0-9a-f]+\""
+       curve_entries "${json1}")
+list(LENGTH curve_entries entry_count)
+if(NOT entry_count EQUAL 4)
+  message(FATAL_ERROR "expected 4 curve entries, found ${entry_count}:\n${json1}")
+endif()
+set(common_hash "")
+foreach(entry IN LISTS curve_entries)
+  string(REGEX MATCH "\"schedule_hash\": \"[0-9a-f]+\"" hash_kv "${entry}")
+  if("${common_hash}" STREQUAL "")
+    set(common_hash "${hash_kv}")
+  elseif(NOT "${common_hash}" STREQUAL "${hash_kv}")
+    message(FATAL_ERROR "curve entries disagree on schedule hash:\n${json1}")
+  endif()
+endforeach()
+
+# Determinism: event counts and schedule hashes must be identical across
+# two separate processes. Strip the timing-dependent fields and compare.
+foreach(run IN ITEMS 1 2)
+  string(REGEX MATCHALL "\"(executed_events|schedule_hash)\": \"?[0-9a-f]+\"?"
+         stable_${run} "${json${run}}")
+endforeach()
+if(NOT "${stable_1}" STREQUAL "${stable_2}")
+  message(FATAL_ERROR "nondeterministic parallel runs across processes:\n"
+                      "run1: ${stable_1}\nrun2: ${stable_2}")
+endif()
+if("${stable_1}" STREQUAL "")
+  message(FATAL_ERROR "no executed_events fields found:\n${json1}")
+endif()

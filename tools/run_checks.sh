@@ -52,6 +52,14 @@ echo "== sciera_bench --quick (scheduler digest parity under sanitizers) =="
 "$BUILD_DIR/tools/sciera_bench" --quick \
   --out "$BUILD_DIR/BENCH_simcore_quick.json"
 
+# Sharded parallel core in isolation: the merged digest must be identical
+# at every worker-thread count, and the cross-shard outbox/barrier
+# machinery gets a memory-safety pass (a stale ExecCtx or a frame freed on
+# the wrong shard would surface here).
+echo "== sciera_bench --parallel-only --quick (thread parity, sanitized) =="
+"$BUILD_DIR/tools/sciera_bench" --parallel-only --quick --shards 8 \
+  --out "$BUILD_DIR/BENCH_parallel_quick.json"
+
 # Router fast-path in isolation: the scalar/batched digest-parity and
 # zero-key-schedule contracts hold under sanitizers too, and a sanitized
 # pass over the batched parse/verify/forward pipeline is exactly where a
@@ -100,6 +108,19 @@ if [[ "$SANITIZE" != *thread* ]]; then
   "$TSAN_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 \
     --duration-ms 2000 --out "$TSAN_DIR/CHAOS_soak_tsan.json"
   "$TSAN_DIR/tools/sciera_chaos" --thread-smoke
+  # The parallel soak under TSan: 8 shards on 4 worker threads exercises
+  # the window barrier, cross-shard outboxes, per-direction link RNGs, and
+  # the atomic workload counters with real concurrency — and the report
+  # must stay byte-identical to the 1-thread run of the same config.
+  echo "== TSan flavor: sharded parallel soak (8 shards x 4 threads) =="
+  "$TSAN_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 \
+    --duration-ms 2000 --shards 8 --threads 4 \
+    --out "$TSAN_DIR/CHAOS_soak_parallel_tsan.json"
+  "$TSAN_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 \
+    --duration-ms 2000 --shards 8 --threads 1 \
+    --out "$TSAN_DIR/CHAOS_soak_parallel_1t.json"
+  cmp "$TSAN_DIR/CHAOS_soak_parallel_tsan.json" \
+    "$TSAN_DIR/CHAOS_soak_parallel_1t.json"
 fi
 
 echo "== run_checks: all clean =="

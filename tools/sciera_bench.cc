@@ -24,19 +24,33 @@
 //           both configurations must match (batching is a perf
 //           restructuring, not a behavior change).
 //
-// Results land in BENCH_simcore.json (see --out). Exit status is nonzero
-// if the heap and calendar runs disagree on digests or event counts, or
-// if the scalar and batched router runs do.
+// A fourth workload gates the sharded parallel core:
 //
-// Usage: sciera_bench [--quick] [--router-only] [--out PATH]
+//   parallel: the macro workload again, but with the topology partitioned
+//           into shards and executed by 1/2/4/8 worker threads. The
+//           merged ScheduleDigest must be identical at every thread
+//           count (the ordering contract extends to the parallel core);
+//           the events/sec curve plus the host's core count are recorded
+//           so scaling claims stay honest on small containers.
+//
+// Results land in BENCH_simcore.json (see --out). Exit status is nonzero
+// if the heap and calendar runs disagree on digests or event counts, if
+// the scalar and batched router runs do, or if the parallel digests
+// diverge across thread counts.
+//
+// Usage: sciera_bench [--quick] [--router-only] [--parallel-only]
+//                     [--shards N] [--out PATH]
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cli.h"
 #include "crypto/aes128.h"
 #include "dataplane/frame_pool.h"
 #include "dataplane/router.h"
@@ -47,23 +61,25 @@
 
 // --- allocation instrumentation ---------------------------------------------
 // Replacing global operator new lets the micro bench report real
-// allocations per event, not a proxy. Single-threaded tool; plain counter.
+// allocations per event, not a proxy. Relaxed atomic: the parallel
+// workload allocates from shard worker threads, and a torn plain counter
+// would corrupt the per-event numbers of every later section.
 // The replacement set must be COMPLETE (throwing, nothrow, array, sized):
 // a partial set leaves some variants to the runtime — under ASan that
 // splits one logical allocation family across two allocators, and e.g.
 // stable_sort's nothrow-new temporary buffer trips alloc-dealloc-mismatch.
 namespace {
-std::uint64_t g_alloc_count = 0;
+std::atomic<std::uint64_t> g_alloc_count{0};
 }  // namespace
 
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc{};
 }
 void* operator new[](std::size_t size) { return operator new(size); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   return std::malloc(size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
@@ -163,13 +179,21 @@ struct MacroResult {
   workload::WorkloadReport traffic;
 };
 
-MacroResult run_macro(simnet::SchedulerKind kind,
+MacroResult run_macro(const simnet::SchedulerConfig& scheduler,
                       const workload::WorkloadConfig& wconfig) {
   controlplane::ScionNetwork::Options options;
-  options.scheduler.kind = kind;
+  options.scheduler = scheduler;
   controlplane::ScionNetwork net{topology::build_sciera(), options};
-  workload::TrafficMatrix matrix{net, wconfig};
-  if (auto status = matrix.launch(); !status.ok()) {
+  auto matrix = workload::TrafficMatrix::Builder{}
+                    .net(net)
+                    .config(wconfig)
+                    .build();
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "workload build failed: %s\n",
+                 matrix.error().to_string().c_str());
+    std::exit(1);
+  }
+  if (auto status = (*matrix)->launch(); !status.ok()) {
     std::fprintf(stderr, "workload launch failed: %s\n",
                  status.error().to_string().c_str());
     std::exit(1);
@@ -183,8 +207,55 @@ MacroResult run_macro(simnet::SchedulerKind kind,
   result.events_per_sec =
       elapsed > 0 ? static_cast<double>(result.executed) / elapsed : 0.0;
   result.schedule_hash = net.sim().schedule_hash();
-  result.traffic = matrix.report();
+  result.traffic = (*matrix)->report();
   return result;
+}
+
+MacroResult run_macro(simnet::SchedulerKind kind,
+                      const workload::WorkloadConfig& wconfig) {
+  simnet::SchedulerConfig scheduler;
+  scheduler.kind = kind;
+  return run_macro(scheduler, wconfig);
+}
+
+// --- parallel: sharded macro workload ---------------------------------------
+
+struct ParallelScaling {
+  std::size_t shards = 0;
+  // Serial baseline: the identical workload on the single-shard legacy
+  // core. Its digest intentionally differs from the sharded runs' (the
+  // sharded core delivers cross-shard frames individually and enforces
+  // the lookahead floor, so it executes a different — equally valid —
+  // schedule); the parity contract is across THREAD COUNTS at a fixed
+  // shard count.
+  MacroResult serial;
+  std::vector<std::size_t> threads;
+  std::vector<MacroResult> runs;
+  [[nodiscard]] bool parity() const {
+    for (const MacroResult& run : runs) {
+      if (run.schedule_hash != runs.front().schedule_hash ||
+          run.executed != runs.front().executed) {
+        return false;
+      }
+    }
+    return !runs.empty();
+  }
+};
+
+ParallelScaling run_parallel_scaling(std::size_t shards,
+                                     const workload::WorkloadConfig& wconfig) {
+  ParallelScaling scaling;
+  scaling.shards = shards;
+  scaling.serial = run_macro(simnet::SchedulerKind::kCalendarQueue, wconfig);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    if (threads > shards) break;
+    simnet::SchedulerConfig scheduler;
+    scheduler.shards = shards;
+    scheduler.threads = threads;
+    scaling.threads.push_back(threads);
+    scaling.runs.push_back(run_macro(scheduler, wconfig));
+  }
+  return scaling;
 }
 
 // --- router: border-router MAC fast path -------------------------------------
@@ -354,6 +425,71 @@ void append_router_json(std::string& out, const char* name,
   out += buf;
 }
 
+// The parallel_scaling section: shard geometry, the host's core count
+// (so a flat curve on a one-core container reads as what it is), the
+// serial single-shard baseline, and one curve entry per thread count with
+// speedup relative to the one-thread sharded run. digest_parity is the
+// gate the parallel smoke test enforces.
+void append_parallel_json(std::string& out, const ParallelScaling& scaling,
+                          const workload::WorkloadConfig& wconfig) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"parallel_scaling\": {\n    \"shards\": %zu,\n"
+      "    \"policy\": \"%s\",\n    \"host_cores\": %u,\n"
+      "    \"hosts\": %zu,\n    \"flows\": %zu,\n"
+      "    \"packets_per_flow\": %zu,\n",
+      scaling.shards, simnet::shard_policy_name(simnet::ShardPolicy::kPerAs),
+      std::thread::hardware_concurrency(), wconfig.hosts, wconfig.flows,
+      wconfig.packets_per_flow);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"serial\": {\"events_per_sec\": %.0f, \"executed_events\": %llu, "
+      "\"schedule_hash\": \"%016llx\"},\n",
+      scaling.serial.events_per_sec,
+      static_cast<unsigned long long>(scaling.serial.executed),
+      static_cast<unsigned long long>(scaling.serial.schedule_hash));
+  out += buf;
+  out += "    \"curve\": [\n";
+  const double base = scaling.runs.front().events_per_sec;
+  for (std::size_t i = 0; i < scaling.runs.size(); ++i) {
+    const MacroResult& run = scaling.runs[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"threads\": %zu, \"events_per_sec\": %.0f, "
+        "\"speedup\": %.2f, \"executed_events\": %llu, "
+        "\"schedule_hash\": \"%016llx\"}%s\n",
+        scaling.threads[i], run.events_per_sec,
+        base > 0 ? run.events_per_sec / base : 0.0,
+        static_cast<unsigned long long>(run.executed),
+        static_cast<unsigned long long>(run.schedule_hash),
+        i + 1 < scaling.runs.size() ? "," : "");
+    out += buf;
+  }
+  out += "    ],\n";
+  out += std::string("    \"digest_parity\": ") +
+         (scaling.parity() ? "true" : "false") + "\n";
+  out += "  }";
+}
+
+void print_parallel(const ParallelScaling& scaling) {
+  std::printf("parallel sciera: %zu shards, host has %u core(s)...\n",
+              scaling.shards, std::thread::hardware_concurrency());
+  std::printf("  serial 1-shard: %12.0f events/s (%llu events)\n",
+              scaling.serial.events_per_sec,
+              static_cast<unsigned long long>(scaling.serial.executed));
+  for (std::size_t i = 0; i < scaling.runs.size(); ++i) {
+    const double base = scaling.runs.front().events_per_sec;
+    std::printf("  %zu thread(s):    %12.0f events/s (%.2fx, %llu events)\n",
+                scaling.threads[i], scaling.runs[i].events_per_sec,
+                base > 0 ? scaling.runs[i].events_per_sec / base : 0.0,
+                static_cast<unsigned long long>(scaling.runs[i].executed));
+  }
+  std::printf("  digest parity across thread counts: %s\n",
+              scaling.parity() ? "OK" : "BROKEN");
+}
+
 void append_backend_json(std::string& out, const char* name, double eps,
                          std::uint64_t executed, std::uint64_t hash,
                          double allocs_per_event, bool with_allocs) {
@@ -379,20 +515,64 @@ int main(int argc, char** argv) {
   using namespace sciera;
   bool quick = false;
   bool router_only = false;
+  bool parallel_only = false;
+  std::size_t shards = 8;
   std::string out_path = "BENCH_simcore.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--router-only") == 0) {
-      router_only = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: sciera_bench [--quick] [--router-only] "
-                   "[--out PATH]\n");
+  cli::FlagSet flags("sciera_bench",
+                     "usage: sciera_bench [--quick] [--router-only] "
+                     "[--parallel-only] [--shards N] [--out PATH]");
+  flags.flag("--quick", &quick);
+  flags.flag("--router-only", &router_only);
+  flags.flag("--parallel-only", &parallel_only);
+  flags.flag("--shards", &shards);
+  flags.flag("--out", &out_path);
+  if (!flags.parse(argc, argv)) return 2;
+  if (!flags.positionals().empty()) return flags.usage();
+  if (router_only && parallel_only) return flags.usage();
+  {
+    // Degenerate shard requests (zero shards) fail up front with the
+    // simulator's own validation message rather than deep in a run.
+    simnet::SchedulerConfig probe;
+    probe.shards = shards;
+    if (auto valid = simnet::validate_scheduler_config(probe); !valid.ok()) {
+      std::fprintf(stderr, "sciera_bench: %s\n",
+                   valid.error().message.c_str());
       return 2;
     }
+  }
+
+  workload::WorkloadConfig wconfig;
+  wconfig.hosts = quick ? 8 : 16;
+  wconfig.flows = quick ? 32 : 96;
+  wconfig.packets_per_flow = quick ? 16 : 40;
+
+  if (parallel_only) {
+    std::printf("== sciera_bench (%s, parallel-only) ==\n",
+                quick ? "quick" : "full");
+    const auto scaling = run_parallel_scaling(shards, wconfig);
+    print_parallel(scaling);
+    std::string json;
+    json += "{\n";
+    json += "  \"schema\": \"sciera.bench.simcore.v2\",\n";
+    json += std::string("  \"quick\": ") + (quick ? "true" : "false") + ",\n";
+    append_parallel_json(json, scaling, wconfig);
+    json += "\n}\n";
+    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    if (!scaling.parity() ||
+        scaling.runs.front().traffic.packets_delivered == 0) {
+      std::fprintf(stderr,
+                   "FAIL: parallel digests diverge across thread counts "
+                   "or the workload delivered nothing\n");
+      return 1;
+    }
+    return 0;
   }
 
   // Router fast-path workload: 64 distinct MAC input blocks cycled
@@ -478,10 +658,6 @@ int main(int argc, char** argv) {
   // the wheel's O(1) bucket appends.
   const std::size_t hold_population = quick ? 20'000 : 2'000'000;
   const std::uint64_t hold_budget = quick ? 200'000 : 4'000'000;
-  workload::WorkloadConfig wconfig;
-  wconfig.hosts = quick ? 8 : 16;
-  wconfig.flows = quick ? 32 : 96;
-  wconfig.packets_per_flow = quick ? 16 : 40;
   // Best-of-N per backend: one run's wall clock on a shared machine is
   // noise-bound; the best of three alternating-order reps is a stable
   // estimate of what each backend can do. Digests are unaffected (every
@@ -565,6 +741,11 @@ int main(int argc, char** argv) {
                         macro_heap.executed == macro_cal.executed &&
                         macro_cal.traffic.packets_delivered > 0;
 
+  const auto scaling = run_parallel_scaling(shards, wconfig);
+  print_parallel(scaling);
+  const bool parallel_ok =
+      scaling.parity() && scaling.runs.front().traffic.packets_delivered > 0;
+
   // --- BENCH_simcore.json ----------------------------------------------------
   std::string json;
   json += "{\n";
@@ -622,11 +803,13 @@ int main(int argc, char** argv) {
       buf, sizeof(buf),
       ",\n    \"speedup\": %.2f,\n    \"hashes_match\": %s,\n"
       "    \"frame_pool\": {\"acquired\": %llu, \"allocated\": %llu, "
-      "\"reuse_rate\": %.3f}\n  }\n}\n",
+      "\"reuse_rate\": %.3f}\n  },\n",
       macro_speedup, macro_ok ? "true" : "false",
       static_cast<unsigned long long>(pool_acquired),
       static_cast<unsigned long long>(pool_allocated), pool_reuse);
   json += buf;
+  append_parallel_json(json, scaling, wconfig);
+  json += "\n}\n";
 
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
@@ -637,11 +820,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!micro_ok || !macro_ok || !router_ok) {
+  if (!micro_ok || !macro_ok || !router_ok || !parallel_ok) {
     std::fprintf(stderr,
                  "FAIL: paired runs disagree (micro_ok=%d macro_ok=%d "
-                 "router_ok=%d)\n",
-                 micro_ok, macro_ok, router_ok);
+                 "router_ok=%d parallel_ok=%d)\n",
+                 micro_ok, macro_ok, router_ok, parallel_ok);
     return 1;
   }
   return 0;

@@ -7,35 +7,33 @@
 // and chaos.reconverge_smoke ctests enforce that across processes.
 //
 // Exit codes: 0 success, 1 soak or report-schema failure, 2 usage error
-// (including an unknown plan name).
+// (including an unknown plan name or a degenerate scheduler geometry).
 //
 // Usage: sciera_chaos <plan> [--seed N] [--duration-ms N]
 //                            [--no-resilience] [--self-healing]
-//                            [--scalar-router] [--out FILE]
+//                            [--scalar-router] [--shards N] [--threads N]
+//                            [--out FILE]
 //        sciera_chaos --list-plans
 //        sciera_chaos --thread-smoke
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "chaos/soak.h"
+#include "cli.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
-               "[--no-resilience] [--self-healing] [--scalar-router] "
-               "[--out FILE]\n"
-               "       sciera_chaos --list-plans\n"
-               "       sciera_chaos --thread-smoke\n");
-  return 2;
-}
+constexpr const char* kUsage =
+    "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
+    "[--no-resilience] [--self-healing] [--scalar-router] "
+    "[--shards N] [--threads N] [--out FILE]\n"
+    "       sciera_chaos --list-plans\n"
+    "       sciera_chaos --thread-smoke";
 
 int list_plans() {
   for (const std::string& name : sciera::chaos::plan_names()) {
@@ -123,7 +121,8 @@ int thread_smoke() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  sciera::cli::FlagSet flags("sciera_chaos", kUsage);
+  if (argc < 2) return flags.usage();
   // --list is the original spelling; --list-plans the documented one.
   if (std::strcmp(argv[1], "--list") == 0 ||
       std::strcmp(argv[1], "--list-plans") == 0) {
@@ -135,34 +134,32 @@ int main(int argc, char** argv) {
 
   const std::string plan_name = argv[1];
   sciera::chaos::SoakOptions options;
-  const char* out_path = nullptr;
-  for (int i = 2; i < argc; ++i) {
-    const auto has_value = [&](const char* flag) {
-      if (std::strcmp(argv[i], flag) != 0) return false;
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "sciera_chaos: %s needs a value\n", flag);
-        std::exit(2);
-      }
-      return true;
-    };
-    if (has_value("--seed")) {
-      options.seed = std::strtoull(argv[++i], nullptr, 0);
-    } else if (has_value("--duration-ms")) {
-      options.duration =
-          std::strtoll(argv[++i], nullptr, 0) * sciera::kMillisecond;
-    } else if (std::strcmp(argv[i], "--no-resilience") == 0) {
-      options.resilience = false;
-    } else if (std::strcmp(argv[i], "--self-healing") == 0) {
-      options.self_healing = true;
-    } else if (std::strcmp(argv[i], "--scalar-router") == 0) {
-      // Fast-path A/B: scalar frame-by-frame border routers. The report
-      // must be byte-identical to the batched default.
-      options.batched_router = false;
-    } else if (has_value("--out")) {
-      out_path = argv[++i];
-    } else {
-      return usage();
-    }
+  std::int64_t duration_ms = options.duration / sciera::kMillisecond;
+  bool no_resilience = false;
+  std::string out_path;
+  flags.flag("--seed", &options.seed);
+  flags.flag("--duration-ms", &duration_ms);
+  flags.flag("--no-resilience", &no_resilience);
+  flags.flag("--self-healing", &options.self_healing);
+  // Fast-path A/B: scalar frame-by-frame border routers. The report must
+  // be byte-identical to the batched default.
+  flags.flag("--scalar-router",
+             [&options] { options.batched_router = false; });
+  // Sharded parallel core: partition the topology into N shards and run
+  // them on up to N worker threads. The report must be byte-identical to
+  // the single-shard default — the soak parity smoke gates on it.
+  flags.flag("--shards", &options.scheduler.shards);
+  flags.flag("--threads", &options.scheduler.threads);
+  flags.flag("--out", &out_path);
+  if (!flags.parse(argc, argv, 2)) return 2;
+  if (!flags.positionals().empty()) return flags.usage();
+  options.duration = duration_ms * sciera::kMillisecond;
+  options.resilience = !no_resilience;
+  if (auto valid = sciera::simnet::validate_scheduler_config(options.scheduler);
+      !valid.ok()) {
+    std::fprintf(stderr, "sciera_chaos: %s\n",
+                 valid.error().message.c_str());
+    return 2;
   }
 
   auto plan = sciera::chaos::plan_by_name(plan_name);
@@ -186,10 +183,11 @@ int main(int argc, char** argv) {
                  "self-check\n");
     return 1;
   }
-  if (out_path != nullptr) {
-    std::FILE* file = std::fopen(out_path, "w");
+  if (!out_path.empty()) {
+    std::FILE* file = std::fopen(out_path.c_str(), "w");
     if (file == nullptr) {
-      std::fprintf(stderr, "sciera_chaos: cannot open %s\n", out_path);
+      std::fprintf(stderr, "sciera_chaos: cannot open %s\n",
+                   out_path.c_str());
       return 1;
     }
     std::fwrite(json.data(), 1, json.size(), file);

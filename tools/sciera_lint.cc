@@ -30,9 +30,13 @@
 //                      cases with `// NOLINT(sciera-raw-retry-loop)`
 //   deprecated-api     no `HostEnvironment` outside src/endhost/pan.{h,cc}:
 //                      the raw struct is a one-PR migration shim — build
-//                      contexts with endhost::PanContext::Builder. Suppress
-//                      intentional uses (e.g. the shim's own regression
-//                      test) with `// NOLINT(sciera-deprecated-api)`
+//                      contexts with endhost::PanContext::Builder. Also no
+//                      legacy Simulator at()/after() calls in src/ (one-PR
+//                      shims over the shard-aware schedule()/
+//                      schedule_after() — name the event's domain).
+//                      Suppress intentional uses (e.g. a shim's own
+//                      regression test) with
+//                      `// NOLINT(sciera-deprecated-api)`
 //   direct-control-lookup
 //                      no `control_service(...)` calls under src/endhost/:
 //                      end-host lookups go through the replicated
@@ -311,6 +315,29 @@ void lint_file(const fs::path& file, const fs::path& rel, FileReport& report) {
                  "HostEnvironment is deprecated — build contexts with "
                  "endhost::PanContext::Builder (suppress with "
                  "'// NOLINT(sciera-deprecated-api)')");
+    }
+    // The legacy Simulator::at()/after() entry points are one-PR shims
+    // over the shard-aware schedule()/schedule_after(): library code must
+    // name the domain an event belongs to. Receiver-specific patterns
+    // (sim./sim()./sim_.) keep std::map::at() and friends out of scope;
+    // src/ only — tests exercise the shims legitimately, and the
+    // simulator header implements them.
+    if (rel_str.starts_with("src/") &&
+        rel_str != "src/simnet/simulator.h") {
+      static constexpr std::string_view kLegacySchedule[] = {
+          "sim().at(",  "sim().after(", "sim_.at(",
+          "sim_.after(", "sim.at(",     "sim.after(",
+      };
+      for (const auto pattern : kLegacySchedule) {
+        if (line.text.find(pattern) != std::string::npos) {
+          local.add(rel, line.number, "deprecated-api",
+                     "legacy Simulator::at()/after() shim — use "
+                     "schedule(Domain, ...) / schedule_after(Domain, ...) "
+                     "with an explicit shard domain (suppress with "
+                     "'// NOLINT(sciera-deprecated-api)')");
+          break;
+        }
+      }
     }
     // End-host code must not fetch paths from a ControlService directly:
     // lookups go through the replicated ControlServiceSet so failover and

@@ -5,12 +5,15 @@
 // two runs of the same scenario produce byte-identical dumps, and ctest
 // enforces that (tools.metrics_dump_deterministic).
 //
+// Exit codes: 0 success, 2 usage error (unknown flag or scenario).
+//
 // Usage: sciera_metrics_dump [failover|campaign] [--text|--json|--both]
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bgp/bgp.h"
+#include "cli.h"
 #include "endhost/pan.h"
 #include "measure/campaign.h"
 #include "obs/export.h"
@@ -116,33 +119,27 @@ int main(int argc, char** argv) {
   std::string scenario = "failover";
   bool text = true;
   bool json = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--text") == 0) {
-      text = true;
-      json = false;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      text = false;
-      json = true;
-    } else if (std::strcmp(argv[i], "--both") == 0) {
-      text = true;
-      json = true;
-    } else if (argv[i][0] != '-') {
-      scenario = argv[i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: sciera_metrics_dump [failover|campaign] "
-                   "[--text|--json|--both]\n");
-      return 2;
-    }
-  }
+  sciera::cli::FlagSet flags(
+      "sciera_metrics_dump",
+      "usage: sciera_metrics_dump [failover|campaign] "
+      "[--text|--json|--both]");
+  // Output-mode selectors are tri-state (text xor json xor both), so they
+  // bind as callbacks rather than independent booleans.
+  flags.flag("--text", [&] { text = true; json = false; });
+  flags.flag("--json", [&] { text = false; json = true; });
+  flags.flag("--both", [&] { text = true; json = true; });
+  if (!flags.parse(argc, argv)) return 2;
+  if (flags.positionals().size() > 1) return flags.usage();
+  if (!flags.positionals().empty()) scenario = flags.positionals().front();
 
   if (scenario == "failover") {
     sciera::run_failover_scenario();
   } else if (scenario == "campaign") {
     sciera::run_campaign_scenario();
   } else {
-    std::fprintf(stderr, "unknown scenario '%s'\n", scenario.c_str());
-    return 2;
+    std::fprintf(stderr, "sciera_metrics_dump: unknown scenario '%s'\n",
+                 scenario.c_str());
+    return flags.usage();
   }
 
   const auto& registry = sciera::obs::MetricsRegistry::global();
