@@ -6,12 +6,13 @@
 namespace sciera::chaos {
 
 namespace {
-constexpr std::array<FaultKind, 9> kAllKinds = {
+constexpr std::array<FaultKind, 12> kAllKinds = {
     FaultKind::kLinkDown,       FaultKind::kLinkUp,
     FaultKind::kLinkFlap,       FaultKind::kRegionOutage,
     FaultKind::kControlOutage,  FaultKind::kControlSlowdown,
     FaultKind::kRouterCrash,    FaultKind::kLossStorm,
-    FaultKind::kJitterStorm,
+    FaultKind::kJitterStorm,    FaultKind::kForgedFlood,
+    FaultKind::kSpoofedFlood,   FaultKind::kFlashCrowd,
 };
 
 // Control-fault targets address replicas with an optional '#' suffix:
@@ -153,6 +154,16 @@ Status ChaosEngine::validate(const FaultEvent& event) {
       if (!ia || net_.topology().find_as(*ia) == nullptr) return bad("router");
       return {};
     }
+    case FaultKind::kForgedFlood:
+    case FaultKind::kSpoofedFlood:
+    case FaultKind::kFlashCrowd:
+      if (!attack_hooks_.validate || !attack_hooks_.launch) {
+        return Error{Errc::kInvalidArgument,
+                     std::string(fault_kind_name(event.kind)) +
+                         ": attack event requires an armed attack generator "
+                         "(set_attack_hooks)"};
+      }
+      return attack_hooks_.validate(event);
   }
   return Error{Errc::kInvalidArgument, "unknown fault kind"};
 }
@@ -260,6 +271,15 @@ void ChaosEngine::apply(const FaultEvent& event) {
       }
       return;
     }
+    case FaultKind::kForgedFlood:
+    case FaultKind::kSpoofedFlood:
+    case FaultKind::kFlashCrowd:
+      // The generator schedules the whole burst now and ends it on its
+      // own (`hold` is the burst duration) — nothing to revert. Launch
+      // failures can only be mid-run conditions (e.g. the origin router
+      // crashed); they are noted, not fatal.
+      if (!attack_hooks_.launch(event).ok()) note(event, "launch-failed");
+      return;
   }
   if (reverts) {
     net_.sim().schedule_after(simnet::Domain::global(), event.hold,
@@ -298,6 +318,9 @@ void ChaosEngine::revert(const FaultEvent& event) {
     case FaultKind::kLinkUp:
     case FaultKind::kLossStorm:
     case FaultKind::kJitterStorm:
+    case FaultKind::kForgedFlood:
+    case FaultKind::kSpoofedFlood:
+    case FaultKind::kFlashCrowd:
       return;  // reverted inline (storms) or nothing to revert
   }
 }

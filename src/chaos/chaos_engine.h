@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "chaos/fault_plan.h"
 #include "common/thread_annotations.h"
@@ -19,6 +20,17 @@ namespace sciera::chaos {
 class ChaosEngine {
  public:
   ChaosEngine(controlplane::ScionNetwork& net, std::uint64_t seed);
+
+  // Bridge to an attack-traffic generator (workload::AttackMatrix — the
+  // chaos layer cannot depend on workload directly). `validate` runs at
+  // arm time against each adversarial event; `launch` fires at the
+  // event's scheduled time. Arming a plan that contains adversarial
+  // events without hooks installed fails validation.
+  struct AttackHooks {
+    std::function<Status(const FaultEvent&)> validate;
+    std::function<Status(const FaultEvent&)> launch;
+  };
+  void set_attack_hooks(AttackHooks hooks) { attack_hooks_ = std::move(hooks); }
 
   // Validates every event's target against the network, then schedules
   // the whole plan (scripted events plus the randomized campaign, whose
@@ -55,7 +67,8 @@ class ChaosEngine {
   // driving this network's simulator.
   Rng rng_ SCIERA_GUARDED_BY(sim_thread_role);
   std::uint64_t injected_ SCIERA_GUARDED_BY(sim_thread_role) = 0;
-  std::array<obs::Counter*, 9> injected_by_kind_{};
+  std::array<obs::Counter*, 12> injected_by_kind_{};
+  AttackHooks attack_hooks_{};
 };
 
 }  // namespace sciera::chaos

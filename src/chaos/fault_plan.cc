@@ -15,6 +15,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRouterCrash: return "router_crash";
     case FaultKind::kLossStorm: return "loss_storm";
     case FaultKind::kJitterStorm: return "jitter_storm";
+    case FaultKind::kForgedFlood: return "forged_flood";
+    case FaultKind::kSpoofedFlood: return "spoofed_flood";
+    case FaultKind::kFlashCrowd: return "flash_crowd";
   }
   return "unknown";
 }
@@ -98,9 +101,47 @@ FaultPlan mixed_mayhem_plan() {
   return plan;
 }
 
+FaultPlan forged_flood_plan() {
+  namespace a = topology::ases;
+  FaultPlan plan;
+  plan.name = "forged-flood";
+  // The compromised GEANT AS opens with a sustained forged-MAC flood
+  // against the workload's hosts (magnitude = packets/second).
+  plan.add({1 * kSecond, FaultKind::kForgedFlood, a::geant().to_string(),
+            5000.0, 6 * kSecond});
+  // A spoofed-source flood joins from BRIDGES, fabricating a fresh origin
+  // AS per packet — the filter-table exhaustion vector. While both floods
+  // overlap the routers' data-class admission is over budget too.
+  plan.add({2 * kSecond, FaultKind::kSpoofedFlood, a::bridges().to_string(),
+            4000.0, 4 * kSecond});
+  // A legitimate flash crowd from KISTI Amsterdam rides on top: valid
+  // authenticators, so defenses must pass it while shedding the floods.
+  plan.add({3 * kSecond, FaultKind::kFlashCrowd, a::kisti_ams().to_string(),
+            1500.0, 3 * kSecond});
+  // Mid-flood link cut: reconvergence has to complete while the floods
+  // still rage — the report's reconverge-under-flood gate.
+  plan.add({4 * kSecond, FaultKind::kLinkFlap, "kreonet-sg-ams", 0.0,
+            2 * kSecond});
+  return plan;
+}
+
+bool plan_has_attack(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case FaultKind::kForgedFlood:
+      case FaultKind::kSpoofedFlood:
+      case FaultKind::kFlashCrowd:
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 std::vector<std::string> plan_names() {
   return {"kreonet-ring-cut", "transatlantic-flap", "control-maintenance",
-          "sg-ams-storm", "mixed-mayhem"};
+          "sg-ams-storm", "mixed-mayhem", "forged-flood"};
 }
 
 Result<FaultPlan> plan_by_name(const std::string& name) {
@@ -109,6 +150,7 @@ Result<FaultPlan> plan_by_name(const std::string& name) {
   if (name == "control-maintenance") return control_maintenance_plan();
   if (name == "sg-ams-storm") return sg_ams_storm_plan();
   if (name == "mixed-mayhem") return mixed_mayhem_plan();
+  if (name == "forged-flood") return forged_flood_plan();
   return Error{Errc::kNotFound, "unknown fault plan: " + name};
 }
 

@@ -39,6 +39,13 @@ enum class FaultKind : std::uint8_t {
   // after `hold`.
   kLossStorm,
   kJitterStorm,
+  // Adversarial traffic bursts, executed by an armed attack generator
+  // (workload::AttackMatrix via ChaosEngine::set_attack_hooks). Target is
+  // the origin ISD-AS string, magnitude the send rate in packets/second,
+  // hold the burst duration. No reversion: the burst ends on its own.
+  kForgedFlood,   // compromised AS floods with forged authenticators
+  kSpoofedFlood,  // flood fabricating a fresh source AS per packet
+  kFlashCrowd,    // legitimate surge with valid authenticators
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -89,6 +96,17 @@ struct FaultPlan {
 [[nodiscard]] FaultPlan sg_ams_storm_plan();
 // Everything at once, plus a randomized flap campaign.
 [[nodiscard]] FaultPlan mixed_mayhem_plan();
+// The hostile-traffic incident (Sections 4.7.1, 4.9): a forged-MAC flood
+// from a compromised AS, a spoofed-source flood fabricating origin ASes,
+// a legitimate flash crowd riding on top, and a mid-flood link cut so
+// reconvergence has to happen while the network is saturated. Requires an
+// armed attack generator (soak defenses wiring / AttackMatrix).
+[[nodiscard]] FaultPlan forged_flood_plan();
+
+// True when the plan contains any adversarial traffic event (the soak
+// only stands up attack generators and defenses for such plans, keeping
+// every legacy plan's schedule byte-identical).
+[[nodiscard]] bool plan_has_attack(const FaultPlan& plan);
 
 [[nodiscard]] std::vector<std::string> plan_names();
 [[nodiscard]] Result<FaultPlan> plan_by_name(const std::string& name);

@@ -31,6 +31,49 @@ std::string duration_ms_or_none(Duration d) {
   return d < 0 ? std::string("-1") : duration_ms(d);
 }
 
+// Deployment filter secret, derived from the soak seed alone so two
+// processes (and every worker-thread count) seal and verify with the
+// same keys — a prerequisite for byte-identical attack reports.
+Bytes soak_filter_secret(std::uint64_t seed) {
+  Bytes secret;
+  secret.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    secret.push_back(static_cast<std::uint8_t>(
+        (seed >> (8 * (i % 8))) ^ static_cast<std::uint64_t>(0x5C + i)));
+  }
+  return secret;
+}
+
+// FaultEvent -> AttackBurst translation: target is the origin ISD-AS,
+// magnitude the rate in packets/second, hold the burst duration.
+Result<workload::AttackBurst> to_attack_burst(const FaultEvent& event) {
+  workload::AttackBurst burst;
+  switch (event.kind) {
+    case FaultKind::kForgedFlood:
+      burst.kind = workload::AttackKind::kForgedFlood;
+      break;
+    case FaultKind::kSpoofedFlood:
+      burst.kind = workload::AttackKind::kSpoofedFlood;
+      break;
+    case FaultKind::kFlashCrowd:
+      burst.kind = workload::AttackKind::kFlashCrowd;
+      break;
+    default:
+      return Error{Errc::kInvalidArgument,
+                   std::string(fault_kind_name(event.kind)) +
+                       " is not an attack event"};
+  }
+  const auto ia = IsdAs::parse(event.target);
+  if (!ia) {
+    return Error{Errc::kInvalidArgument, "attack origin '" + event.target +
+                                             "' is not an ISD-AS string"};
+  }
+  burst.source = *ia;
+  burst.pps = event.magnitude;
+  burst.duration = event.hold;
+  return burst;
+}
+
 }  // namespace
 
 workload::WorkloadConfig soak_default_workload() {
@@ -49,10 +92,23 @@ workload::WorkloadConfig soak_default_workload() {
 
 Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
                                      const SoakOptions& options) {
+  const bool attack_plan = plan_has_attack(plan);
+  const bool defenses = attack_plan && options.defenses;
+  const Bytes filter_secret = soak_filter_secret(options.seed);
+
   controlplane::ScionNetwork::Options net_options;
   net_options.seed = options.seed;
   net_options.scheduler = options.scheduler;
   net_options.router.batched = options.batched_router;
+  if (defenses) {
+    // Router overload control: a bounded data-class budget that engages
+    // when the floods overlap, an unlimited (prioritized) control class,
+    // and a per-offender SCMP error budget against amplification.
+    net_options.router.admission.data_pps = 6000;
+    net_options.router.admission.data_burst = 512;
+    net_options.router.scmp_rate_pps = 200;
+    net_options.router.scmp_burst = 8;
+  }
   if (options.self_healing) {
     // Healing cadence tuned to the soak timescale: refresh every second,
     // segments live 2.5 sweeps, detection lag 200ms — a multi-second
@@ -69,6 +125,26 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
   workload::WorkloadConfig workload_config = options.workload;
   workload_config.seed = options.seed;
   workload_config.daemon.resilience.enabled = options.resilience;
+  if (attack_plan) {
+    // Attack soaks run hosts on the legacy shared dispatcher (Section
+    // 4.8): one finite queue per host that floods and legitimate traffic
+    // contend for — the axis the in-path filter defends. Both arms of the
+    // defense A/B seal payloads, so the offered traffic is identical and
+    // only the defenses differ.
+    workload_config.stack.mode = endhost::HostMode::kDispatcher;
+    workload_config.stack.dispatcher_pps = 600;
+    workload_config.stack.dispatcher_queue = 24;
+    workload_config.seal_payloads = true;
+    workload_config.filter_secret = filter_secret;
+    workload_config.install_filters = defenses;
+    workload_config.filter.require_auth = true;
+    workload_config.filter.rate_pps = 500;
+    workload_config.filter.burst = 64;
+    // Small per-source table so the spoofed-source flood actually hits
+    // the overflow path instead of growing state without bound.
+    workload_config.filter.max_sources = 64;
+    workload_config.filter.idle_timeout = 2 * kSecond;
+  }
   auto built = workload::TrafficMatrix::Builder{}
                    .net(net)
                    .config(workload_config)
@@ -88,9 +164,35 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
                             SimTime at) {
         deliveries_by_host[host].push_back(at);
       });
+  std::unique_ptr<workload::AttackMatrix> attack;
+  if (attack_plan) {
+    workload::AttackConfig attack_config;
+    attack_config.seed = options.seed;
+    attack_config.payload_bytes = workload_config.payload_bytes;
+    attack_config.filter_secret = filter_secret;
+    attack = std::make_unique<workload::AttackMatrix>(net, workload,
+                                                      attack_config);
+    workload.set_on_foreign_delivery(
+        [&attack = *attack](std::uint8_t marker, std::size_t, SimTime) {
+          attack.note_delivery(marker);
+        });
+  }
   if (auto status = workload.launch(); !status.ok()) return status.error();
 
   ChaosEngine engine(net, options.seed);
+  if (attack) {
+    engine.set_attack_hooks(
+        {[&attack = *attack](const FaultEvent& event) -> Status {
+           auto burst = to_attack_burst(event);
+           if (!burst) return burst.error();
+           return attack.validate(*burst);
+         },
+         [&attack = *attack](const FaultEvent& event) -> Status {
+           auto burst = to_attack_burst(event);
+           if (!burst) return burst.error();
+           return attack.launch(*burst);
+         }});
+  }
   if (auto status = engine.arm(plan); !status.ok()) return status.error();
 
   net.sim().run_for(options.duration);
@@ -167,6 +269,35 @@ Result<SurvivabilityReport> run_soak(const FaultPlan& plan,
     }
   }
 
+  report.attack_plan = attack_plan;
+  report.defenses = defenses;
+  report.legit_delivery_ratio = report.delivery_ratio;
+  if (attack) {
+    const workload::AttackReport ar = attack->report();
+    report.attack_sent = ar.attack_sent;
+    report.attack_delivered = ar.attack_delivered;
+    report.surge_sent = ar.surge_sent;
+    report.surge_delivered = ar.surge_delivered;
+    report.attack_send_failures = ar.send_failures;
+    const auto filter_stats = workload.filter_stats();
+    report.filter_accepted = filter_stats.accepted;
+    report.filter_dropped_rule = filter_stats.dropped_rule;
+    report.filter_dropped_auth = filter_stats.dropped_auth;
+    report.filter_dropped_rate = filter_stats.dropped_rate;
+    report.filter_dropped_overflow = filter_stats.dropped_overflow;
+    const auto stack_stats = workload.stack_stats();
+    report.host_dropped_filtered = stack_stats.dropped_filtered;
+    report.host_dropped_overload = stack_stats.dropped_overload;
+    for (const topology::AsInfo& as : net.topology().ases()) {
+      const auto router_stats = net.router(as.ia)->stats();
+      report.admission_dropped_data += router_stats.admission_dropped_data;
+      report.admission_dropped_control +=
+          router_stats.admission_dropped_control;
+      report.scmp_suppressed += router_stats.scmp_suppressed;
+    }
+    report.reconverge_under_flood = report.time_to_reconverge;
+  }
+
   report.faults_injected = engine.faults_injected();
   report.executed_events = net.sim().executed_events();
   report.schedule_hash = net.sim().schedule_hash();
@@ -228,6 +359,44 @@ std::string SurvivabilityReport::to_json() const {
               stale_first < 0 ? -1 : stale_last - stale_first) + "\n";
   json += "    }\n";
   json += "  },\n";
+  json += "  \"attack\": {\n";
+  json += std::string("    \"attack_plan\": ") +
+          (attack_plan ? "true" : "false") + ",\n";
+  json += std::string("    \"defenses\": ") + (defenses ? "true" : "false") +
+          ",\n";
+  json += "    \"attack_sent\": " + std::to_string(attack_sent) + ",\n";
+  json += "    \"attack_delivered\": " + std::to_string(attack_delivered) +
+          ",\n";
+  json += "    \"surge_sent\": " + std::to_string(surge_sent) + ",\n";
+  json += "    \"surge_delivered\": " + std::to_string(surge_delivered) +
+          ",\n";
+  json += "    \"attack_send_failures\": " +
+          std::to_string(attack_send_failures) + ",\n";
+  json += "    \"legit_ratio\": " + fixed(legit_delivery_ratio, 6) + ",\n";
+  json += "    \"filter_verdicts\": {\n";
+  json += "      \"accepted\": " + std::to_string(filter_accepted) + ",\n";
+  json += "      \"rule\": " + std::to_string(filter_dropped_rule) + ",\n";
+  json += "      \"auth\": " + std::to_string(filter_dropped_auth) + ",\n";
+  json += "      \"rate\": " + std::to_string(filter_dropped_rate) + ",\n";
+  json += "      \"overflow\": " + std::to_string(filter_dropped_overflow) +
+          "\n";
+  json += "    },\n";
+  json += "    \"host_drops\": {\n";
+  json += "      \"filtered\": " + std::to_string(host_dropped_filtered) +
+          ",\n";
+  json += "      \"overload\": " + std::to_string(host_dropped_overload) +
+          "\n";
+  json += "    },\n";
+  json += "    \"router_admission_drops\": {\n";
+  json += "      \"data\": " + std::to_string(admission_dropped_data) + ",\n";
+  json += "      \"control\": " + std::to_string(admission_dropped_control) +
+          "\n";
+  json += "    },\n";
+  json += "    \"scmp_suppressed\": " + std::to_string(scmp_suppressed) +
+          ",\n";
+  json += "    \"reconverge_under_flood_ms\": " +
+          duration_ms_or_none(reconverge_under_flood) + "\n";
+  json += "  },\n";
   json += "  \"faults_injected\": " + std::to_string(faults_injected) + ",\n";
   json += "  \"determinism\": {\n";
   json += "    \"executed_events\": " + std::to_string(executed_events) +
@@ -255,6 +424,13 @@ bool validate_report_json(const std::string& json) {
       "\"self_healing\":",
       "\"time_to_reconverge_ms\":",
       "\"stale_window_ms\":",
+      "\"attack\":",
+      "\"legit_ratio\":",
+      "\"filter_verdicts\":",
+      "\"host_drops\":",
+      "\"router_admission_drops\":",
+      "\"scmp_suppressed\":",
+      "\"reconverge_under_flood_ms\":",
       "\"faults_injected\":",
       "\"determinism\":",
       "\"schedule_hash\":",

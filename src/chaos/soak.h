@@ -8,6 +8,7 @@
 #pragma once
 
 #include "chaos/chaos_engine.h"
+#include "workload/attack.h"
 #include "workload/workload.h"
 
 namespace sciera::chaos {
@@ -33,6 +34,12 @@ struct SoakOptions {
   // processing. Reports must be byte-identical either way — the chaos
   // suite gates on it.
   bool batched_router = true;
+  // Defenses A/B switch for attack plans: in-path LightningFilters on
+  // every host, router admission priority classes, and per-offender SCMP
+  // suppression. Only consulted when the plan carries adversarial events
+  // (plan_has_attack) — legacy plans never stand up attack machinery, so
+  // their schedules stay byte-identical to previous releases.
+  bool defenses = true;
   workload::WorkloadConfig workload = soak_default_workload();
 };
 
@@ -76,6 +83,35 @@ struct SurvivabilityReport {  // registry-backed snapshot
   // stale answer across all daemons.
   SimTime stale_first = -1;
   SimTime stale_last = -1;
+
+  // Attack section — all zeros/sentinels when the plan carries no
+  // adversarial events, so the schema is stable across plan families.
+  bool attack_plan = false;
+  bool defenses = false;
+  std::uint64_t attack_sent = 0;
+  std::uint64_t attack_delivered = 0;  // hostile packets reaching a socket
+  std::uint64_t surge_sent = 0;
+  std::uint64_t surge_delivered = 0;
+  std::uint64_t attack_send_failures = 0;
+  // Legitimate-traffic delivery ratio (== delivery_ratio; hostile traffic
+  // never counts toward delivery) — the defenses-on > defenses-off gate.
+  double legit_delivery_ratio = 0.0;
+  // In-path filter verdicts aggregated over every installed filter.
+  std::uint64_t filter_accepted = 0;
+  std::uint64_t filter_dropped_rule = 0;
+  std::uint64_t filter_dropped_auth = 0;
+  std::uint64_t filter_dropped_rate = 0;
+  std::uint64_t filter_dropped_overflow = 0;
+  // Host-stack drops: in-path filter shed vs dispatcher-queue overload.
+  std::uint64_t host_dropped_filtered = 0;
+  std::uint64_t host_dropped_overload = 0;
+  // Router overload control, aggregated fleet-wide.
+  std::uint64_t admission_dropped_data = 0;
+  std::uint64_t admission_dropped_control = 0;
+  std::uint64_t scmp_suppressed = 0;
+  // Reconvergence achieved while the flood raged (-1 = never / healing
+  // off / not an attack plan).
+  Duration reconverge_under_flood = -1;
 
   // Chaos + determinism evidence.
   std::uint64_t faults_injected = 0;

@@ -1,5 +1,7 @@
 #include "dataplane/router.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "dataplane/frame_pool.h"
 #include "common/log.h"
@@ -67,8 +69,19 @@ BorderRouter::BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
   metrics_.batch_packets = counter("sciera_router_batch_packets_total");
   metrics_.mac_cache_hits = counter("sciera_router_mac_cache_hits_total");
   metrics_.mac_cache_misses = counter("sciera_router_mac_cache_misses_total");
+  const auto admission_dropped = [&](const char* klass) {
+    obs::Labels labels = base;
+    labels.emplace_back("class", klass);
+    return &registry.counter("sciera_router_admission_dropped_total", labels);
+  };
+  metrics_.admission_dropped_data = admission_dropped("data");
+  metrics_.admission_dropped_control = admission_dropped("control");
+  metrics_.scmp_suppressed = &registry.counter(
+      "sciera_scmp_suppressed_total", base);
   verifier_.set_cache_counters(metrics_.mac_cache_hits,
                                metrics_.mac_cache_misses);
+  data_bucket_ = TokenBucket{config_.admission.data_burst, 0};
+  control_bucket_ = TokenBucket{config_.admission.control_burst, 0};
 }
 
 void BorderRouter::crash() {
@@ -96,7 +109,50 @@ BorderRouter::Stats BorderRouter::stats() const {
                metrics_.batches->value(),
                metrics_.batch_packets->value(),
                metrics_.mac_cache_hits->value(),
-               metrics_.mac_cache_misses->value()};
+               metrics_.mac_cache_misses->value(),
+               metrics_.admission_dropped_data->value(),
+               metrics_.admission_dropped_control->value(),
+               metrics_.scmp_suppressed->value()};
+}
+
+bool BorderRouter::take_token(TokenBucket& bucket, double pps, double burst,
+                              SimTime now) {
+  const double elapsed =
+      static_cast<double>(now - bucket.last) / static_cast<double>(kSecond);
+  bucket.tokens = std::min(burst, bucket.tokens + elapsed * pps);
+  bucket.last = now;
+  if (bucket.tokens < 1.0) return false;
+  // Bucket levels never reach a digest, and every update happens in the
+  // router's deterministic per-packet order within its shard.
+  // NOLINTNEXTLINE(float-accumulation) drop decision, not digest state
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+bool BorderRouter::admit(const ScionPacket& packet) {
+  const bool control = packet.next_hdr == kProtoScmp;
+  const Config::Admission& adm = config_.admission;
+  const double pps = control ? adm.control_pps : adm.data_pps;
+  if (pps <= 0) return true;  // class unlimited — the legacy default
+  TokenBucket& bucket = control ? control_bucket_ : data_bucket_;
+  const double burst = control ? adm.control_burst : adm.data_burst;
+  if (take_token(bucket, pps, burst, sim_.now())) return true;
+  (control ? metrics_.admission_dropped_control
+           : metrics_.admission_dropped_data)->inc();
+  return false;
+}
+
+bool BorderRouter::scmp_budget_ok(IsdAs offender) {
+  const std::uint64_t packed = offender.packed();
+  const auto slot =
+      static_cast<std::size_t>((packed * 0x9E3779B97F4A7C15ULL) >> 58);
+  ScmpSlot& entry = scmp_slots_[slot];
+  if (!entry.used || entry.ia != packed) {
+    entry = ScmpSlot{packed, TokenBucket{config_.scmp_burst, sim_.now()},
+                     true};
+  }
+  return take_token(entry.bucket, config_.scmp_rate_pps, config_.scmp_burst,
+                    sim_.now());
 }
 
 void BorderRouter::attach_iface(IfaceId iface, simnet::Link* link, int side) {
@@ -151,6 +207,7 @@ void BorderRouter::receive(const simnet::MessagePtr& message,
                         << packet.error().to_string();
     return;
   }
+  if (!admit(packet.value())) return;
   process(packet.value(), arrival.local_iface, /*from_local=*/false);
 }
 
@@ -196,6 +253,7 @@ void BorderRouter::receive_batch(std::span<const simnet::MessagePtr> batch,
   // event schedule the scalar parse/process interleaving does.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (batch_ok_[i] == 0) continue;
+    if (!admit(batch_scratch_[i])) continue;
     metrics_.batch_packets->inc();
     process(batch_scratch_[i], arrival.local_iface, /*from_local=*/false);
   }
@@ -377,6 +435,14 @@ void BorderRouter::send_scmp_error(const ScionPacket& offending,
         msg.ok() && msg->is_error()) {
       return;
     }
+  }
+  // Per-offender error budget: a flood tripping errors at line rate must
+  // not amplify into an SCMP storm on the reverse path. stats().
+  // scmp_errors_sent counts generation attempts; scmp_suppressed the
+  // subset this budget dropped.
+  if (config_.scmp_rate_pps > 0 && !scmp_budget_ok(offending.src.ia)) {
+    metrics_.scmp_suppressed->inc();
+    return;
   }
   obs::FlightRecorder::global().record(
       obs::TraceType::kScmpEmitted, sim_.now(), sim_.executed_events(), name(),

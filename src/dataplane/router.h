@@ -8,6 +8,7 @@
 // reversed path, exactly like echo replies do.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <span>
 #include <unordered_map>
@@ -42,6 +43,26 @@ class BorderRouter final : public simnet::Node {
     bool batched = true;
     // MAC verification context knobs (cache size, bench baseline mode).
     HopVerifier::Config mac{};
+    // Overload control (off by default — 0 disables a class's bucket):
+    // bounded ingress admission with priority classes. Frames arriving
+    // from the wire are classified (SCMP/control vs data) and each class
+    // draws from its own token bucket, so a data flood cannot starve the
+    // SCMP/control traffic the self-healing control plane needs to keep
+    // converging. Admission drops are silent (no SCMP — an overloaded
+    // router must not amplify). Local host injections are not admitted
+    // here; the host stack polices those.
+    struct Admission {
+      double data_pps = 0;  // 0 = data class unlimited (legacy)
+      double data_burst = 256;
+      double control_pps = 0;  // 0 = control class unlimited (legacy)
+      double control_burst = 64;
+    };
+    Admission admission{};
+    // SCMP error generation rate limit, per offending source AS (token
+    // bucket): a forged flood that trips MAC/link errors at line rate must
+    // not amplify into an SCMP storm on the return path. 0 = unlimited.
+    double scmp_rate_pps = 0;
+    double scmp_burst = 8;
   };
 
   struct Stats {  // registry-backed snapshot
@@ -61,6 +82,9 @@ class BorderRouter final : public simnet::Node {
     std::uint64_t batch_packets = 0;  // frames processed via the fast path
     std::uint64_t mac_cache_hits = 0;
     std::uint64_t mac_cache_misses = 0;
+    std::uint64_t admission_dropped_data = 0;
+    std::uint64_t admission_dropped_control = 0;
+    std::uint64_t scmp_suppressed = 0;
   };
 
   BorderRouter(simnet::Simulator& sim, IsdAs ia, FwdKey fwd_key,
@@ -125,6 +149,18 @@ class BorderRouter final : public simnet::Node {
   void answer_echo(const ScionPacket& request);
   [[nodiscard]] std::uint32_t now_unix() const;
 
+  struct TokenBucket {
+    double tokens = 0;
+    SimTime last = 0;
+  };
+  // Refills `bucket` to `now` and takes one token; false = out of budget.
+  static bool take_token(TokenBucket& bucket, double pps, double burst,
+                         SimTime now);
+  // Class-aware ingress admission; counts the drop when it refuses.
+  [[nodiscard]] bool admit(const ScionPacket& packet);
+  // Per-offender SCMP error budget; false = this error must be suppressed.
+  [[nodiscard]] bool scmp_budget_ok(IsdAs offender);
+
   // Registry cells, registered eagerly at construction under a per-router
   // instance label derived from the ISD-AS.
   struct Metrics {
@@ -144,6 +180,9 @@ class BorderRouter final : public simnet::Node {
     obs::Counter* batch_packets = nullptr;
     obs::Counter* mac_cache_hits = nullptr;
     obs::Counter* mac_cache_misses = nullptr;
+    obs::Counter* admission_dropped_data = nullptr;
+    obs::Counter* admission_dropped_control = nullptr;
+    obs::Counter* scmp_suppressed = nullptr;
   };
 
   simnet::Simulator& sim_;
@@ -159,6 +198,18 @@ class BorderRouter final : public simnet::Node {
   // success flag per slot.
   std::vector<ScionPacket> batch_scratch_;
   std::vector<std::uint8_t> batch_ok_;
+  // Per-class admission buckets (primed to their burst at construction).
+  TokenBucket data_bucket_;
+  TokenBucket control_bucket_;
+  // Direct-mapped per-offender SCMP budgets: bounded, clock-free state. A
+  // slot collision evicts the previous offender and resets its budget —
+  // for a defense knob, bounded memory beats per-source exactness.
+  struct ScmpSlot {
+    std::uint64_t ia = 0;
+    TokenBucket bucket;
+    bool used = false;
+  };
+  std::array<ScmpSlot, 64> scmp_slots_{};
 };
 
 // Reverses a packet in place for the return direction (echo replies, SCMP

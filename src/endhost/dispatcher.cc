@@ -1,5 +1,7 @@
 #include "endhost/dispatcher.h"
 
+#include "endhost/lightning_filter.h"
+
 namespace sciera::endhost {
 
 HostStack::HostStack(controlplane::ScionNetwork& net, dataplane::Address addr,
@@ -16,6 +18,7 @@ HostStack::HostStack(controlplane::ScionNetwork& net, dataplane::Address addr,
   };
   dropped_no_port_ = dropped("no_port");
   dropped_overload_ = dropped("overload");
+  dropped_filtered_ = dropped("filtered");
   const auto status = net_.register_host(
       addr_, [this](const dataplane::ScionPacket& packet, SimTime arrival) {
         on_local_delivery(packet, arrival);
@@ -25,7 +28,7 @@ HostStack::HostStack(controlplane::ScionNetwork& net, dataplane::Address addr,
 
 HostStack::Stats HostStack::stats() const {
   return Stats{delivered_->value(), dropped_no_port_->value(),
-               dropped_overload_->value()};
+               dropped_overload_->value(), dropped_filtered_->value()};
 }
 
 HostStack::~HostStack() { net_.unregister_host(addr_); }
@@ -80,6 +83,14 @@ void HostStack::on_local_delivery(const dataplane::ScionPacket& packet,
   auto datagram = dataplane::UdpDatagram::parse(packet.payload);
   if (!datagram) {
     dropped_no_port_->inc();
+    return;
+  }
+  // In-path LightningFilter: unauthenticated traffic is shed here, before
+  // it can consume the (shared, finite) dispatcher queue below.
+  if (filter_ != nullptr &&
+      filter_->check(packet.src.ia, datagram->data, arrival) !=
+          LightningFilter::Verdict::kAccept) {
+    dropped_filtered_->inc();
     return;
   }
   const auto it = ports_.find(datagram->dst_port);

@@ -22,6 +22,8 @@
 
 namespace sciera::endhost {
 
+class LightningFilter;
+
 enum class HostMode { kDispatcher, kDispatcherless };
 
 class HostStack {
@@ -42,6 +44,7 @@ class HostStack {
     std::uint64_t delivered = 0;
     std::uint64_t dropped_no_port = 0;
     std::uint64_t dropped_overload = 0;
+    std::uint64_t dropped_filtered = 0;
   };
 
   using Receiver = std::function<void(const dataplane::ScionPacket& packet,
@@ -77,6 +80,15 @@ class HostStack {
   // Sends a UDP datagram in a SCION packet (applies the host send path).
   Status send(dataplane::ScionPacket packet);
 
+  // In-path LightningFilter (Section 4.7.1 deployed at the end-host
+  // ingress): when set, every arriving UDP payload is checked BEFORE it
+  // can occupy the dispatcher queue or reach a port — hostile floods are
+  // shed ahead of the shared capacity they would otherwise exhaust. SCMP
+  // is control traffic and passes unfiltered. The filter must outlive
+  // this stack; nullptr uninstalls.
+  void set_ingress_filter(LightningFilter* filter) { filter_ = filter; }
+  [[nodiscard]] LightningFilter* ingress_filter() const { return filter_; }
+
  private:
   void on_local_delivery(const dataplane::ScionPacket& packet,
                          SimTime arrival);
@@ -89,11 +101,13 @@ class HostStack {
   Config config_;
   std::unordered_map<std::uint16_t, Receiver> ports_;
   ScmpReceiver scmp_receiver_;
+  LightningFilter* filter_ = nullptr;
   std::uint16_t next_ephemeral_ = 32768;
   SimTime dispatcher_free_at_ = 0;
   obs::Counter* delivered_ = nullptr;
   obs::Counter* dropped_no_port_ = nullptr;
   obs::Counter* dropped_overload_ = nullptr;
+  obs::Counter* dropped_filtered_ = nullptr;
 };
 
 }  // namespace sciera::endhost

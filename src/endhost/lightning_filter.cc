@@ -6,6 +6,28 @@
 
 namespace sciera::endhost {
 
+crypto::Aes128::Key lightning_key(BytesView filter_secret, IsdAs src) {
+  Writer w;
+  w.str("lightning-drkey-v1");
+  w.u64(src.packed());
+  Bytes input{filter_secret.begin(), filter_secret.end()};
+  const Bytes label = std::move(w).take();
+  const auto digest = crypto::hmac_sha256(input, label);
+  crypto::Aes128::Key key{};
+  std::copy_n(digest.begin(), key.size(), key.begin());
+  return key;
+}
+
+LightningSealer::LightningSealer(BytesView filter_secret, IsdAs src)
+    : src_(src),
+      // NOLINTNEXTLINE(percall-keyschedule) once per sealer, not per packet
+      cmac_(lightning_key(filter_secret, src)) {}
+
+Bytes LightningSealer::seal(BytesView payload) const {
+  const auto mac = cmac_.compute(payload);
+  return Bytes{mac.begin(), mac.end()};
+}
+
 LightningFilter::LightningFilter(BytesView filter_secret, Config config)
     : secret_(filter_secret.begin(), filter_secret.end()),
       config_(std::move(config)) {
@@ -21,59 +43,102 @@ LightningFilter::LightningFilter(BytesView filter_secret, Config config)
   dropped_rule_ = dropped("rule");
   dropped_auth_ = dropped("auth");
   dropped_rate_ = dropped("rate");
+  dropped_overflow_ = dropped("overflow");
 }
 
 LightningFilter::Stats LightningFilter::stats() const {
   return Stats{accepted_->value(), dropped_rule_->value(),
-               dropped_auth_->value(), dropped_rate_->value()};
+               dropped_auth_->value(), dropped_rate_->value(),
+               dropped_overflow_->value()};
 }
 
 crypto::Aes128::Key LightningFilter::key_for(IsdAs src) const {
-  Writer w;
-  w.str("lightning-drkey-v1");
-  w.u64(src.packed());
-  Bytes input = secret_;
-  const Bytes label = std::move(w).take();
-  const auto digest = crypto::hmac_sha256(input, label);
-  crypto::Aes128::Key key{};
-  std::copy_n(digest.begin(), key.size(), key.begin());
-  return key;
+  return lightning_key(secret_, src);
 }
 
 Bytes LightningFilter::make_authenticator(IsdAs src, BytesView payload) const {
-  const crypto::AesCmac cmac{key_for(src)};
-  const auto mac = cmac.compute(payload);
-  return Bytes{mac.begin(), mac.end()};
+  return LightningSealer{secret_, src}.seal(payload);
+}
+
+bool LightningFilter::reclaim(SimTime now) {
+  // Two ordered passes: first the sources that never authenticated (a
+  // spoofed flood's residue), then any idle source. Ordered iteration so
+  // which entry goes first is a pure function of the table's contents.
+  bool freed = false;
+  for (const bool authenticated_too : {false, true}) {
+    for (auto it = sources_.begin(); it != sources_.end();) {
+      const bool idle = it->second.last_seen + config_.idle_timeout <= now;
+      if (idle && (authenticated_too || !it->second.authenticated)) {
+        it = sources_.erase(it);
+        freed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (freed) return true;
+  }
+  return false;
+}
+
+LightningFilter::SourceState* LightningFilter::source_state(IsdAs src,
+                                                            SimTime now) {
+  const std::uint64_t key = src.packed();
+  const auto it = sources_.find(key);
+  if (it != sources_.end()) {
+    it->second.last_seen = now;
+    return &it->second;
+  }
+  if (config_.max_sources > 0 && sources_.size() >= config_.max_sources &&
+      !reclaim(now)) {
+    return nullptr;  // table full of live sources: overflow drop
+  }
+  // Admission of a new source AS is the one place the key schedule runs:
+  // bounded by max_sources, never per packet.
+  auto inserted = sources_.emplace(
+      key,
+      // NOLINTNEXTLINE(percall-keyschedule) once per admitted source AS
+      SourceState{crypto::AesCmac{key_for(src)}, Bucket{}, now, false});
+  return &inserted.first->second;
 }
 
 LightningFilter::Verdict LightningFilter::check(
     const dataplane::ScionPacket& packet, SimTime now) {
-  // AS-level allow rule.
+  return check(packet.src.ia, packet.payload, now);
+}
+
+LightningFilter::Verdict LightningFilter::check(IsdAs src, BytesView payload,
+                                                SimTime now) {
+  // AS-level allow rule — no per-source state for rule-dropped traffic.
   if (!config_.allowed_sources.empty() &&
       std::find(config_.allowed_sources.begin(),
                 config_.allowed_sources.end(),
-                packet.src.ia) == config_.allowed_sources.end()) {
+                src) == config_.allowed_sources.end()) {
     dropped_rule_->inc();
     return Verdict::kDropRule;
   }
-  // Authentication: payload must end with a valid 16-byte CMAC.
+  SourceState* state = source_state(src, now);
+  if (state == nullptr) {
+    dropped_overflow_->inc();
+    return Verdict::kDropOverflow;
+  }
+  // Authentication: payload must end with a valid 16-byte CMAC, verified
+  // against the cached per-source context.
   if (config_.require_auth) {
-    if (packet.payload.size() < 16) {
+    if (payload.size() < 16) {
       dropped_auth_->inc();
       return Verdict::kDropAuth;
     }
-    const BytesView body{packet.payload.data(), packet.payload.size() - 16};
-    const BytesView tag{packet.payload.data() + packet.payload.size() - 16,
-                        16};
-    const crypto::AesCmac cmac{key_for(packet.src.ia)};
-    if (!cmac.verify(body, tag)) {
+    const BytesView body{payload.data(), payload.size() - 16};
+    const BytesView tag{payload.data() + payload.size() - 16, 16};
+    if (!state->cmac.verify(body, tag)) {
       dropped_auth_->inc();
       return Verdict::kDropAuth;
     }
+    state->authenticated = true;
   }
   // Per-source rate limit (token bucket).
   if (config_.rate_pps > 0) {
-    Bucket& bucket = buckets_[packet.src.ia.packed()];
+    Bucket& bucket = state->bucket;
     const double elapsed =
         static_cast<double>(now - bucket.last) / static_cast<double>(kSecond);
     bucket.tokens = std::min(config_.burst,

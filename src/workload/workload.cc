@@ -6,8 +6,6 @@
 namespace sciera::workload {
 
 namespace {
-constexpr std::uint16_t kWorkloadPort = 40000;
-
 // Placement list for host attachment: the configured restriction when
 // present, otherwise every AS of the topology in its canonical order.
 std::vector<IsdAs> placement_ases(const controlplane::ScionNetwork& net,
@@ -58,6 +56,11 @@ Result<std::unique_ptr<TrafficMatrix>> TrafficMatrix::Builder::build() const {
                    "workload placement names unknown AS " + ia.to_string()};
     }
   }
+  if ((config_.seal_payloads || config_.install_filters) &&
+      config_.filter_secret.empty()) {
+    return Error{Errc::kInvalidArgument,
+                 "workload sealing/filtering requires a filter_secret"};
+  }
   return std::make_unique<TrafficMatrix>(*net_, config_);
 }
 
@@ -81,7 +84,12 @@ Status TrafficMatrix::launch() {
   if (config_.hosts < 2) {
     return Error{Errc::kInvalidArgument, "workload needs at least two hosts"};
   }
-  payload_.assign(config_.payload_bytes, 0xA5);
+  if ((config_.seal_payloads || config_.install_filters) &&
+      config_.filter_secret.empty()) {
+    return Error{Errc::kInvalidArgument,
+                 "workload sealing/filtering requires a filter_secret"};
+  }
+  payload_.assign(config_.payload_bytes, kLegitMarker);
 
   hosts_.reserve(config_.hosts);
   for (std::size_t i = 0; i < config_.hosts; ++i) {
@@ -90,17 +98,42 @@ Status TrafficMatrix::launch() {
                     static_cast<std::uint32_t>(0x0B000000 + i)};
     host.daemon = std::make_unique<endhost::Daemon>(net_, host.address.ia,
                                                     config_.daemon);
+    if (config_.install_filters) {
+      host.filter = std::make_unique<endhost::LightningFilter>(
+          config_.filter_secret, config_.filter);
+    }
     auto ctx = endhost::PanContext::Builder{}
                    .net(net_)
                    .address(host.address)
                    .daemon(*host.daemon)
+                   .stack_config(config_.stack)
                    .build(rng_.fork("host-" + std::to_string(i)));
     if (!ctx) return ctx.error();
     host.ctx = std::move(ctx).value();
+    if (host.filter) host.ctx->stack().set_ingress_filter(host.filter.get());
+    host.send_payload = payload_;
+    if (config_.seal_payloads) {
+      // One key schedule per host, at launch; every send reuses the tag.
+      const endhost::LightningSealer sealer(config_.filter_secret,
+                                            host.address.ia);
+      const Bytes tag = sealer.seal(payload_);
+      host.send_payload.insert(host.send_payload.end(), tag.begin(),
+                               tag.end());
+    }
     auto socket = endhost::PanSocket::open(
         *host.ctx, kWorkloadPort,
         [this, i](const dataplane::Address& from, std::uint16_t,
-                  const Bytes&, SimTime at) {
+                  const Bytes& data, SimTime at) {
+          // Classify by marker byte: attack/surge traffic that reached the
+          // socket is routed to the foreign observer and never counts as
+          // legitimate delivery. Legacy payloads are entirely
+          // marker-filled, so pre-attack schedules are unchanged.
+          const std::uint8_t marker = data.empty() ? kLegitMarker
+                                                   : data.front();
+          if (marker != kLegitMarker) {
+            if (on_foreign_delivery_) on_foreign_delivery_(marker, i, at);
+            return;
+          }
           delivered_.fetch_add(1, std::memory_order_relaxed);
           if (on_delivery_) on_delivery_(from, i, at);
         });
@@ -124,6 +157,9 @@ Status TrafficMatrix::launch() {
 void TrafficMatrix::schedule_flow(const Flow& flow) {
   auto& sim = net_.sim();
   endhost::PanSocket* socket = hosts_[flow.src].socket.get();
+  // hosts_ never reallocates after launch(), so the payload pointer is
+  // stable for the lifetime of the scheduled sends.
+  const Bytes* payload = &hosts_[flow.src].send_payload;
   // Send events belong to the source host's shard: the whole send path
   // (daemon lookup, PAN context, first-hop router inject) lives in the
   // source AS's domain.
@@ -135,8 +171,8 @@ void TrafficMatrix::schedule_flow(const Flow& flow) {
   for (std::size_t k = 0; k < config_.packets_per_flow; ++k) {
     t += 1 + static_cast<Duration>(rng_.exponential(
                  static_cast<double>(config_.mean_interval)));
-    sim.schedule(domain, t, [this, socket, to] {
-      auto receipt = socket->send_to(to, kWorkloadPort, payload_);
+    sim.schedule(domain, t, [this, socket, to, payload] {
+      auto receipt = socket->send_to(to, kWorkloadPort, *payload);
       if (!receipt.ok()) {
         send_failures_.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -145,6 +181,33 @@ void TrafficMatrix::schedule_flow(const Flow& flow) {
       if (receipt->failover) failovers_.fetch_add(1, std::memory_order_relaxed);
     });
   }
+}
+
+endhost::LightningFilter::Stats TrafficMatrix::filter_stats() const {
+  endhost::LightningFilter::Stats total;
+  for (const Host& host : hosts_) {
+    if (!host.filter) continue;
+    const auto stats = host.filter->stats();
+    total.accepted += stats.accepted;
+    total.dropped_rule += stats.dropped_rule;
+    total.dropped_auth += stats.dropped_auth;
+    total.dropped_rate += stats.dropped_rate;
+    total.dropped_overflow += stats.dropped_overflow;
+  }
+  return total;
+}
+
+endhost::HostStack::Stats TrafficMatrix::stack_stats() const {
+  endhost::HostStack::Stats total;
+  for (const Host& host : hosts_) {
+    if (!host.ctx) continue;
+    const auto stats = host.ctx->stack().stats();
+    total.delivered += stats.delivered;
+    total.dropped_no_port += stats.dropped_no_port;
+    total.dropped_overload += stats.dropped_overload;
+    total.dropped_filtered += stats.dropped_filtered;
+  }
+  return total;
 }
 
 }  // namespace sciera::workload

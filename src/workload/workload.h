@@ -18,9 +18,19 @@
 #include <vector>
 
 #include "controlplane/control_plane.h"
+#include "endhost/lightning_filter.h"
 #include "endhost/pan.h"
 
 namespace sciera::workload {
+
+// First payload byte of every legitimate workload packet. The delivery
+// callback uses it to tell legitimate traffic from attack/surge traffic
+// (see attack.h for the hostile markers) — legacy payloads are entirely
+// marker-filled, so classification never changes a pre-attack schedule.
+inline constexpr std::uint8_t kLegitMarker = 0xA5;
+
+// The UDP port every workload host serves on (and attack floods target).
+inline constexpr std::uint16_t kWorkloadPort = 40000;
 
 struct WorkloadConfig {
   std::uint64_t seed = 0x10AD;
@@ -41,6 +51,21 @@ struct WorkloadConfig {
   // Empty (the default) means every AS of the topology. Every entry must
   // name an AS the topology knows — the builder rejects unknown IAs.
   std::vector<IsdAs> ases;
+  // End-host stack shared by every host. The attack soak runs hosts in
+  // kDispatcher mode so hostile floods contend with legitimate traffic
+  // for the one shared queue (Section 4.8) — the axis the in-path filter
+  // defends.
+  endhost::HostStack::Config stack{};
+  // Payload sealing: append a LightningFilter authenticator (one
+  // LightningSealer per host, derived from filter_secret and the host's
+  // AS) to every payload. The defense A/B seals in BOTH arms so the two
+  // arms offer byte-identical traffic.
+  bool seal_payloads = false;
+  Bytes filter_secret;
+  // Install an in-path LightningFilter (one per host, config below) at
+  // each host stack's ingress — the defenses-on arm.
+  bool install_filters = false;
+  endhost::LightningFilter::Config filter{};
 };
 
 struct WorkloadReport {  // value snapshot, safe to copy around
@@ -116,12 +141,36 @@ class TrafficMatrix {
     on_delivery_ = std::move(on_delivery);
   }
 
+  // Observer for deliveries whose payload does NOT carry kLegitMarker —
+  // attack/surge traffic that made it through to an application socket.
+  // Arguments: the payload's marker byte, destination host index, delivery
+  // time; same sharding caveats as set_on_delivery. Foreign deliveries
+  // never touch the legitimate report counters.
+  void set_on_foreign_delivery(
+      std::function<void(std::uint8_t, std::size_t, SimTime)> on_foreign) {
+    on_foreign_delivery_ = std::move(on_foreign);
+  }
+
+  // Aggregate verdict counters over every installed in-path filter
+  // (all zero when install_filters is off).
+  [[nodiscard]] endhost::LightningFilter::Stats filter_stats() const;
+  // Aggregate host-stack drop/delivery counters over the fleet.
+  [[nodiscard]] endhost::HostStack::Stats stack_stats() const;
+
  private:
   struct Host {
     dataplane::Address address;
     std::unique_ptr<endhost::Daemon> daemon;
+    // Declared before ctx: the stack holds a raw pointer to the filter,
+    // so the filter must be destroyed after the stack (reverse member
+    // order destroys ctx first).
+    std::unique_ptr<endhost::LightningFilter> filter;
     std::unique_ptr<endhost::PanContext> ctx;
     std::unique_ptr<endhost::PanSocket> socket;
+    // What this host's flows send: the shared payload plus (when sealing)
+    // this host's per-AS authenticator — sealed once at launch, zero
+    // per-send crypto.
+    Bytes send_payload;
   };
   struct Flow {
     std::size_t src = 0;
@@ -145,6 +194,8 @@ class TrafficMatrix {
   std::atomic<std::uint64_t> failovers_{0};
   std::function<void(const dataplane::Address&, std::size_t, SimTime)>
       on_delivery_;
+  std::function<void(std::uint8_t, std::size_t, SimTime)>
+      on_foreign_delivery_;
 };
 
 }  // namespace sciera::workload

@@ -1,0 +1,31 @@
+// Golden fixture for the percall-keyschedule rule's end-host scope: the
+// analyzer treats this tree as src/, so this file sits under
+// src/endhost/ where the rule armed alongside src/dataplane/ when the
+// LightningFilter moved in-path. One unsuppressed construction and one
+// suppressed once-per-source construction. Scanned, never compiled;
+// line numbers are load-bearing — append, don't reshuffle.
+#pragma once
+
+namespace fixtures {
+
+class EndhostPercallCases {
+ public:
+  // percall-keyschedule: a fresh AesCmac per filter check reruns the
+  // AES key expansion on every inbound packet — the PR 7 router bug,
+  // reincarnated at the host boundary.
+  void positive_per_packet_filter_check() {
+    crypto::AesCmac cmac{key_};
+    (void)cmac;
+  }
+
+  // Once-per-admitted-source fills suppress with a justification.
+  void suppressed_source_admission() {
+    // NOLINTNEXTLINE(percall-keyschedule) fixture: once per source AS
+    const crypto::AesCmac cmac{key_};
+    (void)cmac;
+  }
+
+  crypto::Aes128::Key key_{};
+};
+
+}  // namespace fixtures

@@ -743,5 +743,206 @@ TEST(Chaos, SoakReplaysAcrossSchedulerTeleport) {
   EXPECT_EQ(on_calendar->to_json(), on_heap->to_json());
 }
 
+// --- Adversarial robustness (ISSUE 10) ---------------------------------------
+
+// Attack events cannot arm against a bare engine: without an attack
+// generator bridged in (soak.cc installs workload::AttackMatrix hooks),
+// validation fails and nothing is scheduled.
+TEST(Chaos, AttackEventsRequireArmedGenerator) {
+  ScionNetwork net{topology::build_sciera()};
+  ChaosEngine engine{net, 1};
+  EXPECT_FALSE(engine.arm(forged_flood_plan()).ok());
+  net.sim().run_for(5 * kSecond);
+  EXPECT_EQ(engine.faults_injected(), 0u);
+}
+
+// Arm-time validation of attack bursts: unknown origin AS, degenerate
+// rate, and a flash crowd without the shared sealing secret all fail
+// before anything is scheduled.
+TEST(Chaos, AttackBurstValidationRejectsBadEvents) {
+  ScionNetwork net{topology::build_sciera()};
+  workload::WorkloadConfig config = soak_default_workload();
+  config.hosts = 4;
+  config.flows = 4;
+  config.packets_per_flow = 4;
+  workload::TrafficMatrix victims{net, config};
+  ASSERT_TRUE(victims.launch().ok());
+  workload::AttackMatrix attack{net, victims, {}};
+
+  workload::AttackBurst bad;
+  bad.kind = workload::AttackKind::kForgedFlood;
+  bad.source = IsdAs::parse("99-99").value();
+  EXPECT_FALSE(attack.validate(bad).ok());
+  bad.source = a::geant();
+  bad.pps = 0;
+  EXPECT_FALSE(attack.validate(bad).ok());
+  bad.pps = 100;
+  EXPECT_TRUE(attack.validate(bad).ok());
+
+  workload::AttackBurst crowd;
+  crowd.kind = workload::AttackKind::kFlashCrowd;
+  crowd.source = a::geant();
+  // The default AttackConfig carries no filter secret, so a flash crowd
+  // (which must seal valid authenticators) cannot validate.
+  EXPECT_FALSE(attack.validate(crowd).ok());
+}
+
+// Router ingress admission: with a tiny data-class budget a data burst is
+// shed at the first on-path router, while SCMP (the control class, left
+// unlimited) keeps flowing — the priority inversion the flood would
+// otherwise cause.
+TEST(Router, AdmissionShedsDataButKeepsControl) {
+  ScionNetwork::Options options;
+  options.router.admission.data_pps = 10;
+  options.router.admission.data_burst = 4;
+  ScionNetwork net{topology::build_sciera(), options};
+  const dataplane::Address src{a::uva(), 0x0A000001};
+  int echoes = 0;
+  ASSERT_TRUE(net.register_host(src,
+                                [&](const dataplane::ScionPacket&, SimTime) {
+                                  ++echoes;
+                                })
+                  .ok());
+  const auto paths = net.paths(a::uva(), a::princeton());
+  ASSERT_FALSE(paths.empty());
+  for (int i = 0; i < 40; ++i) {
+    dataplane::ScionPacket pkt;
+    pkt.src = src;
+    pkt.dst = {a::princeton(), 2};
+    pkt.next_hdr = dataplane::kProtoUdp;
+    pkt.path = paths.front().dataplane_path;
+    pkt.payload = dataplane::UdpDatagram{40000, 40000, {0xA5}}.serialize();
+    ASSERT_TRUE(net.send_from_host(pkt).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    dataplane::ScionPacket ping;
+    ping.src = src;
+    ping.dst = {a::princeton(), 2};
+    ping.next_hdr = dataplane::kProtoScmp;
+    ping.path = paths.front().dataplane_path;
+    ping.payload =
+        dataplane::make_echo_request(9, static_cast<std::uint16_t>(i))
+            .serialize();
+    ASSERT_TRUE(net.send_from_host(ping).ok());
+  }
+  net.sim().run_for(2 * kSecond);
+  std::uint64_t data_drops = 0;
+  std::uint64_t control_drops = 0;
+  for (const topology::AsInfo& as : net.topology().ases()) {
+    const auto stats = net.router(as.ia)->stats();
+    data_drops += stats.admission_dropped_data;
+    control_drops += stats.admission_dropped_control;
+  }
+  EXPECT_GT(data_drops, 0u);
+  EXPECT_EQ(control_drops, 0u);
+  EXPECT_EQ(echoes, 5);  // every echo survived the data shed
+}
+
+// Per-offender SCMP error budget: a source whose packets keep tripping
+// ExternalInterfaceDown gets `burst` errors, then suppression — counted,
+// and bounded regardless of the offered rate.
+TEST(Router, ScmpErrorBudgetSuppressesPerOffender) {
+  ScionNetwork::Options options;
+  options.router.scmp_rate_pps = 1;
+  options.router.scmp_burst = 2;
+  ScionNetwork net{topology::build_sciera(), options};
+  const auto paths = net.paths(a::uva(), a::princeton());
+  ASSERT_FALSE(paths.empty());
+  // Cut every UVa uplink so the origin router hits a down egress.
+  for (const topology::LinkInfo& link : net.topology().links()) {
+    if (link.a == a::uva() || link.b == a::uva()) {
+      net.set_link_up(link.label, false);
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    dataplane::ScionPacket pkt;
+    pkt.src = {a::uva(), 0x0A000001};
+    pkt.dst = {a::princeton(), 2};
+    pkt.next_hdr = dataplane::kProtoUdp;
+    pkt.path = paths.front().dataplane_path;
+    pkt.payload = dataplane::UdpDatagram{40000, 40000, {0xA5}}.serialize();
+    ASSERT_TRUE(net.send_from_host(pkt).ok());
+  }
+  net.sim().run_for(kSecond);
+  const auto stats = net.router(a::uva())->stats();
+  // scmp_errors_sent counts generation attempts; the budget (burst 2)
+  // lets two through and suppresses the rest.
+  EXPECT_EQ(stats.scmp_errors_sent, 6u);
+  EXPECT_EQ(stats.scmp_suppressed, 4u);
+}
+
+// The headline A/B: under the forged-flood plan, the defended stack
+// (in-path filters, admission classes, SCMP suppression) must strictly
+// beat the undefended one on legitimate-traffic delivery — and no
+// hostile packet may reach a socket.
+TEST(Chaos, AttackSoakDefensesStrictlyBeatNoDefenses) {
+  SoakOptions on;
+  on.seed = 7;
+  on.self_healing = true;
+  // 5s covers the flood ramp (1s) plus the link flap (4s) whose
+  // down-egress errors exercise SCMP suppression under flood.
+  on.duration = 5 * kSecond;
+  SoakOptions off = on;
+  off.defenses = false;
+
+  const auto defended = run_soak(forged_flood_plan(), on);
+  const auto undefended = run_soak(forged_flood_plan(), off);
+  ASSERT_TRUE(defended.ok());
+  ASSERT_TRUE(undefended.ok());
+
+  EXPECT_TRUE(defended->attack_plan);
+  EXPECT_TRUE(defended->defenses);
+  EXPECT_FALSE(undefended->defenses);
+  EXPECT_GT(defended->attack_sent, 0u);
+  EXPECT_EQ(defended->attack_delivered, 0u);
+  EXPECT_GT(undefended->attack_delivered, 0u);
+  EXPECT_GT(defended->legit_delivery_ratio,
+            undefended->legit_delivery_ratio);
+  // The defense layers each did real work.
+  EXPECT_GT(defended->filter_dropped_auth, 0u);
+  EXPECT_GT(defended->host_dropped_filtered, 0u);
+  EXPECT_GT(defended->scmp_suppressed, 0u);
+  // Undefended, the flood lands on the dispatcher's shared queue.
+  EXPECT_GT(undefended->host_dropped_overload, 0u);
+  EXPECT_LT(defended->host_dropped_overload,
+            undefended->host_dropped_overload);
+}
+
+// Attack soaks replay byte-identically: the burst schedule, victim
+// draws, and sealing are all functions of (plan, seed).
+TEST(Chaos, AttackSoakReportIsDeterministic) {
+  SoakOptions options;
+  options.seed = 11;
+  options.duration = 3 * kSecond;
+  const auto first = run_soak(forged_flood_plan(), options);
+  const auto second = run_soak(forged_flood_plan(), options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->attack_sent, 0u);
+  EXPECT_EQ(first->schedule_hash, second->schedule_hash);
+  EXPECT_EQ(first->executed_events, second->executed_events);
+  EXPECT_EQ(first->to_json(), second->to_json());
+}
+
+// Thread parity under hostile traffic: the sharded core must produce the
+// identical attack-soak report at 1/2/4/8 worker threads.
+TEST(Chaos, AttackSoakThreadParity) {
+  const auto run = [](std::size_t threads) {
+    SoakOptions options;
+    options.seed = 7;
+    options.duration = 3 * kSecond;
+    options.scheduler.shards = 8;
+    options.scheduler.threads = threads;
+    const auto report = run_soak(forged_flood_plan(), options);
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? report->to_json() : std::string{};
+  };
+  const std::string baseline = run(1);
+  ASSERT_FALSE(baseline.empty());
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), baseline) << threads << " threads";
+  }
+}
+
 }  // namespace
 }  // namespace sciera::chaos

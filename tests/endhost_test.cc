@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "crypto/aes128.h"
 #include "endhost/bootstrapper.h"
 #include "endhost/hercules.h"
 #include "endhost/hints.h"
@@ -861,6 +862,104 @@ TEST(LightningFilter, RssScalesThroughput) {
   const double rss = filter.throughput_bps(1500, /*rss=*/true);
   EXPECT_NEAR(rss / single, 8.0, 0.01);  // default 8 cores
   EXPECT_GT(rss, 100e9);  // line rate at 100G+ (the paper's figure)
+}
+
+// The PR 7 router regression, at the host boundary: the per-source CMAC
+// context is derived once at admission, and the steady-state check path
+// runs zero key schedules (the counter is exact, not sampled).
+TEST(LightningFilter, SteadyStateChecksRunZeroKeySchedules) {
+  LightningFilter filter{bytes_of("dmz-secret")};
+  const IsdAs src = a::kisti_dj();
+  const Bytes payload = bytes_of("bulk science data");
+  const Bytes tag = filter.make_authenticator(src, payload);
+  Bytes wire = payload;
+  wire.insert(wire.end(), tag.begin(), tag.end());
+  // First packet admits the source (one key schedule, off the books).
+  ASSERT_EQ(filter.check(src, wire, 0), LightningFilter::Verdict::kAccept);
+  const auto before = crypto::Aes128::key_schedules_run();
+  for (int i = 1; i <= 200; ++i) {
+    ASSERT_EQ(filter.check(src, wire, i * kMillisecond),
+              LightningFilter::Verdict::kAccept);
+  }
+  EXPECT_EQ(crypto::Aes128::key_schedules_run(), before);
+}
+
+// Spoofed-source floods fabricate ASes to exhaust per-source state: the
+// table is capped, overflow is shed before any key derivation, and idle
+// residue is reclaimed so real sources get back in.
+TEST(LightningFilter, BoundedSourceTableOverflowsThenReclaims) {
+  LightningFilter::Config cfg;
+  cfg.require_auth = false;
+  cfg.max_sources = 2;
+  cfg.idle_timeout = kSecond;
+  LightningFilter filter{bytes_of("s"), cfg};
+  const Bytes none;
+  EXPECT_EQ(filter.check(a::uva(), none, 0),
+            LightningFilter::Verdict::kAccept);
+  EXPECT_EQ(filter.check(a::geant(), none, 0),
+            LightningFilter::Verdict::kAccept);
+  EXPECT_EQ(filter.source_count(), 2u);
+  // Table full of live sources: the next fabricated AS is shed, and no
+  // key schedule ran for it.
+  const auto schedules = crypto::Aes128::key_schedules_run();
+  EXPECT_EQ(filter.check(a::princeton(), none, 100 * kMillisecond),
+            LightningFilter::Verdict::kDropOverflow);
+  EXPECT_EQ(crypto::Aes128::key_schedules_run(), schedules);
+  EXPECT_EQ(filter.stats().dropped_overflow, 1u);
+  EXPECT_EQ(filter.source_count(), 2u);
+  // Once the residents go idle the same source is admitted via reclaim.
+  EXPECT_EQ(filter.check(a::princeton(), none, 2 * kSecond),
+            LightningFilter::Verdict::kAccept);
+  EXPECT_LE(filter.source_count(), cfg.max_sources);
+}
+
+// Reclamation evicts never-authenticated residue before authenticated
+// sources: after a spoofed squatter is pushed out, the paying customer's
+// cached context survives (no fresh key schedule on its next packet).
+TEST(LightningFilter, ReclaimEvictsNeverAuthenticatedFirst) {
+  LightningFilter::Config cfg;
+  cfg.max_sources = 2;
+  cfg.idle_timeout = kSecond;
+  LightningFilter filter{bytes_of("s"), cfg};
+  const Bytes payload = bytes_of("x");
+  const Bytes tag = filter.make_authenticator(a::uva(), payload);
+  Bytes wire = payload;
+  wire.insert(wire.end(), tag.begin(), tag.end());
+  ASSERT_EQ(filter.check(a::uva(), wire, 0),
+            LightningFilter::Verdict::kAccept);  // authenticated resident
+  ASSERT_EQ(filter.check(a::geant(), payload, 0),
+            LightningFilter::Verdict::kDropAuth);  // admitted, never valid
+  ASSERT_EQ(filter.source_count(), 2u);
+  // Both idle now; the new source's admission must evict the squatter.
+  ASSERT_EQ(filter.check(a::princeton(), payload, 2 * kSecond),
+            LightningFilter::Verdict::kDropAuth);
+  const auto schedules = crypto::Aes128::key_schedules_run();
+  EXPECT_EQ(filter.check(a::uva(), wire, 2 * kSecond + kMillisecond),
+            LightningFilter::Verdict::kAccept);
+  EXPECT_EQ(crypto::Aes128::key_schedules_run(), schedules);
+}
+
+// The sender-side sealer and the filter derive the same per-source key
+// from the shared secret — a sealed payload passes the in-path check.
+TEST(LightningFilter, SealerMatchesFilterAuthenticator) {
+  const Bytes secret = bytes_of("dmz-secret");
+  LightningFilter filter{secret};
+  const LightningSealer sealer{secret, a::kisti_dj()};
+  EXPECT_EQ(sealer.source(), a::kisti_dj());
+  const Bytes payload = bytes_of("science data");
+  const Bytes tag = sealer.seal(payload);
+  EXPECT_EQ(tag, filter.make_authenticator(a::kisti_dj(), payload));
+  Bytes wire = payload;
+  wire.insert(wire.end(), tag.begin(), tag.end());
+  EXPECT_EQ(filter.check(a::kisti_dj(), wire, 0),
+            LightningFilter::Verdict::kAccept);
+  // Sealed under the wrong secret, the same wire format is rejected.
+  const LightningSealer wrong{bytes_of("other-secret"), a::kisti_dj()};
+  Bytes forged = payload;
+  const Bytes bad = wrong.seal(payload);
+  forged.insert(forged.end(), bad.begin(), bad.end());
+  EXPECT_EQ(filter.check(a::kisti_dj(), forged, kMillisecond),
+            LightningFilter::Verdict::kDropAuth);
 }
 
 }  // namespace

@@ -91,6 +91,18 @@ echo "== sciera_chaos kreonet-ring-cut --self-healing reconvergence soak (saniti
 "$BUILD_DIR/tools/sciera_chaos" kreonet-ring-cut --self-healing --seed 7 \
   --duration-ms 3000 --out "$BUILD_DIR/CHAOS_reconverge_quick.json"
 
+# The adversarial-robustness soak under sanitizers: forged/spoofed MAC
+# floods plus a flash crowd stress the in-path LightningFilters, router
+# admission classes, and SCMP suppression — and the defended arm must
+# strictly beat the --no-defenses arm on legitimate-traffic delivery
+# (the smoke ctest gates the ordering; here both arms get the
+# memory-safety pass).
+echo "== sciera_chaos forged-flood attack soak, defenses A/B (sanitized) =="
+"$BUILD_DIR/tools/sciera_chaos" forged-flood --self-healing --seed 7 \
+  --duration-ms 3000 --out "$BUILD_DIR/CHAOS_attack_on.json"
+"$BUILD_DIR/tools/sciera_chaos" forged-flood --self-healing --seed 7 \
+  --duration-ms 3000 --no-defenses --out "$BUILD_DIR/CHAOS_attack_off.json"
+
 # TSan flavor of the concurrency surfaces. When this script is already
 # running the thread flavor (SCIERA_SANITIZE=thread), the full suite above
 # covered it; otherwise build just the chaos CLI in a separate TSan tree
@@ -108,6 +120,12 @@ if [[ "$SANITIZE" != *thread* ]]; then
   "$TSAN_DIR/tools/sciera_chaos" kreonet-ring-cut --seed 7 \
     --duration-ms 2000 --out "$TSAN_DIR/CHAOS_soak_tsan.json"
   "$TSAN_DIR/tools/sciera_chaos" --thread-smoke
+  # Attack soak under TSan: the flood generator's atomic delivery
+  # counters and the shared filter/admission counters run with real
+  # concurrency when sharded.
+  echo "== TSan flavor: forged-flood attack soak =="
+  "$TSAN_DIR/tools/sciera_chaos" forged-flood --self-healing --seed 7 \
+    --duration-ms 3000 --out "$TSAN_DIR/CHAOS_attack_tsan.json"
   # The parallel soak under TSan: 8 shards on 4 worker threads exercises
   # the window barrier, cross-shard outboxes, per-direction link RNGs, and
   # the atomic workload counters with real concurrency — and the report

@@ -37,14 +37,16 @@
 //
 // hot-path hygiene
 //   percall-keyschedule   (error) constructing crypto::AesCmac or
-//                         crypto::Aes128 inside src/dataplane/ — each
-//                         construction reruns the AES key expansion and
-//                         CMAC subkey derivation, which is exactly the
-//                         per-packet cost the cached per-key contexts
-//                         (dataplane::HopVerifier and hopfield's context
-//                         cache) exist to avoid. A construction that is
-//                         provably once-per-key (cache fill, rollover)
-//                         is suppressible with justification.
+//                         crypto::Aes128 inside src/dataplane/ or
+//                         src/endhost/ — each construction reruns the
+//                         AES key expansion and CMAC subkey derivation,
+//                         which is exactly the per-packet cost the
+//                         cached per-key contexts (dataplane::HopVerifier,
+//                         hopfield's context cache, LightningFilter's
+//                         per-source contexts) exist to avoid. A
+//                         construction that is provably once-per-key
+//                         (cache fill, rollover) is suppressible with
+//                         justification.
 //
 // concurrency readiness
 //   std-mutex-member      (error) naming std::mutex / std::lock_guard /
@@ -480,12 +482,12 @@ void rule_percall_keyschedule(const RuleContext& ctx) {
     if (!constructs) continue;
     ctx.add(toks[i].line, "percall-keyschedule", Severity::kError,
             "constructing crypto::" + toks[i].text +
-                " in src/dataplane reruns the AES key schedule — "
+                " in packet-path code reruns the AES key schedule — "
                 "per-packet paths must reuse a cached per-key context "
                 "(dataplane::HopVerifier / compute_hop_mac's context "
-                "cache); if this site is provably once-per-key, suppress "
-                "with '// NOLINT(percall-keyschedule)' plus a "
-                "justification");
+                "cache / LightningFilter's per-source contexts); if this "
+                "site is provably once-per-key, suppress with "
+                "'// NOLINT(percall-keyschedule)' plus a justification");
   }
 }
 
@@ -569,7 +571,8 @@ FileAnalysis analyze_file(const fs::path& file, const std::string& rel) {
     if (std::string_view{rel}.starts_with("src/simnet/")) {
       rule_simnet_layering(ctx);
     }
-    if (std::string_view{rel}.starts_with("src/dataplane/")) {
+    if (std::string_view{rel}.starts_with("src/dataplane/") ||
+        std::string_view{rel}.starts_with("src/endhost/")) {
       rule_percall_keyschedule(ctx);
     }
   }

@@ -12,6 +12,7 @@
 // Usage: sciera_chaos <plan> [--seed N] [--duration-ms N]
 //                            [--no-resilience] [--self-healing]
 //                            [--scalar-router] [--shards N] [--threads N]
+//                            [--attack-plan NAME] [--no-defenses]
 //                            [--out FILE]
 //        sciera_chaos --list-plans
 //        sciera_chaos --thread-smoke
@@ -31,7 +32,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: sciera_chaos <plan> [--seed N] [--duration-ms N] "
     "[--no-resilience] [--self-healing] [--scalar-router] "
-    "[--shards N] [--threads N] [--out FILE]\n"
+    "[--shards N] [--threads N] [--attack-plan NAME] [--no-defenses] "
+    "[--out FILE]\n"
     "       sciera_chaos --list-plans\n"
     "       sciera_chaos --thread-smoke";
 
@@ -137,10 +139,17 @@ int main(int argc, char** argv) {
   std::int64_t duration_ms = options.duration / sciera::kMillisecond;
   bool no_resilience = false;
   std::string out_path;
+  std::string attack_plan_name;
   flags.flag("--seed", &options.seed);
   flags.flag("--duration-ms", &duration_ms);
   flags.flag("--no-resilience", &no_resilience);
   flags.flag("--self-healing", &options.self_healing);
+  // Layer a named attack plan's events on top of the base plan (so every
+  // legacy incident can be rerun with hostile traffic on top).
+  flags.flag("--attack-plan", &attack_plan_name);
+  // Defenses A/B: drop the in-path filters / router overload control
+  // while keeping the offered traffic identical.
+  flags.flag("--no-defenses", [&options] { options.defenses = false; });
   // Fast-path A/B: scalar frame-by-frame border routers. The report must
   // be byte-identical to the batched default.
   flags.flag("--scalar-router",
@@ -167,6 +176,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sciera_chaos: %s (try --list-plans)\n",
                  plan.error().message.c_str());
     return 2;
+  }
+  if (!attack_plan_name.empty()) {
+    auto attack_plan = sciera::chaos::plan_by_name(attack_plan_name);
+    if (!attack_plan.ok()) {
+      std::fprintf(stderr, "sciera_chaos: %s (try --list-plans)\n",
+                   attack_plan.error().message.c_str());
+      return 2;
+    }
+    for (const auto& event : attack_plan->events) plan->add(event);
+    plan->name += "+" + attack_plan->name;
   }
   auto report = sciera::chaos::run_soak(*plan, options);
   if (!report.ok()) {
